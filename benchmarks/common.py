@@ -1,0 +1,104 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark file reproduces one experiment id (E1-E17) from DESIGN.md:
+it builds the workload, runs it on the simulated substrate, verifies the
+paper's correctness properties on the trace, derives the quantities the
+paper argues about, appends a human-readable row set to the consolidated
+report, and asserts the *shape* of the result (who wins, how quantities
+scale) rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis import check_all
+from repro.analysis.metrics import build_report
+from repro.core import NewtopCluster, NewtopConfig, OrderingMode
+
+#: Configuration used by most benchmarks: fast time-silence and suspicion so
+#: membership events resolve within short simulated runs.
+FAST_CONFIG = dict(omega=1.5, suspicion_timeout=6.0, suspector_check_interval=0.5)
+
+
+@dataclass
+class ResultCollector:
+    """Collects per-experiment result tables printed at session end."""
+
+    tables: List[Tuple[str, List[str]]] = field(default_factory=list)
+
+    def add_table(self, title: str, rows: Iterable[str]) -> None:
+        """Register one experiment's rows for the consolidated report."""
+        self.tables.append((title, list(rows)))
+
+
+#: The session-wide collector used by every benchmark module.
+RESULTS = ResultCollector()
+
+
+def make_cluster(
+    names: Sequence[str],
+    seed: int = 1,
+    mode_overrides: Optional[Dict[str, object]] = None,
+) -> NewtopCluster:
+    """A cluster with the benchmark-default configuration."""
+    overrides = dict(FAST_CONFIG)
+    if mode_overrides:
+        overrides.update(mode_overrides)
+    return NewtopCluster(list(names), config=NewtopConfig(**overrides), seed=seed)
+
+
+def run_uniform_traffic(
+    cluster: NewtopCluster,
+    group: str,
+    senders: Sequence[str],
+    messages_per_sender: int,
+    gap: float = 1.0,
+    drain: float = 60.0,
+) -> None:
+    """Issue a fixed, interleaved workload and let deliveries drain."""
+    for index in range(messages_per_sender):
+        for sender in senders:
+            cluster[sender].multicast(group, f"{sender}-{index}")
+        cluster.run(gap)
+    cluster.run(drain)
+
+
+def assert_trace_correct(
+    cluster: NewtopCluster,
+    view_agreement_sets: Optional[Dict[str, Sequence[str]]] = None,
+) -> None:
+    """Every benchmark checks the paper's guarantees before reporting."""
+    result = check_all(cluster.trace(), view_agreement_sets=view_agreement_sets)
+    assert result.passed, f"protocol guarantees violated: {result.violations[:3]}"
+
+
+def newtop_run_metrics(
+    names: Sequence[str],
+    mode: OrderingMode,
+    messages_per_sender: int = 4,
+    seed: int = 3,
+    senders: Optional[Sequence[str]] = None,
+) -> Dict[str, float]:
+    """One standard Newtop run; returns the flattened metrics report."""
+    cluster = make_cluster(names, seed=seed)
+    cluster.create_group("bench", names, mode=mode)
+    active_senders = list(senders) if senders is not None else list(names)
+    start = cluster.sim.now
+    run_uniform_traffic(cluster, "bench", active_senders, messages_per_sender)
+    duration = cluster.sim.now - start
+    assert_trace_correct(cluster)
+    report = build_report(cluster.trace(), cluster.network.stats, duration=duration, group="bench")
+    flattened = report.as_dict()
+    flattened["group_size"] = float(len(names))
+    return flattened
+
+
+def fmt(value: float) -> str:
+    """Consistent numeric formatting for report rows."""
+    if value >= 1000:
+        return f"{value:,.0f}"
+    if value >= 10:
+        return f"{value:.1f}"
+    return f"{value:.2f}"

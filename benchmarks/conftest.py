@@ -1,0 +1,39 @@
+"""Benchmark-suite pytest configuration.
+
+Makes ``src`` importable without installation (same as the repository-root
+conftest) and provides a session-wide results collector so every benchmark
+prints the rows it reproduces in one consolidated report at the end of the
+run (mirroring how the paper presents its scenarios qualitatively).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "..", "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+_HERE = os.path.dirname(__file__)
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
+
+import pytest  # noqa: E402  (import after the path fix)
+
+from common import RESULTS  # noqa: E402
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Print the consolidated experiment report after the benchmark run."""
+    if RESULTS.tables:
+        terminal = session.config.pluginmanager.get_plugin("terminalreporter")
+        writer = terminal.write_line if terminal else print
+        writer("")
+        writer("=" * 78)
+        writer("Newtop reproduction -- experiment results (paper-vs-measured shapes)")
+        writer("=" * 78)
+        for title, rows in RESULTS.tables:
+            writer("")
+            writer(title)
+            writer("-" * len(title))
+            for row in rows:
+                writer("  " + row)

@@ -1,0 +1,46 @@
+"""Online server migration via overlapping groups (the paper's Fig. 1).
+
+Run with::
+
+    python examples/server_migration.py
+
+A two-replica server group ``g1`` keeps serving client requests while one
+of its replicas is migrated to a new machine: the new process forms an
+overlapping group ``g2``, state is transferred inside ``g2``, requests are
+cut over, and the old memberships are wound down -- all without losing a
+single request.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.apps import ServerMigrationScenario
+
+
+def main() -> None:
+    scenario = ServerMigrationScenario(requests_per_phase=8, seed=11)
+    report = scenario.run()
+
+    print("Online server migration (paper Fig. 1)")
+    print("=" * 50)
+    print(f"requests before migration : {report.requests_before}")
+    print(f"requests during migration : {report.requests_during}")
+    print(f"requests after migration  : {report.requests_after}")
+    print(f"all requests applied      : {report.all_requests_applied}")
+    print(f"state transferred intact  : {report.state_transferred_intact}")
+    print(f"old group cleaned up      : {report.old_group_cleaned_up}")
+    print(f"surviving group g2        : {report.final_group_members}")
+    print(f"migration duration (sim)  : {report.migration_duration:.1f} time units")
+    print(f"service uninterrupted     : {report.service_uninterrupted}")
+    print()
+    print("Final replicated state at the migrated replica (P3):")
+    for key, value in sorted(report.final_state.items()):
+        print(f"  {key} = {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro: a reproduction of "Newtop: A Fault-Tolerant Group Communication
+Protocol" (Ezhilchelvan, Macedo, Shrivastava -- ICDCS 1995).
+
+The package is organised as the paper's system is layered (its Fig. 3):
+
+* :mod:`repro.net` -- the simulated asynchronous network substrate
+  (discrete-event kernel, reliable FIFO transport, partitions, crashes).
+* :mod:`repro.core` -- the Newtop protocol suite itself: logical-clock
+  numbering, symmetric and asymmetric total order, cross-group delivery,
+  time-silence, message stability, the partitionable membership service,
+  dynamic group formation and flow control.
+* :mod:`repro.baselines` -- re-implementations of the protocols Newtop is
+  compared against in section 6 (ISIS-style vector-clock multicast,
+  Psync-style context graphs, a classic fixed sequencer, a
+  primary-partition membership policy and a propagation-graph multicast).
+* :mod:`repro.apps` -- example applications from the paper's motivation:
+  replicated state machines and online server migration via overlapping
+  groups.
+* :mod:`repro.analysis` -- trace checkers for the paper's guarantees
+  (MD1-MD5', VC1-VC3), workload generators and overhead/latency metrics
+  used by the benchmark harness.
+
+Quick start::
+
+    from repro import NewtopCluster
+
+    cluster = NewtopCluster(["P1", "P2", "P3"], seed=7)
+    cluster.create_group("g1")
+    cluster["P1"].multicast("g1", "hello")
+    cluster.run(20)
+    print(cluster["P3"].delivered_payloads("g1"))
+"""
+
+from repro.core import (
+    NewtopCluster,
+    NewtopConfig,
+    NewtopProcess,
+    OrderingMode,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NewtopCluster",
+    "NewtopConfig",
+    "NewtopProcess",
+    "OrderingMode",
+    "__version__",
+]

@@ -1,0 +1,50 @@
+"""Analysis tooling: property checkers, metrics, overhead and workloads.
+
+* :mod:`repro.analysis.checkers` -- verify the paper's delivery and view
+  guarantees (MD1-MD5', VC1-VC3) over recorded event traces.
+* :mod:`repro.analysis.metrics` -- latency / throughput / message-count
+  summaries derived from traces and network statistics.
+* :mod:`repro.analysis.overhead` -- per-message protocol overhead models
+  for Newtop and the §6 comparison protocols (ISIS vector clocks, Psync
+  context graphs, piggybacking).
+* :mod:`repro.analysis.workloads` -- deterministic workload generators used
+  by the benchmark harness and the integration tests.
+"""
+
+from repro.analysis.checkers import (
+    CheckResult,
+    check_all,
+    check_causal_prefix,
+    check_same_view_delivery_sets,
+    check_sender_in_view,
+    check_total_order,
+    check_view_sequences,
+)
+from repro.analysis.metrics import LatencySummary, MetricsReport, summarize_latencies
+from repro.analysis.overhead import (
+    isis_overhead_bytes,
+    newtop_overhead_bytes,
+    piggyback_overhead_bytes,
+    psync_overhead_bytes,
+)
+from repro.analysis.workloads import UniformWorkload, BurstyWorkload, WorkloadRunner
+
+__all__ = [
+    "BurstyWorkload",
+    "CheckResult",
+    "LatencySummary",
+    "MetricsReport",
+    "UniformWorkload",
+    "WorkloadRunner",
+    "check_all",
+    "check_causal_prefix",
+    "check_same_view_delivery_sets",
+    "check_sender_in_view",
+    "check_total_order",
+    "check_view_sequences",
+    "isis_overhead_bytes",
+    "newtop_overhead_bytes",
+    "piggyback_overhead_bytes",
+    "psync_overhead_bytes",
+    "summarize_latencies",
+]

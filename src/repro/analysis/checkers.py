@@ -1,0 +1,308 @@
+"""Trace-based checkers for the paper's guarantees.
+
+The paper states its guarantees as predicates over executions (§3); these
+functions evaluate the corresponding predicates over an
+:class:`~repro.net.trace.EventTrace` recorded during a simulation.  They are
+used by the integration tests, the property-based tests and the benchmark
+harness (every benchmark asserts its run was correct before reporting
+numbers).
+
+Checked properties
+------------------
+* **MD4 / MD4' (total order)** -- any two processes deliver the messages
+  they both deliver in the same relative order, within a group and across
+  groups, and each process's delivery order respects the happened-before
+  relation of the sends.
+* **MD1 (validity)** -- a message is delivered only while its sender is in
+  the delivering process's current view of the message's group.
+* **MD3 / VC3 (view atomicity / virtual synchrony)** -- processes that
+  install the same pair of consecutive views deliver the same set of the
+  group's messages between them.
+* **VC1 (view validity)** -- processes that never suspect each other
+  install identical view sequences (checked pairwise on surviving,
+  never-partitioned processes).
+* **MD5 / MD5' (causal prefix)** -- if ``m -> m'`` and ``m'`` is delivered
+  at a process while ``m``'s sender is still in that process's view of
+  ``m``'s group, then ``m`` was delivered before ``m'``.
+
+Crashed processes are exempt from liveness-flavoured checks (a crashed
+process may have delivered a prefix only), exactly as the paper's
+properties quantify over functioning processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.net.trace import DELIVER, EventTrace, SEND, VIEW_INSTALL
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one (or several) property checks."""
+
+    name: str
+    passed: bool
+    violations: List[str] = field(default_factory=list)
+
+    def merge(self, other: "CheckResult") -> "CheckResult":
+        """Combine two results into one (AND of passes, union of violations)."""
+        return CheckResult(
+            name=f"{self.name}+{other.name}",
+            passed=self.passed and other.passed,
+            violations=self.violations + other.violations,
+        )
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+
+def _subsequence_of_common(first: Sequence[str], second: Sequence[str]) -> Optional[Tuple[str, str]]:
+    """Return a witness pair ordered differently in the two sequences, if any.
+
+    Only messages delivered by *both* processes are compared (a process may
+    legitimately not deliver messages sent by members it excluded).
+    """
+    common = set(first) & set(second)
+    first_common = [item for item in first if item in common]
+    second_common = [item for item in second if item in common]
+    position = {item: index for index, item in enumerate(second_common)}
+    previous_index = -1
+    previous_item: Optional[str] = None
+    for item in first_common:
+        index = position[item]
+        if index < previous_index and previous_item is not None:
+            return (previous_item, item)
+        if index > previous_index:
+            previous_index = index
+            previous_item = item
+    return None
+
+
+def check_total_order(trace: EventTrace, group: Optional[str] = None) -> CheckResult:
+    """MD4/MD4': pairwise identical relative delivery order, plus causal
+    consistency of each process's own delivery order.
+
+    With ``group`` given, only that group's deliveries are compared (MD4);
+    without it, each process's *entire* cross-group delivery sequence is
+    compared (MD4').
+    """
+    violations: List[str] = []
+    processes = trace.processes()
+    sequences = {
+        process: trace.delivered_ids(process, group) for process in processes
+    }
+    for i, first_process in enumerate(processes):
+        for second_process in processes[i + 1 :]:
+            witness = _subsequence_of_common(
+                sequences[first_process], sequences[second_process]
+            )
+            if witness is not None:
+                violations.append(
+                    f"total order violated between {first_process} and {second_process}: "
+                    f"{witness[0]} vs {witness[1]}"
+                )
+    # Causal consistency of each local order: m -> m' implies m delivered
+    # before m' whenever both are delivered.
+    pairs = trace.happened_before_pairs(group)
+    for process in processes:
+        order = {msg_id: index for index, msg_id in enumerate(sequences[process])}
+        for earlier, later in pairs:
+            if earlier in order and later in order and order[earlier] > order[later]:
+                violations.append(
+                    f"{process} delivered {later} before causally preceding {earlier}"
+                )
+    return CheckResult("total_order", not violations, violations)
+
+
+def check_sender_in_view(trace: EventTrace) -> CheckResult:
+    """MD1: each delivery's sender belongs to the view in force at that
+    process for the message's group at delivery time."""
+    violations: List[str] = []
+    for process in trace.processes():
+        # Build, per group, the timeline of installed views at this process.
+        view_timeline: Dict[str, List[Tuple[float, int, frozenset]]] = {}
+        for event in trace.events(kind=VIEW_INSTALL, process=process):
+            view_timeline.setdefault(event.group, []).append(
+                (event.time, event.seq, frozenset(event.detail("members", ())))
+            )
+        for event in trace.events(kind=DELIVER, process=process):
+            timeline = view_timeline.get(event.group)
+            if not timeline:
+                continue
+            current: Optional[frozenset] = None
+            for time, seq, members in timeline:
+                if (time, seq) <= (event.time, event.seq):
+                    current = members
+                else:
+                    break
+            if current is not None and event.sender not in current:
+                violations.append(
+                    f"{process} delivered {event.message_id} from {event.sender} "
+                    f"outside its view {sorted(current)} of {event.group}"
+                )
+    return CheckResult("sender_in_view", not violations, violations)
+
+
+def check_view_sequences(
+    trace: EventTrace,
+    group: str,
+    processes: Optional[Iterable[str]] = None,
+) -> CheckResult:
+    """VC1: the listed processes installed identical view sequences.
+
+    Callers pass the set of processes expected to agree (e.g. the members of
+    one surviving partition component); by default every process that
+    installed at least one view of the group and never crashed is included,
+    which is only appropriate for partition-free runs.
+    """
+    violations: List[str] = []
+    crashed = set(trace.crashed_processes())
+    if processes is None:
+        candidates = [
+            process
+            for process in trace.processes()
+            if process not in crashed and trace.view_sequence(process, group)
+        ]
+    else:
+        candidates = [process for process in processes if process not in crashed]
+    sequences = {process: trace.view_sequence(process, group) for process in candidates}
+    if len(candidates) > 1:
+        reference_process = candidates[0]
+        reference = sequences[reference_process]
+        for process in candidates[1:]:
+            if sequences[process] != reference:
+                violations.append(
+                    f"view sequences differ for {group}: {reference_process}="
+                    f"{[sorted(view) for view in reference]} vs {process}="
+                    f"{[sorted(view) for view in sequences[process]]}"
+                )
+    return CheckResult("view_sequences", not violations, violations)
+
+
+def check_same_view_delivery_sets(
+    trace: EventTrace,
+    group: str,
+    processes: Optional[Iterable[str]] = None,
+) -> CheckResult:
+    """MD3/VC3 (virtual synchrony): processes that installed the same pair
+    of consecutive views delivered the same set of the group's messages
+    between those installations."""
+    violations: List[str] = []
+    crashed = set(trace.crashed_processes())
+    candidates = [
+        process
+        for process in (processes if processes is not None else trace.processes())
+        if process not in crashed
+    ]
+    # For each process: list of (view_index, delivered ids while that view
+    # was current).
+    per_process: Dict[str, Dict[int, Set[str]]] = {}
+    for process in candidates:
+        deliveries_by_view: Dict[int, Set[str]] = {}
+        for event in trace.events(kind=DELIVER, process=process, group=group):
+            view_index = event.detail("view_index")
+            if view_index is None:
+                continue
+            deliveries_by_view.setdefault(int(view_index), set()).add(event.message_id)
+        per_process[process] = deliveries_by_view
+    views_of = {
+        process: trace.view_sequence(process, group) for process in candidates
+    }
+    for i, first in enumerate(candidates):
+        for second in candidates[i + 1 :]:
+            first_views = views_of[first]
+            second_views = views_of[second]
+            # Compare deliveries in view r whenever both installed the same
+            # view r and the same view r+1 (the paper's premise for MD3).
+            shared = min(len(first_views), len(second_views))
+            for r in range(shared - 1):
+                if first_views[r] != second_views[r]:
+                    continue
+                if first_views[r + 1] != second_views[r + 1]:
+                    continue
+                delivered_first = per_process[first].get(r, set())
+                delivered_second = per_process[second].get(r, set())
+                if delivered_first != delivered_second:
+                    difference = delivered_first ^ delivered_second
+                    violations.append(
+                        f"virtual synchrony violated in {group} view {r}: "
+                        f"{first} vs {second} differ on {sorted(difference)}"
+                    )
+    return CheckResult("same_view_delivery_sets", not violations, violations)
+
+
+def check_causal_prefix(trace: EventTrace) -> CheckResult:
+    """MD5/MD5': a delivered message is preceded by every causally prior
+    message whose sender is still in the delivering process's view of that
+    message's group at delivery time."""
+    violations: List[str] = []
+    pairs = trace.happened_before_pairs()
+    send_info: Dict[str, Tuple[str, str]] = {}
+    for event in trace.events(kind=SEND):
+        if event.message_id is not None:
+            send_info[event.message_id] = (event.sender or event.process, event.group)
+    for process in trace.processes():
+        delivered_order = trace.delivered_ids(process)
+        delivered_set = set(delivered_order)
+        position = {msg_id: index for index, msg_id in enumerate(delivered_order)}
+        view_timeline: Dict[str, List[Tuple[float, int, frozenset]]] = {}
+        for event in trace.events(kind=VIEW_INSTALL, process=process):
+            view_timeline.setdefault(event.group, []).append(
+                (event.time, event.seq, frozenset(event.detail("members", ())))
+            )
+        deliver_events = {
+            event.message_id: event
+            for event in trace.events(kind=DELIVER, process=process)
+        }
+        for earlier, later in pairs:
+            if later not in delivered_set:
+                continue
+            if earlier not in send_info:
+                continue
+            earlier_sender, earlier_group = send_info[earlier]
+            later_event = deliver_events.get(later)
+            if later_event is None:
+                continue
+            # View of earlier's group in force when `later` was delivered.
+            timeline = view_timeline.get(earlier_group, [])
+            current: Optional[frozenset] = None
+            for time, seq, members in timeline:
+                if (time, seq) <= (later_event.time, later_event.seq):
+                    current = members
+                else:
+                    break
+            if current is None or earlier_sender not in current:
+                # MD5' explicitly allows the causal predecessor to be
+                # missing when its sender has been excluded from the view.
+                continue
+            if earlier not in delivered_set or position[earlier] > position[later]:
+                violations.append(
+                    f"{process} delivered {later} without (or before) causally "
+                    f"preceding {earlier} whose sender {earlier_sender} is still "
+                    f"in its view of {earlier_group}"
+                )
+    return CheckResult("causal_prefix", not violations, violations)
+
+
+def check_all(
+    trace: EventTrace,
+    groups: Optional[Iterable[str]] = None,
+    view_agreement_sets: Optional[Dict[str, Iterable[str]]] = None,
+) -> CheckResult:
+    """Run every checker and combine the results.
+
+    ``view_agreement_sets`` optionally maps group id to the processes
+    expected to agree on view sequences (use it in partition scenarios,
+    where only same-side processes must agree).
+    """
+    result = check_total_order(trace)
+    result = result.merge(check_sender_in_view(trace))
+    result = result.merge(check_causal_prefix(trace))
+    for group in groups if groups is not None else trace.groups():
+        expected = view_agreement_sets.get(group) if view_agreement_sets else None
+        result = result.merge(check_total_order(trace, group))
+        result = result.merge(check_view_sequences(trace, group, expected))
+        result = result.merge(check_same_view_delivery_sets(trace, group, expected))
+    return result

@@ -1,0 +1,105 @@
+"""Per-message protocol-overhead models (§6 comparison).
+
+One of the paper's central comparative claims is that Newtop's per-message
+protocol information is *small and bounded*: a sender id, a group id, one
+Lamport number and one stability hint -- independent of group size, of the
+number of groups a process belongs to and of how groups overlap.  The
+protocols it is compared against pay more:
+
+* **ISIS CBCAST/ABCAST** [4] piggybacks a *vector clock* with one entry per
+  group member -- and with overlapping groups, entries for every member of
+  every overlapping group the sender belongs to;
+* **Psync / Trans-style context graphs** [15, 17, 1, 12] piggyback the ids
+  of the message's direct causal predecessors in the context graph;
+* **causal piggybacking** (the alternative Newtop explicitly rejects for
+  MD5', §3) appends every causally preceding *unstable message* to each
+  multicast.
+
+These functions compute the overhead in bytes under one consistent field
+model (:mod:`repro.core.messages`), so the E7 benchmark can plot all four
+on the same axis.  They are analytic models, but the Newtop and baseline
+implementations also report their actually-transmitted bytes, and the E7
+benchmark cross-checks the two.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.messages import MESSAGE_ID_BYTES, SCALAR_BYTES, TAG_BYTES
+
+
+def newtop_overhead_bytes(
+    group_size: int,
+    groups_per_process: int = 1,
+    asymmetric: bool = False,
+) -> int:
+    """Protocol bytes Newtop adds to one application multicast.
+
+    Independent of both ``group_size`` and ``groups_per_process`` -- that is
+    the point.  The parameters are accepted (and ignored) so benchmark
+    sweeps can call every model uniformly.  Sequenced (asymmetric)
+    multicasts carry one extra identifier (the sequencer) and the echoed
+    request id.
+    """
+    overhead = 4 * SCALAR_BYTES + MESSAGE_ID_BYTES + TAG_BYTES
+    if asymmetric:
+        overhead += SCALAR_BYTES + MESSAGE_ID_BYTES
+    return overhead
+
+
+def isis_overhead_bytes(
+    group_size: int,
+    groups_per_process: int = 1,
+    members_per_other_group: Optional[int] = None,
+) -> int:
+    """Protocol bytes an ISIS-style vector-clock multicast carries.
+
+    The CBCAST vector timestamp has one entry per member of the sender's
+    group; with overlapping groups the sender must ship timestamps covering
+    every group it belongs to (one entry per distinct member).  ABCAST adds
+    a sequencer field on top.
+    """
+    if members_per_other_group is None:
+        members_per_other_group = group_size
+    distinct_members = group_size + max(0, groups_per_process - 1) * max(
+        0, members_per_other_group - 1
+    )
+    vector_bytes = distinct_members * SCALAR_BYTES
+    base = 3 * SCALAR_BYTES + MESSAGE_ID_BYTES + TAG_BYTES
+    return base + vector_bytes
+
+
+def psync_overhead_bytes(
+    group_size: int,
+    groups_per_process: int = 1,
+    average_predecessors: Optional[float] = None,
+) -> int:
+    """Protocol bytes a Psync-style context-graph multicast carries.
+
+    Each message names its direct predecessors in the context graph.  With
+    all members active, a new message typically has on the order of
+    ``group_size - 1`` predecessors (the latest message from each other
+    member); callers can override ``average_predecessors`` with a measured
+    value.
+    """
+    if average_predecessors is None:
+        average_predecessors = max(1.0, float(group_size - 1))
+    predecessor_bytes = int(round(average_predecessors)) * MESSAGE_ID_BYTES
+    base = 3 * SCALAR_BYTES + MESSAGE_ID_BYTES + TAG_BYTES
+    return base + predecessor_bytes
+
+
+def piggyback_overhead_bytes(
+    group_size: int,
+    unstable_messages: int,
+    average_message_bytes: int = 64,
+) -> int:
+    """Protocol bytes when every multicast carries its causally preceding
+    unstable messages (the mechanism Newtop rejects in §3).
+
+    ``unstable_messages`` is the number of causally preceding messages not
+    yet known stable at send time; each is shipped whole.
+    """
+    base = 3 * SCALAR_BYTES + MESSAGE_ID_BYTES + TAG_BYTES
+    return base + unstable_messages * (average_message_bytes + MESSAGE_ID_BYTES)

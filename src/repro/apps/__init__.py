@@ -1,0 +1,27 @@
+"""Example applications built on the Newtop public API.
+
+These are the applications the paper's motivation section appeals to:
+
+* :mod:`repro.apps.replicated_state_machine` -- a generic replicated state
+  machine: commands multicast in a group are applied in delivery order, so
+  total order keeps replicas identical ("Replica management is a well known
+  application of total order protocols", §2).
+* :mod:`repro.apps.replicated_store` -- a replicated key-value store built
+  on the state machine, used by the quickstart and several benchmarks.
+* :mod:`repro.apps.server_migration` -- the paper's Fig. 1 scenario: moving
+  a replica of a live server group to a new machine by forming an
+  overlapping group, transferring state, and departing the old group
+  without interrupting service.
+"""
+
+from repro.apps.replicated_state_machine import ReplicatedStateMachine, StateMachineReplica
+from repro.apps.replicated_store import ReplicatedStore
+from repro.apps.server_migration import MigrationReport, ServerMigrationScenario
+
+__all__ = [
+    "MigrationReport",
+    "ReplicatedStateMachine",
+    "ReplicatedStore",
+    "ServerMigrationScenario",
+    "StateMachineReplica",
+]

@@ -1,0 +1,150 @@
+"""Replicated state machines on Newtop total-order multicast.
+
+The classic use of a total-order protocol (§2 of the paper): every replica
+starts from the same initial state, commands are multicast in the replica
+group, and each replica applies commands in its (identical) delivery order,
+so all replicas move through the same sequence of states.
+
+Two pieces:
+
+* :class:`ReplicatedStateMachine` -- the application-facing handle for one
+  replica: ``submit(command)`` multicasts a command, ``state`` exposes the
+  current state, ``applied_log`` the sequence of applied commands.
+* :class:`StateMachineReplica` -- glue registered as the Newtop delivery
+  callback; separated out so tests can drive it directly.
+
+The state machine is deliberately generic: the caller supplies an
+``apply(state, command) -> state`` function (pure, deterministic), which is
+all determinism requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.process import NewtopProcess
+
+#: A pure transition function: (state, command) -> new state.
+ApplyFunction = Callable[[Any, Any], Any]
+
+
+@dataclass
+class AppliedCommand:
+    """One command applied by a replica, with its provenance."""
+
+    command: Any
+    sender: str
+    msg_id: str
+    resulting_state_digest: str
+
+
+def _digest(state: Any) -> str:
+    """A cheap deterministic digest of a state, for replica comparison."""
+    return repr(state)
+
+
+class StateMachineReplica:
+    """Applies delivered commands of one group to a local state."""
+
+    def __init__(self, initial_state: Any, apply_function: ApplyFunction, group_id: str) -> None:
+        self.group_id = group_id
+        self.state = initial_state
+        self.apply_function = apply_function
+        self.applied_log: List[AppliedCommand] = []
+
+    def on_delivery(self, group: str, sender: str, payload: object, msg_id: str) -> None:
+        """Newtop delivery callback: apply commands for our group only."""
+        if group != self.group_id:
+            return
+        self.state = self.apply_function(self.state, payload)
+        self.applied_log.append(
+            AppliedCommand(
+                command=payload,
+                sender=sender,
+                msg_id=msg_id,
+                resulting_state_digest=_digest(self.state),
+            )
+        )
+
+    @property
+    def state_digest(self) -> str:
+        """Digest of the current state (equal digests => equal states)."""
+        return _digest(self.state)
+
+    def applied_ids(self) -> List[str]:
+        """Message ids applied so far, in application order."""
+        return [entry.msg_id for entry in self.applied_log]
+
+
+class ReplicatedStateMachine:
+    """One replica of a replicated state machine, bound to a Newtop process.
+
+    Example::
+
+        rsm = ReplicatedStateMachine(
+            process, "bank", initial_state=0,
+            apply_function=lambda balance, delta: balance + delta,
+        )
+        rsm.submit(+100)
+    """
+
+    def __init__(
+        self,
+        process: NewtopProcess,
+        group_id: str,
+        initial_state: Any,
+        apply_function: ApplyFunction,
+    ) -> None:
+        self.process = process
+        self.group_id = group_id
+        self.replica = StateMachineReplica(initial_state, apply_function, group_id)
+        process.add_delivery_callback(self.replica.on_delivery)
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+    def submit(self, command: Any) -> Optional[str]:
+        """Multicast a command to all replicas; it is applied everywhere in
+        the same total order (returns the message id, or ``None`` if the
+        send was deferred by the protocol)."""
+        return self.process.multicast(self.group_id, command)
+
+    @property
+    def state(self) -> Any:
+        """The replica's current state."""
+        return self.replica.state
+
+    @property
+    def state_digest(self) -> str:
+        """Digest of the current state, for cross-replica comparison."""
+        return self.replica.state_digest
+
+    @property
+    def applied_log(self) -> List[AppliedCommand]:
+        """Commands applied so far, in application order."""
+        return self.replica.applied_log
+
+    def applied_ids(self) -> List[str]:
+        """Message ids applied so far, in application order."""
+        return self.replica.applied_ids()
+
+    # ------------------------------------------------------------------
+    # Convenience for tests and benchmarks
+    # ------------------------------------------------------------------
+    @staticmethod
+    def replicas_agree(replicas: List["ReplicatedStateMachine"]) -> bool:
+        """Whether all replicas that applied the same number of commands are
+        in identical states, and shorter logs are prefixes of longer ones."""
+        logs = sorted((replica.applied_ids() for replica in replicas), key=len)
+        for shorter, longer in zip(logs, logs[1:]):
+            if longer[: len(shorter)] != shorter:
+                return False
+        by_length: Dict[int, str] = {}
+        for replica in replicas:
+            length = len(replica.applied_log)
+            digest = replica.state_digest
+            if length in by_length and by_length[length] != digest:
+                return False
+            by_length[length] = digest
+        return True

@@ -1,0 +1,96 @@
+"""A replicated key-value store built on the replicated state machine.
+
+The store supports ``set``, ``delete`` and ``increment`` operations; every
+operation is a command multicast in the store's replica group and applied
+in Newtop's total delivery order, so all replicas converge to the same map
+without any further coordination.  Reads are served locally (they reflect
+the replica's applied prefix -- the usual RSM read semantics; linearizable
+reads would be issued as commands too, which `read_via_multicast` does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.apps.replicated_state_machine import ReplicatedStateMachine
+from repro.core.process import NewtopProcess
+
+
+def _apply_store_command(state: Dict[str, Any], command: Tuple) -> Dict[str, Any]:
+    """Pure transition function for the key-value store.
+
+    Commands are tuples: ``("set", key, value)``, ``("delete", key)``,
+    ``("increment", key, amount)`` and ``("noop",)``.  Unknown commands are
+    ignored (forward compatibility), mirroring how a production store would
+    skip unknown-but-committed entries rather than diverge.
+    """
+    new_state = dict(state)
+    if not command:
+        return new_state
+    operation = command[0]
+    if operation == "set" and len(command) == 3:
+        new_state[command[1]] = command[2]
+    elif operation == "delete" and len(command) == 2:
+        new_state.pop(command[1], None)
+    elif operation == "increment" and len(command) == 3:
+        new_state[command[1]] = new_state.get(command[1], 0) + command[2]
+    elif operation == "noop":
+        pass
+    return new_state
+
+
+class ReplicatedStore:
+    """One replica of the key-value store."""
+
+    def __init__(self, process: NewtopProcess, group_id: str) -> None:
+        self.process = process
+        self.group_id = group_id
+        self.rsm = ReplicatedStateMachine(
+            process, group_id, initial_state={}, apply_function=_apply_store_command
+        )
+
+    # ------------------------------------------------------------------
+    # Mutations (multicast as commands)
+    # ------------------------------------------------------------------
+    def set(self, key: str, value: Any) -> Optional[str]:
+        """Replicate ``key = value``."""
+        return self.rsm.submit(("set", key, value))
+
+    def delete(self, key: str) -> Optional[str]:
+        """Replicate deletion of ``key``."""
+        return self.rsm.submit(("delete", key))
+
+    def increment(self, key: str, amount: int = 1) -> Optional[str]:
+        """Replicate an increment of the integer at ``key``."""
+        return self.rsm.submit(("increment", key, amount))
+
+    def read_via_multicast(self, key: str) -> Optional[str]:
+        """Issue a no-op command; once it is applied locally, a local read
+        of ``key`` reflects every write ordered before it (a simple way to
+        get an ordered read without a separate read protocol)."""
+        return self.rsm.submit(("noop",))
+
+    # ------------------------------------------------------------------
+    # Local reads
+    # ------------------------------------------------------------------
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read ``key`` from the locally applied state."""
+        return self.rsm.state.get(key, default)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Copy of the locally applied state."""
+        return dict(self.rsm.state)
+
+    def applied_operations(self) -> int:
+        """Number of operations applied locally so far."""
+        return len(self.rsm.applied_log)
+
+    # ------------------------------------------------------------------
+    # Convergence helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def converged(stores: List["ReplicatedStore"]) -> bool:
+        """Whether every replica that applied the same number of operations
+        holds an identical map (and logs are prefix-consistent)."""
+        return ReplicatedStateMachine.replicas_agree([store.rsm for store in stores])

@@ -1,0 +1,40 @@
+"""Baseline protocols Newtop is compared against in §6 of the paper.
+
+Each baseline is a small, self-contained protocol implementation running on
+the same simulated substrate (:mod:`repro.net`) as Newtop, so the benchmark
+harness can compare message overhead, message counts and delivery latency
+under identical network conditions:
+
+* :mod:`repro.baselines.isis` -- ISIS-style causal multicast with vector
+  clocks plus a sequencer for total order (CBCAST/ABCAST [4]).
+* :mod:`repro.baselines.psync` -- Psync/Consul-style context-graph
+  multicast: messages carry their direct causal predecessors [15, 17].
+* :mod:`repro.baselines.lamport_ack` -- the classic Lamport total-order
+  protocol with explicit acknowledgements from every member.
+* :mod:`repro.baselines.fixed_sequencer` -- a plain single-group fixed
+  sequencer (the textbook asymmetric protocol Newtop generalises).
+* :mod:`repro.baselines.propagation_graph` -- Garcia-Molina & Spauster
+  style propagation-graph ordering for overlapping groups [9].
+* :mod:`repro.baselines.primary_partition` -- the primary-partition
+  membership policy [14, 18] Newtop's partitionable membership is
+  contrasted with.
+"""
+
+from repro.baselines.base import BaselineCluster, BaselineProcess
+from repro.baselines.fixed_sequencer import FixedSequencerProcess
+from repro.baselines.isis import IsisProcess
+from repro.baselines.lamport_ack import LamportAckProcess
+from repro.baselines.propagation_graph import PropagationGraphNetwork
+from repro.baselines.primary_partition import PrimaryPartitionMembership
+from repro.baselines.psync import PsyncProcess
+
+__all__ = [
+    "BaselineCluster",
+    "BaselineProcess",
+    "FixedSequencerProcess",
+    "IsisProcess",
+    "LamportAckProcess",
+    "PrimaryPartitionMembership",
+    "PropagationGraphNetwork",
+    "PsyncProcess",
+]

@@ -1,0 +1,175 @@
+"""Common scaffolding for the baseline protocols.
+
+Every baseline is a single-group total-order multicast protocol exposing
+the same minimal surface:
+
+* ``multicast(payload) -> message id``
+* ``delivered`` -- payload/message records in local delivery order
+* ``protocol_bytes_sent`` -- protocol-overhead bytes this process has put
+  on the wire (the quantity compared in experiment E7)
+
+so the benchmark harness can treat Newtop and every baseline uniformly.
+:class:`BaselineCluster` wires up a set of identical baseline processes on
+one simulated network, mirroring :class:`repro.core.cluster.NewtopCluster`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Type
+
+from repro.net.latency import LatencyModel
+from repro.net.network import Network, NetworkConfig
+from repro.net.simulator import Simulator
+from repro.net.transport import Endpoint, Transport, TransportMessage
+
+_baseline_message_counter = itertools.count(1)
+
+
+def next_baseline_message_id(sender: str) -> str:
+    """Globally unique message id for baseline protocols."""
+    return f"{sender}~{next(_baseline_message_counter)}"
+
+
+@dataclass
+class BaselineDelivery:
+    """One delivery made by a baseline process."""
+
+    msg_id: str
+    sender: str
+    payload: object
+    time: float
+
+
+class BaselineProcess:
+    """Base class for single-group baseline protocol processes."""
+
+    #: Name used in benchmark tables; subclasses override.
+    protocol_name = "baseline"
+
+    def __init__(
+        self,
+        process_id: str,
+        sim: Simulator,
+        transport: Transport,
+        members: Sequence[str],
+    ) -> None:
+        self.process_id = process_id
+        self.sim = sim
+        self.members = tuple(sorted(members))
+        self.endpoint: Endpoint = transport.endpoint(process_id)
+        self.endpoint.register_handler("baseline", self._on_transport_message)
+        self.delivered: List[BaselineDelivery] = []
+        self.sent_count = 0
+        self.protocol_bytes_sent = 0
+        self.payload_bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Interface used by benchmarks
+    # ------------------------------------------------------------------
+    def multicast(self, payload: object) -> str:
+        """Disseminate ``payload`` to the group; returns the message id."""
+        raise NotImplementedError
+
+    def delivered_payloads(self) -> List[object]:
+        """Payloads delivered so far, in local delivery order."""
+        return [delivery.payload for delivery in self.delivered]
+
+    def delivered_ids(self) -> List[str]:
+        """Message ids delivered so far, in local delivery order."""
+        return [delivery.msg_id for delivery in self.delivered]
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses
+    # ------------------------------------------------------------------
+    def _other_members(self) -> List[str]:
+        return [member for member in self.members if member != self.process_id]
+
+    def _send(self, dst: str, payload: object, overhead_bytes: int, payload_bytes: int = 0) -> None:
+        self.protocol_bytes_sent += overhead_bytes
+        self.payload_bytes_sent += payload_bytes
+        self.endpoint.send(
+            dst, payload, channel="baseline", size_bytes=overhead_bytes + payload_bytes
+        )
+
+    def _broadcast(self, payload: object, overhead_bytes: int, payload_bytes: int = 0) -> None:
+        for member in self._other_members():
+            self._send(member, payload, overhead_bytes, payload_bytes)
+
+    def _deliver(self, msg_id: str, sender: str, payload: object) -> None:
+        self.delivered.append(
+            BaselineDelivery(msg_id=msg_id, sender=sender, payload=payload, time=self.sim.now)
+        )
+
+    # ------------------------------------------------------------------
+    # Transport ingress
+    # ------------------------------------------------------------------
+    def _on_transport_message(self, tmsg: TransportMessage) -> None:
+        self.on_message(tmsg.src, tmsg.payload)
+
+    def on_message(self, src: str, payload: object) -> None:
+        """Handle one protocol message from ``src`` (subclass hook)."""
+        raise NotImplementedError
+
+
+class BaselineCluster:
+    """A group of identical baseline processes on one simulated network."""
+
+    def __init__(
+        self,
+        process_class: Type[BaselineProcess],
+        process_ids: Sequence[str],
+        latency_model: Optional[LatencyModel] = None,
+        seed: int = 0,
+        **process_kwargs,
+    ) -> None:
+        self.sim = Simulator(seed=seed)
+        network_config = NetworkConfig()
+        if latency_model is not None:
+            network_config.latency_model = latency_model
+        self.network = Network(self.sim, network_config)
+        self.transport = Transport(self.network)
+        self.processes: Dict[str, BaselineProcess] = {}
+        for process_id in process_ids:
+            self.processes[process_id] = process_class(
+                process_id, self.sim, self.transport, process_ids, **process_kwargs
+            )
+
+    def __getitem__(self, process_id: str) -> BaselineProcess:
+        return self.processes[process_id]
+
+    def __iter__(self):
+        return iter(self.processes.values())
+
+    def run(self, duration: float) -> None:
+        """Advance simulated time by ``duration``."""
+        self.sim.run(until=self.sim.now + duration)
+
+    def run_until_all_delivered(self, expected: int, timeout: float = 500.0) -> bool:
+        """Run until every process has made at least ``expected`` deliveries."""
+        return self.sim.run_until(
+            lambda: all(len(process.delivered) >= expected for process in self),
+            timeout,
+        )
+
+    def total_protocol_bytes(self) -> int:
+        """Protocol-overhead bytes transmitted by all processes."""
+        return sum(process.protocol_bytes_sent for process in self)
+
+    def total_messages_sent(self) -> int:
+        """Network messages transmitted (from the network's counters)."""
+        return self.network.stats.messages_sent
+
+    def delivery_orders_agree(self) -> bool:
+        """Whether every pair of processes agrees on the relative order of
+        the messages they both delivered (the baseline's own sanity check)."""
+        orders = [process.delivered_ids() for process in self]
+        for i, first in enumerate(orders):
+            for second in orders[i + 1 :]:
+                common = set(first) & set(second)
+                first_common = [msg for msg in first if msg in common]
+                second_common = [msg for msg in second if msg in common]
+                if first_common != second_common:
+                    return False
+        return True

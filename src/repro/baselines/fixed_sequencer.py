@@ -1,0 +1,122 @@
+"""Plain fixed-sequencer total order (single group) baseline.
+
+"The main idea behind the protocol for single group members has been known
+for a long time" (§4.2): members unicast their messages to a fixed
+sequencer, the sequencer stamps a global sequence number and multicasts,
+and members deliver strictly in sequence-number order.  Newtop's asymmetric
+mode reduces to this in a single group; the interesting differences appear
+with overlapping groups (Newtop needs no common or coordinating sequencers)
+and under sequencer failure (Newtop's membership service handles it), which
+the benchmarks exercise via the Newtop implementation itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.base import BaselineProcess, next_baseline_message_id
+from repro.core.messages import MESSAGE_ID_BYTES, SCALAR_BYTES, TAG_BYTES, estimate_payload_bytes
+
+
+@dataclass(frozen=True)
+class _SequencerSubmit:
+    """A member's submission to the sequencer."""
+
+    msg_id: str
+    sender: str
+    payload: object
+
+    def overhead_bytes(self) -> int:
+        return MESSAGE_ID_BYTES + SCALAR_BYTES + TAG_BYTES
+
+
+@dataclass(frozen=True)
+class _SequencedBroadcast:
+    """The sequencer's numbered multicast."""
+
+    msg_id: str
+    sender: str
+    sequence: int
+    payload: object
+
+    def overhead_bytes(self) -> int:
+        return MESSAGE_ID_BYTES + 2 * SCALAR_BYTES + TAG_BYTES
+
+
+class FixedSequencerProcess(BaselineProcess):
+    """One member of a classic fixed-sequencer group."""
+
+    protocol_name = "fixed_sequencer"
+
+    def __init__(self, process_id, sim, transport, members) -> None:
+        super().__init__(process_id, sim, transport, members)
+        self._sequence_counter = 0
+        self._next_expected = 1
+        self._out_of_order: Dict[int, _SequencedBroadcast] = {}
+
+    @property
+    def sequencer(self) -> str:
+        """The fixed sequencer (smallest member id)."""
+        return self.members[0]
+
+    @property
+    def is_sequencer(self) -> bool:
+        """Whether this process is the sequencer."""
+        return self.process_id == self.sequencer
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def multicast(self, payload: object) -> str:
+        """Submit to the sequencer (or sequence directly if we are it)."""
+        msg_id = next_baseline_message_id(self.process_id)
+        self.sent_count += 1
+        if self.is_sequencer:
+            self._sequence_and_broadcast(msg_id, self.process_id, payload)
+        else:
+            submit = _SequencerSubmit(msg_id=msg_id, sender=self.process_id, payload=payload)
+            self._send(
+                self.sequencer,
+                submit,
+                overhead_bytes=submit.overhead_bytes(),
+                payload_bytes=estimate_payload_bytes(payload),
+            )
+        return msg_id
+
+    def _sequence_and_broadcast(self, msg_id: str, sender: str, payload: object) -> None:
+        self._sequence_counter += 1
+        broadcast = _SequencedBroadcast(
+            msg_id=msg_id, sender=sender, sequence=self._sequence_counter, payload=payload
+        )
+        self._broadcast(
+            broadcast,
+            overhead_bytes=broadcast.overhead_bytes(),
+            payload_bytes=estimate_payload_bytes(payload),
+        )
+        self._accept(broadcast)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def on_message(self, src: str, payload: object) -> None:
+        if isinstance(payload, _SequencerSubmit):
+            if self.is_sequencer:
+                self._sequence_and_broadcast(payload.msg_id, payload.sender, payload.payload)
+        elif isinstance(payload, _SequencedBroadcast):
+            self._accept(payload)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected fixed-sequencer payload {payload!r}")
+
+    def _accept(self, broadcast: _SequencedBroadcast) -> None:
+        self._out_of_order[broadcast.sequence] = broadcast
+        while self._next_expected in self._out_of_order:
+            message = self._out_of_order.pop(self._next_expected)
+            self._next_expected += 1
+            self._deliver(message.msg_id, message.sender, message.payload)
+
+    def per_message_overhead_bytes(self) -> int:
+        """Protocol bytes per multicast (submission plus numbered broadcast)."""
+        return (MESSAGE_ID_BYTES + SCALAR_BYTES + TAG_BYTES) + (
+            MESSAGE_ID_BYTES + 2 * SCALAR_BYTES + TAG_BYTES
+        )

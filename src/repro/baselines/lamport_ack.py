@@ -1,0 +1,156 @@
+"""Classic Lamport total-order multicast with explicit acknowledgements.
+
+The textbook symmetric total-order protocol derived from Lamport's mutual
+exclusion algorithm [10]: every multicast is timestamped with the sender's
+Lamport clock; every receiver acknowledges every multicast to every member;
+a message is delivered once (a) it has the smallest (timestamp, sender)
+among undelivered messages and (b) acknowledgements carrying larger
+timestamps have been received from every member.
+
+This baseline exists to quantify what Newtop's time-silence design buys:
+Newtop needs no per-message acknowledgements at all when traffic is flowing
+(messages themselves carry the progress information), whereas the explicit
+ack scheme costs ``n*(n-1)`` extra messages per multicast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.base import BaselineProcess, next_baseline_message_id
+from repro.core.messages import MESSAGE_ID_BYTES, SCALAR_BYTES, TAG_BYTES, estimate_payload_bytes
+
+
+@dataclass(frozen=True)
+class _TimestampedMessage:
+    """A multicast carrying its sender's Lamport timestamp."""
+
+    msg_id: str
+    sender: str
+    timestamp: int
+    payload: object
+
+    def overhead_bytes(self) -> int:
+        return MESSAGE_ID_BYTES + 2 * SCALAR_BYTES + TAG_BYTES
+
+
+@dataclass(frozen=True)
+class _Acknowledgement:
+    """An acknowledgement of one multicast, carrying the acker's clock."""
+
+    msg_id: str
+    acker: str
+    timestamp: int
+
+    def overhead_bytes(self) -> int:
+        return MESSAGE_ID_BYTES + 2 * SCALAR_BYTES + TAG_BYTES
+
+
+class LamportAckProcess(BaselineProcess):
+    """One member of a Lamport all-ack total-order group."""
+
+    protocol_name = "lamport_ack"
+
+    def __init__(self, process_id, sim, transport, members) -> None:
+        super().__init__(process_id, sim, transport, members)
+        self._clock = 0
+        #: Undelivered messages by id.
+        self._queue: Dict[str, _TimestampedMessage] = {}
+        #: Ackers seen per message id.
+        self._acks: Dict[str, set] = {}
+        #: Largest timestamp seen from each member (message or ack).
+        self._latest_from: Dict[str, int] = {member: 0 for member in self.members}
+        self.ack_messages_sent = 0
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def multicast(self, payload: object) -> str:
+        """Timestamp and multicast the payload; ack it locally."""
+        self._clock += 1
+        message = _TimestampedMessage(
+            msg_id=next_baseline_message_id(self.process_id),
+            sender=self.process_id,
+            timestamp=self._clock,
+            payload=payload,
+        )
+        self.sent_count += 1
+        self._broadcast(
+            message,
+            overhead_bytes=message.overhead_bytes(),
+            payload_bytes=estimate_payload_bytes(payload),
+        )
+        self._accept(message)
+        return message.msg_id
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def on_message(self, src: str, payload: object) -> None:
+        if isinstance(payload, _TimestampedMessage):
+            self._clock = max(self._clock, payload.timestamp)
+            self._accept(payload)
+            self._send_ack(payload)
+        elif isinstance(payload, _Acknowledgement):
+            self._clock = max(self._clock, payload.timestamp)
+            self._acks.setdefault(payload.msg_id, set()).add(payload.acker)
+            self._latest_from[payload.acker] = max(
+                self._latest_from.get(payload.acker, 0), payload.timestamp
+            )
+            self._drain()
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected Lamport-ack payload {payload!r}")
+
+    def _accept(self, message: _TimestampedMessage) -> None:
+        self._queue[message.msg_id] = message
+        self._acks.setdefault(message.msg_id, set()).add(message.sender)
+        self._acks[message.msg_id].add(self.process_id)
+        self._latest_from[message.sender] = max(
+            self._latest_from.get(message.sender, 0), message.timestamp
+        )
+        self._drain()
+
+    def _send_ack(self, message: _TimestampedMessage) -> None:
+        self._clock += 1
+        ack = _Acknowledgement(
+            msg_id=message.msg_id, acker=self.process_id, timestamp=self._clock
+        )
+        self.ack_messages_sent += len(self._other_members())
+        self._broadcast(ack, overhead_bytes=ack.overhead_bytes())
+        self._latest_from[self.process_id] = self._clock
+        self._drain()
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def _deliverable(self, message: _TimestampedMessage) -> bool:
+        # Every member must have acknowledged the message (or be its
+        # sender), and we must have heard something newer than the
+        # message's timestamp from every member, so nothing earlier can
+        # still arrive.
+        if self._acks.get(message.msg_id, set()) != set(self.members):
+            return False
+        return all(
+            self._latest_from.get(member, 0) >= message.timestamp
+            for member in self.members
+        )
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if not self._queue:
+                return
+            head = min(self._queue.values(), key=lambda m: (m.timestamp, m.sender, m.msg_id))
+            if self._deliverable(head):
+                del self._queue[head.msg_id]
+                self._acks.pop(head.msg_id, None)
+                self._deliver(head.msg_id, head.sender, head.payload)
+                progressed = True
+
+    def per_message_overhead_bytes(self) -> int:
+        """Protocol bytes per multicast including the fan-out of acks."""
+        message_overhead = MESSAGE_ID_BYTES + 2 * SCALAR_BYTES + TAG_BYTES
+        ack_overhead = MESSAGE_ID_BYTES + 2 * SCALAR_BYTES + TAG_BYTES
+        return message_overhead + len(self.members) * ack_overhead

@@ -1,0 +1,118 @@
+"""Primary-partition membership policy baseline.
+
+§6: Newtop's membership service lets *every* connected subgroup keep
+operating after a partition, leaving their fate to the application.
+"Primary-partition" protocols [14, 18] instead allow continued operation
+only in the unique subgroup that can prove it is the primary -- typically
+the one containing a strict majority of the previous view -- so a partition
+with no majority side halts the whole group.
+
+This module models that policy (not a full protocol: the policy is the
+point of comparison) so experiment E16 can quantify availability under the
+same partition scenarios run against Newtop: which sides may continue,
+which processes are blocked, and the resulting availability fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class PartitionOutcome:
+    """The fate of one partition component under a membership policy."""
+
+    members: frozenset
+    may_continue: bool
+    reason: str
+
+
+class PrimaryPartitionMembership:
+    """Majority-based primary-partition membership policy.
+
+    The policy is evaluated against the last agreed view: a component may
+    continue if and only if it contains a strict majority of that view
+    (weighted variants can be expressed by passing ``weights``).
+    """
+
+    def __init__(self, view: Iterable[str], weights: Optional[Dict[str, float]] = None) -> None:
+        self.view: Tuple[str, ...] = tuple(sorted(set(view)))
+        if not self.view:
+            raise ValueError("the view must contain at least one member")
+        self.weights = dict(weights) if weights else {member: 1.0 for member in self.view}
+        for member in self.view:
+            self.weights.setdefault(member, 1.0)
+
+    @property
+    def total_weight(self) -> float:
+        """Total weight of the current view."""
+        return sum(self.weights[member] for member in self.view)
+
+    def component_weight(self, component: Iterable[str]) -> float:
+        """Weight of a component, counting only current view members."""
+        return sum(self.weights[member] for member in component if member in self.view)
+
+    def is_primary(self, component: Iterable[str]) -> bool:
+        """Whether ``component`` holds a strict majority of the view."""
+        return self.component_weight(component) > self.total_weight / 2.0
+
+    def evaluate(self, components: Sequence[Iterable[str]]) -> List[PartitionOutcome]:
+        """Decide, for each component, whether it may continue operating."""
+        outcomes: List[PartitionOutcome] = []
+        for component in components:
+            members = frozenset(member for member in component if member in self.view)
+            if not members:
+                outcomes.append(
+                    PartitionOutcome(
+                        members=frozenset(component),
+                        may_continue=False,
+                        reason="no members of the current view",
+                    )
+                )
+                continue
+            if self.is_primary(members):
+                outcomes.append(
+                    PartitionOutcome(
+                        members=members,
+                        may_continue=True,
+                        reason="holds a strict majority of the view",
+                    )
+                )
+            else:
+                outcomes.append(
+                    PartitionOutcome(
+                        members=members,
+                        may_continue=False,
+                        reason="lacks a majority of the view",
+                    )
+                )
+        return outcomes
+
+    def available_processes(self, components: Sequence[Iterable[str]]) -> Set[str]:
+        """Processes allowed to keep processing under the policy."""
+        available: Set[str] = set()
+        for outcome in self.evaluate(components):
+            if outcome.may_continue:
+                available |= set(outcome.members)
+        return available
+
+    def availability_fraction(self, components: Sequence[Iterable[str]]) -> float:
+        """Fraction of view members that may continue operating."""
+        return len(self.available_processes(components)) / len(self.view)
+
+    @staticmethod
+    def newtop_availability_fraction(
+        view: Iterable[str], components: Sequence[Iterable[str]]
+    ) -> float:
+        """Newtop's counterpart: every connected component keeps operating
+        (the application decides their fate), so every functioning process
+        remains available."""
+        members = set(view)
+        connected = set()
+        for component in components:
+            connected |= set(component) & members
+        return len(connected) / len(members) if members else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PrimaryPartitionMembership(view={list(self.view)})"

@@ -1,0 +1,160 @@
+"""Psync-style context-graph multicast baseline.
+
+Models the mechanism of Psync / Consul [15, 17] (and the Trans/Total family
+[12]) that §6 contrasts with Newtop: every multicast explicitly names its
+*direct causal predecessors*, and receivers maintain the resulting directed
+acyclic *context graph*, delivering a message only once its predecessors
+have been delivered.  This gives causal (partial-order) delivery, which is
+what Psync itself provides; the total-order conversion layered on top by
+Consul/Total is not reproduced here because the comparison Newtop's paper
+draws (per-message overhead and graph bookkeeping for overlapping groups)
+is about the context-graph mechanism, not the conversion.  Deliveries
+within one process follow a deterministic wave rule over the graph.
+
+What the benchmark measures against Newtop:
+
+* per-message overhead: a predecessor-id list that grows with the number of
+  concurrent senders (vs Newtop's constant four scalars), and
+* the bookkeeping cost of maintaining the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.baselines.base import BaselineProcess, next_baseline_message_id
+from repro.core.messages import MESSAGE_ID_BYTES, SCALAR_BYTES, TAG_BYTES, estimate_payload_bytes
+
+
+@dataclass(frozen=True)
+class _ContextMessage:
+    """A multicast carrying its direct predecessors in the context graph."""
+
+    msg_id: str
+    sender: str
+    predecessors: Tuple[str, ...]
+    payload: object
+
+    def overhead_bytes(self) -> int:
+        return (
+            MESSAGE_ID_BYTES
+            + SCALAR_BYTES
+            + TAG_BYTES
+            + len(self.predecessors) * MESSAGE_ID_BYTES
+        )
+
+
+class PsyncProcess(BaselineProcess):
+    """One member of a Psync-style context-graph group."""
+
+    protocol_name = "psync"
+
+    def __init__(self, process_id, sim, transport, members) -> None:
+        super().__init__(process_id, sim, transport, members)
+        #: All messages seen (delivered or pending), by id.
+        self._known: Dict[str, _ContextMessage] = {}
+        #: Messages received but whose predecessors are not all delivered.
+        self._pending: Dict[str, _ContextMessage] = {}
+        #: Ids already delivered.
+        self._delivered_ids: Set[str] = set()
+        #: Current leaves of the local context graph: the messages a new
+        #: multicast from this process will name as predecessors.
+        self._leaves: Set[str] = set()
+        #: Generation number per delivered message (longest path from a
+        #: root), used for the deterministic total-order wave.
+        self._generation: Dict[str, int] = {}
+        #: Messages whose predecessors are delivered, awaiting the wave rule.
+        self._orderable: List[_ContextMessage] = []
+        self.max_predecessor_list = 0
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def multicast(self, payload: object) -> str:
+        """Multicast the payload, naming the current graph leaves."""
+        predecessors = tuple(sorted(self._leaves))
+        message = _ContextMessage(
+            msg_id=next_baseline_message_id(self.process_id),
+            sender=self.process_id,
+            predecessors=predecessors,
+            payload=payload,
+        )
+        self.max_predecessor_list = max(self.max_predecessor_list, len(predecessors))
+        self.sent_count += 1
+        self._broadcast(
+            message,
+            overhead_bytes=message.overhead_bytes(),
+            payload_bytes=estimate_payload_bytes(payload),
+        )
+        self._ingest(message)
+        return message.msg_id
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def on_message(self, src: str, payload: object) -> None:
+        if not isinstance(payload, _ContextMessage):  # pragma: no cover - defensive
+            raise TypeError(f"unexpected Psync payload {payload!r}")
+        self._ingest(payload)
+
+    def _ingest(self, message: _ContextMessage) -> None:
+        if message.msg_id in self._known:
+            return
+        self._known[message.msg_id] = message
+        self._pending[message.msg_id] = message
+        self._drain()
+
+    def _predecessors_delivered(self, message: _ContextMessage) -> bool:
+        return all(predecessor in self._delivered_ids for predecessor in message.predecessors)
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for message in list(self._pending.values()):
+                if self._predecessors_delivered(message):
+                    del self._pending[message.msg_id]
+                    self._orderable.append(message)
+                    progressed = True
+            progressed = self._deliver_wave() or progressed
+
+    def _deliver_wave(self) -> bool:
+        """Deliver orderable messages in (generation, sender, id) order.
+
+        Generation = 1 + max generation of predecessors; messages of the
+        same generation are ordered by sender id then message id, which is
+        the same deterministic rule at every process.
+        """
+        if not self._orderable:
+            return False
+        def wave_key(message: _ContextMessage) -> Tuple[int, str, str]:
+            generation = 1 + max(
+                (self._generation.get(predecessor, 0) for predecessor in message.predecessors),
+                default=0,
+            )
+            return (generation, message.sender, message.msg_id)
+
+        self._orderable.sort(key=wave_key)
+        delivered_any = False
+        while self._orderable:
+            message = self._orderable.pop(0)
+            generation = wave_key(message)[0]
+            self._generation[message.msg_id] = generation
+            self._delivered_ids.add(message.msg_id)
+            # The new message covers its predecessors, becoming a leaf.
+            self._leaves -= set(message.predecessors)
+            self._leaves.add(message.msg_id)
+            self._deliver(message.msg_id, message.sender, message.payload)
+            delivered_any = True
+        return delivered_any
+
+    def per_message_overhead_bytes(self) -> int:
+        """Overhead of one multicast with the currently observed leaf count."""
+        predecessor_count = max(1, len(self._leaves))
+        return (
+            MESSAGE_ID_BYTES
+            + SCALAR_BYTES
+            + TAG_BYTES
+            + predecessor_count * MESSAGE_ID_BYTES
+        )

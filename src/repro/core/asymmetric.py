@@ -1,0 +1,218 @@
+"""The asymmetric (sequencer-based) total-order engine (§4.2).
+
+One member of the group -- chosen deterministically from the current view,
+so every member with the same view picks the same process -- acts as the
+*sequencer*.  To multicast, a member unicasts its message to the sequencer;
+the sequencer re-numbers it with its own clock (CA1) and multicasts it to
+the whole view in the order the unicasts arrived.  Because the sequencer's
+numbers increase and its channels are FIFO, a member can deliver a
+sequenced message as soon as the cross-group bound (safe1') allows:
+``D_x,i`` is simply the number of the last message received from the
+sequencer.
+
+Newtop's twist over the classic fixed-sequencer scheme is that overlapping
+groups need *no* coordination between their sequencers and no common
+sequencer: the shared Lamport clock plus the Send Blocking Rule (enforced
+at the process level, see :mod:`repro.core.process`) are enough to keep
+cross-group delivery totally ordered (MD4').
+
+Fault tolerance for the asymmetric engine (sequencer failover, re-sending
+of unsequenced requests) goes beyond what the paper spells out -- §5 covers
+only the symmetric version "to save space" -- and is documented as an
+extension in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.messages import DataMessage, KIND_NULL, SequencerRequest
+from repro.core.ordering import OrderingEngine
+
+
+class AsymmetricOrdering(OrderingEngine):
+    """Sequencer-based total order for one group."""
+
+    def __init__(self, endpoint) -> None:
+        super().__init__(endpoint)
+        #: Number of the last sequenced message received (the paper's
+        #: ``D_x,i`` for asymmetric groups).
+        self.last_sequenced: int = 0
+        #: At the sequencer only: last ``origin_ldn`` reported by each
+        #: member, aggregated into the ``ldn`` of sequenced messages so
+        #: stability works group-wide.
+        self._member_ldn: Dict[str, int] = {
+            member: 0 for member in endpoint.view.members
+        }
+        #: Requests this process unicast that have not yet come back as a
+        #: sequenced multicast: request id -> (payload, kind).  Used to
+        #: re-send after a sequencer failover.
+        self._unsequenced: Dict[str, Tuple[object, str]] = {}
+
+    # ------------------------------------------------------------------
+    # Sequencer identity
+    # ------------------------------------------------------------------
+    def sequencer(self) -> str:
+        """The current sequencer: a deterministic choice from the view."""
+        return self.endpoint.view.sequencer()
+
+    def is_sequencer(self) -> bool:
+        """Whether the local process is the current sequencer."""
+        return self.sequencer() == self.endpoint.process.process_id
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+    def send(self, payload: object, kind: str) -> str:
+        """Disseminate a message: sequence it locally or unicast it to the
+        sequencer.
+
+        The sequencer "logically follows the same procedure, unicasting to
+        itself, and then multicasting" -- implemented as a direct local
+        sequencing step, which is behaviourally identical and avoids a
+        pointless network round-trip to self.
+        """
+        process = self.endpoint.process
+        if self.is_sequencer():
+            message = self._sequence_and_multicast(
+                origin=process.process_id,
+                payload=payload,
+                kind=kind,
+                origin_request=None,
+            )
+            return message.msg_id
+        origin_clock = process.clock.tick()
+        request = SequencerRequest.make(
+            origin=process.process_id,
+            group=self.endpoint.group_id,
+            origin_clock=origin_clock,
+            payload=payload,
+            kind=kind,
+            origin_ldn=self.ldn(),
+        )
+        if kind != KIND_NULL:
+            # Null requests are exempt from the blocking rules (they carry
+            # no application causality), so they are not tracked.
+            self._unsequenced[request.request_id] = (payload, kind)
+            process.note_unicast_outstanding(self.endpoint.group_id, request.request_id)
+        self.endpoint.send_to_member(self.sequencer(), request)
+        return request.request_id
+
+    def on_sequencer_request(self, request: SequencerRequest) -> None:
+        """Sequencer side: CA2 the origin's number, then sequence and
+        multicast the message in arrival order."""
+        process = self.endpoint.process
+        process.clock.observe(request.origin_clock)
+        if request.origin in self._member_ldn:
+            self._member_ldn[request.origin] = max(
+                self._member_ldn[request.origin], request.origin_ldn
+            )
+        self._sequence_and_multicast(
+            origin=request.origin,
+            payload=request.payload,
+            kind=request.kind,
+            origin_request=request.request_id,
+        )
+
+    def _sequence_and_multicast(
+        self,
+        origin: str,
+        payload: object,
+        kind: str,
+        origin_request: Optional[str],
+    ) -> DataMessage:
+        process = self.endpoint.process
+        clock = process.clock.tick()
+        message = DataMessage.sequenced(
+            origin=origin,
+            group=self.endpoint.group_id,
+            clock=clock,
+            ldn=self._aggregate_ldn(),
+            payload=payload,
+            kind=kind,
+            sequencer=process.process_id,
+            origin_request=origin_request,
+        )
+        self.endpoint.broadcast_data(message)
+        return message
+
+    def _aggregate_ldn(self) -> int:
+        """Group-wide stability bound: the minimum deliverable bound over
+        every member the sequencer has heard from, and its own."""
+        own = self.ldn()
+        if not self._member_ldn:
+            return own
+        return min(own, min(self._member_ldn.values()))
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def on_data(self, message: DataMessage) -> None:
+        """Advance ``D_x`` and clear Send-Blocking-Rule bookkeeping.
+
+        Only *sequenced* messages advance ``D_x``: during a sequencer
+        failover members may multicast liveness nulls directly (see the
+        endpoint), and those must not move the deliverable bound.
+        """
+        if message.sequenced_by is not None and message.clock > self.last_sequenced:
+            self.last_sequenced = message.clock
+        if (
+            message.origin_request is not None
+            and message.sender == self.endpoint.process.process_id
+        ):
+            self._unsequenced.pop(message.origin_request, None)
+            self.endpoint.process.note_unicast_sequenced(
+                self.endpoint.group_id, message.origin_request
+            )
+
+    # ------------------------------------------------------------------
+    # Deliverability
+    # ------------------------------------------------------------------
+    def deliverable_bound(self) -> float:
+        """``D_x,i`` = number of the last message received from the sequencer."""
+        return max(float(self.last_sequenced), self.d_floor)
+
+    # ------------------------------------------------------------------
+    # View changes / failover
+    # ------------------------------------------------------------------
+    def on_members_removed(self, removed: frozenset, threshold: int) -> None:
+        """Forget stability reports from removed members."""
+        for member in removed:
+            self._member_ldn.pop(member, None)
+
+    def on_view_installed(self) -> None:
+        """Sequencer failover: if the sequencer changed, re-send requests
+        that were never sequenced (or whose sequenced copies were discarded
+        by the failure agreement) to the new sequencer."""
+        process = self.endpoint.process
+        if self.is_sequencer():
+            # We just became the sequencer; nothing to re-send (our own
+            # sends sequence locally from now on).
+            pending = list(self._unsequenced.items())
+            self._unsequenced.clear()
+            for request_id, (payload, kind) in pending:
+                process.note_unicast_sequenced(self.endpoint.group_id, request_id)
+                self._sequence_and_multicast(
+                    origin=process.process_id,
+                    payload=payload,
+                    kind=kind,
+                    origin_request=request_id,
+                )
+            return
+        if not self._unsequenced:
+            return
+        pending = list(self._unsequenced.items())
+        self._unsequenced.clear()
+        for request_id, (payload, kind) in pending:
+            process.note_unicast_sequenced(self.endpoint.group_id, request_id)
+            self.send(payload, kind)
+
+    def unsequenced_requests(self) -> List[str]:
+        """Request ids awaiting sequencing (introspection for tests)."""
+        return sorted(self._unsequenced)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AsymmetricOrdering(group={self.endpoint.group_id!r}, "
+            f"sequencer={self.sequencer()!r}, D={self.deliverable_bound()})"
+        )

@@ -1,0 +1,109 @@
+"""Lamport logical clock (rules CA1 and CA2 of §4.1).
+
+Every Newtop process maintains exactly one logical clock, *regardless of
+how many groups it belongs to*; this is the key design decision that makes
+mixed symmetric/asymmetric operation and cross-group total order (MD4')
+possible with a single integer of per-message overhead.
+
+The two counter-advance rules from the paper:
+
+* **CA1** (on send): before sending ``m``, increment the clock by one and
+  stamp the new value into ``m.c``.
+* **CA2** (on receive): on receiving ``m``, set the clock to
+  ``max(clock, m.c)``.
+
+These yield the paper's properties pr1 and pr2, and hence
+``send(m) -> send(m')  =>  m.c < m'.c`` for any two messages in the system.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class LamportClock:
+    """A single Lamport counter shared by all of a process's groups."""
+
+    __slots__ = ("_value", "_ticks", "_observations")
+
+    def __init__(self, initial: int = 0) -> None:
+        if initial < 0:
+            raise ValueError(f"clock value must be non-negative (got {initial})")
+        self._value = initial
+        self._ticks = 0
+        self._observations = 0
+
+    # ------------------------------------------------------------------
+    # Counter-advance rules
+    # ------------------------------------------------------------------
+    def tick(self) -> int:
+        """CA1: advance the clock for a send and return the new value.
+
+        The returned value is the message number ``m.c`` to stamp on the
+        outgoing message.
+        """
+        self._value += 1
+        self._ticks += 1
+        return self._value
+
+    def observe(self, received_clock: int) -> int:
+        """CA2: fold in the number of a received message; return the clock.
+
+        Note CA2 takes the maximum *without* the extra increment some
+        Lamport-clock formulations use; the paper's CA2 is exactly
+        ``LC := max(LC, m.c)`` and the delivery conditions rely on that
+        (a process that only ever receives never outruns the senders).
+        """
+        if received_clock < 0:
+            raise ValueError(f"received clock must be non-negative (got {received_clock})")
+        if received_clock > self._value:
+            self._value = received_clock
+        self._observations += 1
+        return self._value
+
+    def advance_to(self, floor: int) -> int:
+        """Raise the clock to at least ``floor`` (used by group formation,
+        §5.3 step 5: "LCk is set to start-number-max if start-number-max is
+        larger")."""
+        if floor > self._value:
+            self._value = floor
+        return self._value
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> int:
+        """Current clock value (the number of the last send or the largest
+        number observed, whichever is greater)."""
+        return self._value
+
+    @property
+    def ticks(self) -> int:
+        """How many times CA1 has fired (messages sent by this process)."""
+        return self._ticks
+
+    @property
+    def observations(self) -> int:
+        """How many times CA2 has fired (messages received)."""
+        return self._observations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LamportClock(value={self._value})"
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LamportClock):
+            return self._value == other._value
+        if isinstance(other, int):
+            return self._value == other
+        return NotImplemented
+
+    def __lt__(self, other: "LamportClock | int") -> bool:
+        other_value = other._value if isinstance(other, LamportClock) else other
+        return self._value < other_value
+
+    def __hash__(self) -> int:
+        return hash(self._value)

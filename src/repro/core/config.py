@@ -1,0 +1,102 @@
+"""Configuration for Newtop processes.
+
+The paper leaves several quantities as deployment-time parameters; they are
+collected here with the paper's notation preserved where it exists:
+
+* ``omega`` -- the time-silence period ω: a process sends a null message in
+  a group if it has sent nothing there for ω time units (§4.1).
+* ``suspicion_timeout`` -- Ω, the failure-suspector timeout: a member is
+  suspected if nothing has been received from it for Ω (> ω) time units
+  (§5.2).  "In practice, Ω should be tuned to a value that minimises the
+  possibility of unfounded suspicions."
+* ordering mode defaults (symmetric vs asymmetric, §4.1/§4.2),
+* optional ISIS-style send blocking during view installation (§3 notes
+  Newtop *can* provide the closed form of virtual synchrony "at the
+  necessary expense of performance"),
+* flow-control window (§7 / reference [11]),
+* signature views (§6 extension for never-intersecting concurrent views).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigurationError
+
+
+class OrderingMode(enum.Enum):
+    """Which total-order protocol a group runs (per group, per §4.3)."""
+
+    #: Every member multicasts directly; delivery gated on receive vectors.
+    SYMMETRIC = "symmetric"
+    #: Members unicast to a deterministic sequencer which re-multicasts.
+    ASYMMETRIC = "asymmetric"
+    #: No ordering: atomic delivery only (the logical clock layer is
+    #: bypassed for delivery decisions, as Fig. 3 allows).
+    ATOMIC_ONLY = "atomic_only"
+
+
+@dataclass
+class NewtopConfig:
+    """Tunable parameters of a Newtop process.
+
+    The defaults are scaled to the simulator's default latency model
+    (mean one-way delay around 1 time unit).
+    """
+
+    #: Time-silence period ω (§4.1): maximum silent interval per group
+    #: before a null message is sent.
+    omega: float = 2.0
+    #: Failure-suspector timeout Ω (§5.2).  Must exceed ``omega``.
+    suspicion_timeout: float = 10.0
+    #: How often the suspector wakes up to check for silence.
+    suspector_check_interval: float = 1.0
+    #: Default ordering mode for newly created groups.
+    default_mode: OrderingMode = OrderingMode.SYMMETRIC
+    #: If True, application sends are blocked while a view installation is
+    #: pending, yielding ISIS-style closed virtual synchrony (r' == r).
+    #: Newtop's default (False) allows sends to proceed, giving r' >= r.
+    block_sends_during_view_change: bool = False
+    #: Flow-control window: maximum number of own messages per group that
+    #: may be unstable at once; further sends are queued.  ``None`` disables
+    #: flow control.
+    flow_control_window: int | None = None
+    #: Use signature views ({process-id, exclusion-count} tuples, §6) so
+    #: that concurrent views of different subgroups never intersect.
+    use_signature_views: bool = False
+    #: Maximum number of messages retained per group for retransmission
+    #: before stability forces a garbage collection error.  ``None`` means
+    #: unbounded retention (safe, but benchmarks can bound it).
+    retention_limit: int | None = None
+    #: Timeout used by the group-formation coordinator while collecting
+    #: votes (§5.3 step 3).
+    formation_timeout: float = 30.0
+    #: Approximate payload-independent byte cost of headers added by the
+    #: transport; used only for overhead accounting.
+    transport_header_bytes: int = 20
+
+    def validate(self) -> "NewtopConfig":
+        """Raise :class:`ConfigurationError` if the parameters are inconsistent."""
+        if self.omega <= 0:
+            raise ConfigurationError(f"omega must be positive (got {self.omega})")
+        if self.suspicion_timeout <= self.omega:
+            raise ConfigurationError(
+                "suspicion_timeout (Omega) must exceed the time-silence period "
+                f"omega: got Omega={self.suspicion_timeout}, omega={self.omega}"
+            )
+        if self.suspector_check_interval <= 0:
+            raise ConfigurationError("suspector_check_interval must be positive")
+        if self.flow_control_window is not None and self.flow_control_window < 1:
+            raise ConfigurationError("flow_control_window must be >= 1 or None")
+        if self.retention_limit is not None and self.retention_limit < 1:
+            raise ConfigurationError("retention_limit must be >= 1 or None")
+        if self.formation_timeout <= 0:
+            raise ConfigurationError("formation_timeout must be positive")
+        return self
+
+    def replace(self, **overrides) -> "NewtopConfig":
+        """Return a copy of this config with ``overrides`` applied."""
+        values = self.__dict__.copy()
+        values.update(overrides)
+        return NewtopConfig(**values).validate()

@@ -1,0 +1,169 @@
+"""The delivery queue: conditions *safe1'* and *safe2* (§4.1).
+
+Received messages are parked here until they become deliverable.  For a
+process ``Pi`` belonging to groups ``G_i``:
+
+* **safe1'** -- a received message ``m`` is deliverable once
+  ``m.c <= D_i`` where ``D_i = min{ D_x,i | g_x in G_i }``.  The per-group
+  ``D_x,i`` values are computed by the ordering engines (receive-vector
+  minimum for symmetric groups, last-sequenced number for asymmetric
+  groups); the queue only sees their combined minimum.
+* **safe2** -- deliverable messages are delivered in non-decreasing order
+  of their numbers, with a fixed pre-determined tie-break among equal
+  numbers.  The tie-break used here is ``(m.c, sender id, group id,
+  message id)``, which every process evaluates identically.
+
+The queue serves *all* of the process's groups at once -- that is exactly
+how Newtop extends total order across group boundaries (MD4') with no
+extra machinery.
+
+Null and start-group messages take part in ordering (their numbers advance
+``D``) but are not handed to the application; the queue reports them as
+internal deliveries so traces can account for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.errors import DeliveryOrderViolation
+from repro.core.messages import DataMessage
+
+
+def delivery_sort_key(message: DataMessage) -> Tuple[int, str, str, str]:
+    """The fixed pre-determined order imposed on equal-numbered messages."""
+    return (message.clock, message.sender, message.group, message.msg_id)
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One message popped from the queue in delivery order."""
+
+    message: DataMessage
+    #: Whether the message should be handed to the application (False for
+    #: null and start-group messages, which are protocol-internal).
+    to_application: bool
+
+
+class DeliveryQueue:
+    """Cross-group pending-message pool with total-order pop."""
+
+    def __init__(self) -> None:
+        self._pending: Dict[str, DataMessage] = {}
+        self._delivered_ids: Set[str] = set()
+        self._last_delivered_key: Optional[Tuple[int, str, str, str]] = None
+        self.delivered_count = 0
+        self.duplicate_count = 0
+
+    # ------------------------------------------------------------------
+    # Enqueue
+    # ------------------------------------------------------------------
+    def enqueue(self, message: DataMessage) -> bool:
+        """Add a received message to the pool.
+
+        Duplicates (same message id already pending or already delivered,
+        e.g. a message recovered via a refute that we had in fact received)
+        are ignored.  Returns True if the message was actually added.
+        """
+        if message.msg_id in self._delivered_ids or message.msg_id in self._pending:
+            self.duplicate_count += 1
+            return False
+        self._pending[message.msg_id] = message
+        return True
+
+    def discard_from_sender(self, group: str, sender: str, above_clock: int) -> List[DataMessage]:
+        """Remove pending messages of ``sender`` in ``group`` numbered above
+        ``above_clock`` (step (viii): rejected messages of failed processes).
+
+        Returns the messages removed, so callers can trace the discards.
+        """
+        doomed = [
+            message
+            for message in self._pending.values()
+            if message.group == group
+            and (message.sender == sender or message.sequenced_by == sender)
+            and message.clock > above_clock
+        ]
+        for message in doomed:
+            del self._pending[message.msg_id]
+        return doomed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def pending_count(self) -> int:
+        """Number of messages waiting to become deliverable."""
+        return len(self._pending)
+
+    def pending_messages(self, group: Optional[str] = None) -> List[DataMessage]:
+        """Pending messages (optionally restricted to one group), sorted in
+        the delivery order they would eventually be delivered in."""
+        messages = [
+            message
+            for message in self._pending.values()
+            if group is None or message.group == group
+        ]
+        return sorted(messages, key=delivery_sort_key)
+
+    def has_pending_at_or_below(self, bound: float, group: Optional[str] = None) -> bool:
+        """Whether any pending message is numbered ``<= bound``.
+
+        Used by view installation to decide whether every message that must
+        precede the new view has been delivered.
+        """
+        return any(
+            message.clock <= bound
+            for message in self._pending.values()
+            if group is None or message.group == group
+        )
+
+    def was_delivered(self, msg_id: str) -> bool:
+        """Whether a message with this id has already been delivered."""
+        return msg_id in self._delivered_ids
+
+    @property
+    def last_delivered_clock(self) -> Optional[int]:
+        """Number of the most recently delivered message (None initially)."""
+        return self._last_delivered_key[0] if self._last_delivered_key else None
+
+    # ------------------------------------------------------------------
+    # Pop deliverable messages
+    # ------------------------------------------------------------------
+    def pop_deliverable(self, bound: float) -> List[Delivery]:
+        """Remove and return every pending message numbered ``<= bound``,
+        in delivery order (safe2).
+
+        Raises :class:`DeliveryOrderViolation` if honouring the request
+        would deliver a message that sorts *before* something already
+        delivered -- that would mean ``D`` was allowed to advance past a
+        message that had not yet arrived, i.e. a protocol bug; the check
+        costs one comparison per delivery and turns silent misordering into
+        an immediate failure.
+        """
+        deliverable = [
+            message for message in self._pending.values() if message.clock <= bound
+        ]
+        deliverable.sort(key=delivery_sort_key)
+        deliveries: List[Delivery] = []
+        for message in deliverable:
+            key = delivery_sort_key(message)
+            if self._last_delivered_key is not None and key < self._last_delivered_key:
+                raise DeliveryOrderViolation(
+                    f"delivery of {message.msg_id} (key {key}) would precede the "
+                    f"previously delivered key {self._last_delivered_key}"
+                )
+            self._last_delivered_key = key
+            del self._pending[message.msg_id]
+            self._delivered_ids.add(message.msg_id)
+            self.delivered_count += 1
+            deliveries.append(
+                Delivery(message=message, to_application=message.is_application)
+            )
+        return deliveries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeliveryQueue(pending={len(self._pending)}, "
+            f"delivered={self.delivered_count})"
+        )

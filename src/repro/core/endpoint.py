@@ -1,0 +1,568 @@
+"""The per-(process, group) endpoint: everything one membership entails.
+
+A :class:`GroupEndpoint` bundles the state and machinery a Newtop process
+keeps for one of its groups (the paper's architecture, Fig. 3):
+
+* the current membership view (and, optionally, its §6 signature form),
+* the ordering engine (symmetric §4.1 or asymmetric §4.2),
+* the stability tracker and retention buffer (§5.1),
+* the time-silence mechanism (§4.1) and the failure suspector (§5.2),
+* the group-view (membership agreement) process ``GV_x,i`` (§5.2),
+* the flow controller (§7 / [11]),
+* the *formation wait* state of a dynamically formed group (§5.3 step 5),
+* the queue of application sends deferred by the blocking rules.
+
+The endpoint deliberately contains no delivery logic: received application
+messages are pushed into the process-wide delivery queue, and the process
+combines the per-group deliverable bounds (safe1') and pops messages in
+global order (safe2) -- that is how Newtop gets cross-group total order
+(MD4') for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.asymmetric import AsymmetricOrdering
+from repro.core.config import NewtopConfig, OrderingMode
+from repro.core.flow_control import FlowController
+from repro.core.membership import GroupViewProcess
+from repro.core.messages import (
+    ConfirmMessage,
+    DataMessage,
+    KIND_DATA,
+    KIND_NULL,
+    KIND_START_GROUP,
+    RefuteMessage,
+    SequencerRequest,
+    SuspectMessage,
+    Suspicion,
+)
+from repro.core.stability import StabilityTracker
+from repro.core.suspector import FailureSuspector
+from repro.core.symmetric import SymmetricOrdering
+from repro.core.time_silence import TimeSilence
+from repro.core.vectors import INFINITY
+from repro.core.views import MembershipView, SignatureView
+from repro.net import trace as trace_events
+
+
+@dataclass
+class PendingViewChange:
+    """A confirmed detection awaiting installation (step viii tail).
+
+    ``update_view(F, N)``: the view excluding ``removed`` is installed only
+    once every message numbered ``<= threshold`` (``lnmn``) has been
+    delivered.
+    """
+
+    removed: frozenset
+    threshold: int
+
+
+@dataclass
+class _FormationWait:
+    """Step 5 state of a dynamically formed group.
+
+    While waiting for a ``start-group`` message from every view member, the
+    group's deliverable bound is pinned to the largest start-number seen so
+    far, and application sends in the group are deferred.
+    """
+
+    start_numbers: Dict[str, int] = field(default_factory=dict)
+
+    def bound(self) -> float:
+        """The provisional deliverable bound during the wait."""
+        return float(max(self.start_numbers.values())) if self.start_numbers else 0.0
+
+
+class GroupEndpoint:
+    """One process's attachment to one group."""
+
+    def __init__(
+        self,
+        process,
+        group_id: str,
+        members: Tuple[str, ...],
+        mode: OrderingMode,
+        formation_wait: bool = False,
+    ) -> None:
+        self.process = process
+        self.group_id = group_id
+        self.mode = mode
+        config: NewtopConfig = process.config
+        own_id = process.process_id
+
+        self.view = MembershipView.initial(group_id, members)
+        self.signature_view: Optional[SignatureView] = (
+            SignatureView.initial(group_id, members) if config.use_signature_views else None
+        )
+        if mode == OrderingMode.ASYMMETRIC:
+            self.engine = AsymmetricOrdering(self)
+        else:
+            # ATOMIC_ONLY reuses the symmetric engine's bookkeeping; the
+            # process-level delivery path simply does not wait for safe1'
+            # in that mode.
+            self.engine = SymmetricOrdering(self)
+        self.stability = StabilityTracker(
+            group_id, members, retention_limit=config.retention_limit
+        )
+        self.flow = FlowController(config.flow_control_window)
+        self.suspector = FailureSuspector(
+            sim=process.sim,
+            own_id=own_id,
+            members=members,
+            suspicion_timeout=config.suspicion_timeout,
+            check_interval=config.suspector_check_interval,
+            notify=self._on_suspector_notification,
+        )
+        self.gv = GroupViewProcess(self, own_id, group_id)
+        self.time_silence = TimeSilence(process.sim, config.omega, self._send_null)
+
+        self.departed = False
+        self.pending_view_changes: List[PendingViewChange] = []
+        #: Application payloads deferred by the blocking rules / formation
+        #: wait / flow control, in submission order.
+        self.deferred_sends: List[object] = []
+        self._formation_wait: Optional[_FormationWait] = _FormationWait() if formation_wait else None
+        #: Messages dropped because their sender was excluded or unknown.
+        self.discarded_from_excluded = 0
+
+        self._record_view_installed()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Activate the time-silence mechanism and the failure suspector."""
+        self.time_silence.start()
+        self.suspector.start()
+
+    def shutdown(self) -> None:
+        """Stop all timers (departure, crash or teardown)."""
+        self.departed = True
+        self.time_silence.stop()
+        self.suspector.stop()
+
+    @property
+    def active(self) -> bool:
+        """Whether the endpoint still participates in the group."""
+        return not self.departed and not self.process.crashed
+
+    @property
+    def in_formation_wait(self) -> bool:
+        """Whether the endpoint is still in §5.3's step-5 wait."""
+        return self._formation_wait is not None
+
+    # ------------------------------------------------------------------
+    # Deliverability (consumed by the process-level delivery loop)
+    # ------------------------------------------------------------------
+    def deliverable_bound(self) -> float:
+        """This group's contribution to ``D_i`` (safe1')."""
+        if not self.active:
+            return INFINITY
+        if self.mode == OrderingMode.ATOMIC_ONLY:
+            # Atomic delivery bypasses the logical-clock gating (Fig. 3).
+            return INFINITY
+        if self._formation_wait is not None:
+            return self._formation_wait.bound()
+        return self.engine.deliverable_bound()
+
+    def next_view_change_threshold(self) -> float:
+        """Number above which no message may be delivered before the next
+        pending view change is installed (infinity when none is pending)."""
+        if not self.pending_view_changes:
+            return INFINITY
+        return float(self.pending_view_changes[0].threshold)
+
+    # ------------------------------------------------------------------
+    # Send path (called by the owning process)
+    # ------------------------------------------------------------------
+    def send_application(self, payload: object) -> str:
+        """Disseminate an application message now (blocking rules already
+        checked by the process).  Returns the end-to-end message id."""
+        message_id = self.engine.send(payload, KIND_DATA)
+        self.flow.note_sent(self.process.clock.value)
+        return message_id
+
+    def send_start_group(self) -> None:
+        """Multicast the special ``start-group`` message (§5.3 step 4).
+
+        Start-group messages are multicast directly in both ordering modes:
+        they pre-date the group's application traffic, and their only role
+        is to carry each member's proposed start-number.
+        """
+        process = self.process
+        clock = process.clock.tick()
+        message = DataMessage.start_group(
+            sender=process.process_id,
+            group=self.group_id,
+            clock=clock,
+            ldn=0,
+        )
+        self.broadcast_data(message)
+
+    def _send_null(self) -> None:
+        """Time-silence callback: multicast a null message (§4.1).
+
+        In an asymmetric group a member's nulls normally travel via the
+        sequencer.  While the sequencer itself is under suspicion (a
+        failover is in progress), that path is dead, so the member
+        multicasts a plain (unsequenced) null directly -- it carries no
+        ordering weight (it never advances ``D_x``) but keeps the remaining
+        members' failure suspectors fed so they do not cascade into
+        suspecting each other while agreeing on the sequencer's failure.
+        """
+        if not self.active:
+            return
+        if (
+            self.mode == OrderingMode.ASYMMETRIC
+            and not self.engine.is_sequencer()
+            and (
+                self.gv.is_suspected(self.engine.sequencer())
+                or self.gv.is_excluded(self.engine.sequencer())
+            )
+        ):
+            clock = self.process.clock.tick()
+            message = DataMessage.null(
+                sender=self.process.process_id,
+                group=self.group_id,
+                clock=clock,
+                ldn=self.engine.ldn(),
+            )
+            self.broadcast_data(message)
+        else:
+            self.engine.send(None, KIND_NULL)
+        self.process.recorder.record(
+            self.process.sim.now,
+            trace_events.NULL_SEND,
+            self.process.process_id,
+            group=self.group_id,
+            clock=self.process.clock.value,
+        )
+
+    def defer_send(self, payload: object, reason: str) -> None:
+        """Queue an application payload blocked by ``reason``."""
+        self.deferred_sends.append(payload)
+        self.process.recorder.record(
+            self.process.sim.now,
+            trace_events.BLOCKED_SEND,
+            self.process.process_id,
+            group=self.group_id,
+            reason=reason,
+            queue_length=len(self.deferred_sends),
+        )
+
+    # ------------------------------------------------------------------
+    # Raw transmission helpers
+    # ------------------------------------------------------------------
+    def broadcast_data(self, message: DataMessage) -> None:
+        """Transmit ``message`` to every other view member and loop it back
+        to ourselves (a process delivers its own messages by executing the
+        protocol)."""
+        size = message.wire_size_bytes()
+        for member in self.view.sorted_members():
+            if member != self.process.process_id:
+                self.process.transport_endpoint.send(
+                    member, message, channel="newtop", size_bytes=size
+                )
+        self.time_silence.notify_sent()
+        self.on_data_message(message, local_origin=True)
+
+    def send_to_member(self, member: str, payload: object) -> None:
+        """Unicast a protocol message (e.g. a sequencer request) to ``member``."""
+        size = payload.wire_size_bytes() if hasattr(payload, "wire_size_bytes") else 0
+        self.process.transport_endpoint.send(member, payload, channel="newtop", size_bytes=size)
+        self.time_silence.notify_sent()
+
+    def mcast_membership(self, message: object) -> None:
+        """The GV process's ``mcast`` primitive: transmit to every view
+        member's GV process (delivered in sent order by the transport)."""
+        size = message.wire_size_bytes() if hasattr(message, "wire_size_bytes") else 0
+        for member in self.view.sorted_members():
+            if member != self.process.process_id:
+                self.process.transport_endpoint.send(
+                    member, message, channel="newtop", size_bytes=size
+                )
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def on_data_message(self, message: DataMessage, local_origin: bool = False) -> None:
+        """Handle a group (data/null/start-group) message.
+
+        ``local_origin`` marks the loop-back of our own multicast; it skips
+        the membership filtering and the CA2 clock update (CA1 already ran).
+        """
+        if not self.active:
+            return
+        filter_key = message.sequenced_by or message.sender
+        if not local_origin:
+            if self.gv.is_excluded(filter_key) or filter_key not in self.view.members:
+                self.discarded_from_excluded += 1
+                return
+            if self.gv.is_suspected(filter_key):
+                self.gv.hold_pending(filter_key, message)
+                return
+            self.process.clock.observe(message.clock)
+        # Liveness evidence for the suspector: both the logical sender and,
+        # in asymmetric groups, the sequencer that relayed the message.
+        self.suspector.heard_from(message.sender, message.clock)
+        if message.sequenced_by is not None:
+            self.suspector.heard_from(message.sequenced_by, message.clock)
+        # Stability (§5.1): retain the message and fold in its ldn.
+        self.stability.on_message(message, key=filter_key)
+        if message.sequenced_by is not None:
+            self.stability.record_global_ldn(message.ldn)
+        self._after_stability_advance()
+        # Ordering state (RV / last-sequenced number).
+        self.engine.on_data(message)
+        # Rule (iii) hook: a fresh message may refute gossip suspicions.
+        if not local_origin:
+            self.gv.on_data_from(filter_key, message.clock)
+            if message.sender != filter_key:
+                self.gv.on_data_from(message.sender, message.clock)
+        # Formation wait (§5.3 step 5).
+        if message.is_start_group and message.start_number is not None:
+            self._on_start_group(message.sender, message.start_number)
+        # Only application messages enter the delivery queue; null and
+        # start-group messages have done their job already.
+        if message.is_application:
+            if not local_origin:
+                self.process.recorder.record(
+                    self.process.sim.now,
+                    trace_events.RECEIVE,
+                    self.process.process_id,
+                    group=self.group_id,
+                    message_id=message.msg_id,
+                    sender=message.sender,
+                    clock=message.clock,
+                )
+            if self.mode == OrderingMode.ATOMIC_ONLY:
+                # Atomic-only groups bypass the logical-clock gating
+                # entirely (Fig. 3): deliver as soon as the message arrives.
+                self.process.deliver_immediately(self, message)
+            else:
+                self.process.delivery_queue.enqueue(message)
+        self.process.attempt_delivery()
+        self.process.flush_deferred_sends()
+
+    def on_sequencer_request(self, request: SequencerRequest) -> None:
+        """Handle a unicast addressed to us as the group's sequencer."""
+        if not self.active:
+            return
+        if self.gv.is_excluded(request.origin) or request.origin not in self.view.members:
+            self.discarded_from_excluded += 1
+            return
+        if self.gv.is_suspected(request.origin):
+            self.gv.hold_pending(request.origin, request)
+            return
+        self.suspector.heard_from(request.origin, request.origin_clock)
+        self.engine.on_sequencer_request(request)
+
+    def on_membership_message(self, src: str, message: object) -> None:
+        """Handle a suspect/refute/confirm message from ``src``'s GV."""
+        if not self.active:
+            return
+        self.suspector.heard_from(src, 0)
+        self.gv.on_membership_message(src, message)
+
+    def replay_pending(self, sender: str, items: List[object]) -> None:
+        """Re-inject messages held while ``sender`` was under suspicion."""
+        for item in items:
+            if isinstance(item, DataMessage):
+                self.on_data_message(item)
+            elif isinstance(item, SequencerRequest):
+                self.on_sequencer_request(item)
+            elif isinstance(item, (SuspectMessage, RefuteMessage, ConfirmMessage)):
+                self.gv.on_membership_message(sender, item)
+
+    def recover_messages(self, messages: List[DataMessage]) -> None:
+        """Feed messages recovered via a refutation back into the receive
+        path (duplicates are absorbed by the delivery queue and the
+        monotone vectors)."""
+        for message in messages:
+            self.on_data_message(message)
+
+    # ------------------------------------------------------------------
+    # Queries used by the GV process
+    # ------------------------------------------------------------------
+    def membership_clock_of(self, member: str) -> int:
+        """Number of the latest message we hold from ``member``."""
+        return self.suspector.last_clock(member)
+
+    def retained_messages_from(self, member: str, above: int) -> List[DataMessage]:
+        """Unstable retained messages of ``member`` numbered above ``above``."""
+        return self.stability.buffer.messages_from(member, above=above)
+
+    def record_membership_event(self, kind: str, **details) -> None:
+        """Trace hook for the GV process."""
+        self.process.recorder.record(
+            self.process.sim.now,
+            kind,
+            self.process.process_id,
+            group=self.group_id,
+            **details,
+        )
+
+    # ------------------------------------------------------------------
+    # Failure detection execution (step viii) and view installation
+    # ------------------------------------------------------------------
+    def execute_failure_detection(self, detection: frozenset) -> None:
+        """Step (viii): discard post-``lnmn`` messages of the failed
+        processes, unblock ``D``, and schedule the view installation."""
+        removed = frozenset(suspicion.target for suspicion in detection)
+        lnmn = min(suspicion.last_number for suspicion in detection)
+        for target in removed:
+            discarded = self.process.delivery_queue.discard_from_sender(
+                self.group_id, target, above_clock=lnmn
+            )
+            self.discarded_from_excluded += len(discarded)
+            self.stability.handle_member_removed(target, discard_above=lnmn)
+        self.engine.on_members_removed(removed, lnmn)
+        self.pending_view_changes.append(
+            PendingViewChange(removed=removed, threshold=lnmn)
+        )
+        self.pending_view_changes.sort(key=lambda change: change.threshold)
+        self.process.attempt_delivery()
+
+    def maybe_install_views(self) -> bool:
+        """Install pending view changes whose precondition is met.
+
+        ``update_view(F, N)`` installs once (a) no message numbered
+        ``<= N`` can still arrive -- i.e. the process-wide deliverable
+        bound has reached ``N`` -- and (b) every received message numbered
+        ``<= N`` has been delivered.  Returns True if at least one view was
+        installed (the caller's delivery loop then re-evaluates bounds).
+        """
+        installed_any = False
+        while self.pending_view_changes:
+            change = self.pending_view_changes[0]
+            bound = self.process.global_deliverable_bound()
+            if bound < change.threshold:
+                break
+            if self.process.delivery_queue.has_pending_at_or_below(change.threshold):
+                break
+            self.pending_view_changes.pop(0)
+            self._install_view(change)
+            installed_any = True
+        return installed_any
+
+    def _install_view(self, change: PendingViewChange) -> None:
+        actually_removed = change.removed & self.view.members
+        if not actually_removed:
+            return
+        self.view = self.view.exclude(actually_removed)
+        if self.signature_view is not None:
+            self.signature_view = self.signature_view.exclude(actually_removed)
+        for member in actually_removed:
+            self.suspector.remove_member(member)
+        self.engine.on_members_removed(actually_removed, change.threshold)
+        self.engine.on_view_installed()
+        self.gv.on_view_installed()
+        self._record_view_installed()
+        if self.mode == OrderingMode.ASYMMETRIC:
+            # Give the remaining members a fresh suspicion window so the
+            # sequencer change does not cascade into further suspicions.
+            for member in self.view.members:
+                if member != self.process.process_id:
+                    self.suspector.clear_suspicion(member)
+        if self._formation_wait is not None:
+            self._check_formation_complete()
+
+    def _record_view_installed(self) -> None:
+        details = {
+            "members": self.view.sorted_members(),
+            "index": self.view.index,
+        }
+        if self.signature_view is not None:
+            details["signatures"] = tuple(
+                (signature.process, signature.exclusions)
+                for signature in sorted(
+                    self.signature_view.signatures(), key=lambda s: s.process
+                )
+            )
+        self.process.recorder.record(
+            self.process.sim.now,
+            trace_events.VIEW_INSTALL,
+            self.process.process_id,
+            group=self.group_id,
+            **details,
+        )
+
+    # ------------------------------------------------------------------
+    # Formation wait (§5.3 step 5)
+    # ------------------------------------------------------------------
+    def _on_start_group(self, sender: str, start_number: int) -> None:
+        if self._formation_wait is None:
+            return
+        wait = self._formation_wait
+        wait.start_numbers[sender] = max(
+            wait.start_numbers.get(sender, 0), start_number
+        )
+        self._check_formation_complete()
+
+    def _check_formation_complete(self) -> None:
+        wait = self._formation_wait
+        if wait is None:
+            return
+        if not set(self.view.members) <= set(wait.start_numbers):
+            return
+        start_number_max = max(
+            wait.start_numbers[member] for member in self.view.members
+        )
+        self._formation_wait = None
+        self.engine.raise_floor(float(start_number_max))
+        self.process.clock.advance_to(start_number_max)
+        self.process.recorder.record(
+            self.process.sim.now,
+            trace_events.GROUP_FORMED,
+            self.process.process_id,
+            group=self.group_id,
+            start_number=start_number_max,
+            members=self.view.sorted_members(),
+        )
+        self.process.attempt_delivery()
+        self.process.flush_deferred_sends()
+
+    # ------------------------------------------------------------------
+    # Suspector wiring
+    # ------------------------------------------------------------------
+    def _on_suspector_notification(self, suspicion: Suspicion) -> None:
+        if not self.active:
+            return
+        if self.mode == OrderingMode.ASYMMETRIC:
+            sequencer = self.view.sequencer()
+            if suspicion.target != sequencer and self.process.process_id != sequencer:
+                # In an asymmetric group a member is only heard *through*
+                # the sequencer, so its silence is meaningful evidence only
+                # while the sequencer itself is demonstrably alive.  If the
+                # sequencer is suspected, or has itself gone quiet for a
+                # substantial fraction of the suspicion timeout, defer the
+                # member's suspicion until the sequencer question settles
+                # (a failover resets the timers).
+                sequencer_silent_for = self.process.sim.now - self._last_heard_sequencer()
+                sequencer_fresh = sequencer_silent_for < 0.5 * self.suspector.suspicion_timeout
+                if self.gv.is_suspected(sequencer) or not sequencer_fresh:
+                    self.suspector.clear_suspicion(suspicion.target)
+                    return
+        self.gv.on_suspector_notification(suspicion)
+
+    def _last_heard_sequencer(self) -> float:
+        sequencer = self.view.sequencer()
+        last = self.suspector.last_heard(sequencer)
+        return last if last is not None else self.process.sim.now
+
+    # ------------------------------------------------------------------
+    # Stability / flow-control follow-ups
+    # ------------------------------------------------------------------
+    def _after_stability_advance(self) -> None:
+        bound = self.stability.stability_bound()
+        self.flow.note_stability(bound)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GroupEndpoint(process={self.process.process_id!r}, group={self.group_id!r}, "
+            f"view={self.view.describe()}, mode={self.mode.value})"
+        )

@@ -1,0 +1,113 @@
+"""Sender-side flow control.
+
+The paper's concluding remarks mention that the authors "have also designed
+and implemented a flow control mechanism that ensures that a sender process
+does not cause buffers to overflow at any of the functioning destination
+processes", deferring details to reference [11] (Macêdo's PhD thesis).  The
+thesis mechanism is window-based and keyed on message stability, which is
+what is reproduced here:
+
+* a sender may have at most ``window`` of its *own* messages per group that
+  are not yet known to be stable (i.e. not yet known to have reached every
+  member of the view);
+* further application sends are queued locally and released, in order, as
+  stability advances (the stability bound is driven by the ``m.ldn``
+  piggyback of §5.1, so no extra messages are needed);
+* null messages and membership traffic are never subject to flow control --
+  they are precisely what keeps ``D`` (and therefore stability) advancing.
+
+Because a receiver must retain every unstable message anyway (for
+recovery), bounding the number of unstable messages per sender bounds every
+receiver's buffer occupancy at ``window * |view|`` messages per group,
+which is the no-overflow guarantee the paper claims.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from repro.core.errors import FlowControlError
+
+
+class FlowController:
+    """Window-based flow control for one (process, group) pair."""
+
+    def __init__(self, window: Optional[int]) -> None:
+        if window is not None and window < 1:
+            raise ValueError("flow-control window must be >= 1 or None")
+        self.window = window
+        #: Clocks of own messages sent but not yet known stable.
+        self._outstanding: set[int] = set()
+        #: Application payloads waiting for window space.
+        self._queued: Deque[object] = deque()
+        self.total_queued = 0
+        self.max_queue_length = 0
+
+    # ------------------------------------------------------------------
+    # Send-side interface
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether flow control is active (a finite window is configured)."""
+        return self.window is not None
+
+    def can_send(self) -> bool:
+        """Whether a new application message may be sent immediately."""
+        if not self.enabled:
+            return True
+        return len(self._outstanding) < int(self.window)
+
+    def queue(self, payload: object) -> None:
+        """Park an application payload until window space is available."""
+        self._queued.append(payload)
+        self.total_queued += 1
+        self.max_queue_length = max(self.max_queue_length, len(self._queued))
+
+    def note_sent(self, clock: int) -> None:
+        """Record that an own application message numbered ``clock`` left."""
+        if self.enabled:
+            self._outstanding.add(clock)
+
+    # ------------------------------------------------------------------
+    # Stability feedback
+    # ------------------------------------------------------------------
+    def note_stability(self, stability_bound: float) -> int:
+        """Update the window from a new stability bound.
+
+        Returns the number of queued payloads that may now be released (the
+        caller pops them with :meth:`next_released`).
+        """
+        if not self.enabled:
+            return 0
+        self._outstanding = {clock for clock in self._outstanding if clock > stability_bound}
+        releasable = 0
+        available = int(self.window) - len(self._outstanding)
+        if available > 0:
+            releasable = min(available, len(self._queued))
+        return releasable
+
+    def next_released(self) -> object:
+        """Pop the oldest queued payload (caller checked releasability)."""
+        if not self._queued:
+            raise FlowControlError("no queued payload to release")
+        return self._queued.popleft()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def outstanding_count(self) -> int:
+        """Own messages currently counted against the window."""
+        return len(self._outstanding)
+
+    @property
+    def queued_count(self) -> int:
+        """Application payloads currently parked."""
+        return len(self._queued)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlowController(window={self.window}, outstanding={len(self._outstanding)}, "
+            f"queued={len(self._queued)})"
+        )

@@ -1,0 +1,371 @@
+"""The group-view process ``GV_x,i`` -- membership agreement (§5.2).
+
+Each process runs one group-view process per group it belongs to.  The GV
+process receives suspicion notifications ``{Pk, ln}`` from its failure
+suspector and runs the event-driven agreement of §5.2 with the GV processes
+of the other members, whose rules (i)-(viii) are implemented here verbatim:
+
+(i)    a local suspicion is recorded and multicast as a *suspect* message;
+(ii)   a remote suspicion about somebody else is recorded as *gossip*
+       (suspicions about ourselves are discarded -- we wait to be refuted);
+(iii)  a gossip suspicion ``{Pk, ln}`` is *refuted* the moment we hold a
+       message from ``Pk`` numbered above ``ln``; the refute piggybacks the
+       retained messages of ``Pk`` above ``ln`` so the suspecting process
+       can recover what it missed;
+(iv)   receiving a refute for one of our own suspicions cancels it, feeds
+       the recovered messages back into the normal receive path, and
+       forwards the refute;
+(v)    when *every* current suspicion is supported by a suspect message
+       from *every* unsuspected, unfailed view member, the whole suspicion
+       set is confirmed as the detection set;
+(vi)   a confirmed detection received from a peer is adopted when it is a
+       subset of our own suspicions;
+(vii)  a confirmed detection that includes *us* makes us reciprocate by
+       suspecting its sender (this is what drives concurrent subgroup views
+       to stabilise into non-intersecting ones -- Example 3);
+(viii) a confirmed detection is executed: messages of the failed processes
+       numbered above ``lnmn`` (the minimum ``ln`` in the detection) are
+       discarded, the receive/stability vectors stop being constrained by
+       the failed processes, and a view excluding them is installed once
+       every message numbered ``<= lnmn`` has been delivered.
+
+The refutation-with-recovery rule is what makes concurrently held,
+different ``ln`` values converge: whoever holds more messages from ``Pk``
+refutes the lower suspicion and supplies the missing messages, so all
+connected correct processes end up suspecting ``Pk`` at the same ``ln``,
+confirm identical detection sets in the same order (VC1), and discard the
+same set of messages (MD3).
+
+Messages from a process we currently suspect (data or membership) are held
+*pending*: replayed if the suspicion is refuted, discarded if it is
+confirmed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.messages import (
+    ConfirmMessage,
+    DataMessage,
+    RefuteMessage,
+    SequencerRequest,
+    SuspectMessage,
+    Suspicion,
+)
+from repro.net import trace as trace_events
+
+
+@dataclass
+class MembershipStats:
+    """Counters kept by one GV process (used by benchmarks and tests)."""
+
+    suspicions_raised: int = 0
+    suspicions_refuted: int = 0
+    detections_confirmed: int = 0
+    suspect_messages_sent: int = 0
+    refute_messages_sent: int = 0
+    confirm_messages_sent: int = 0
+    messages_recovered: int = 0
+    pending_held: int = 0
+    pending_discarded: int = 0
+
+
+class GroupViewProcess:
+    """Membership agreement and view-update coordination for one group.
+
+    The GV process does not talk to the network directly; it calls back
+    into its :class:`~repro.core.endpoint.GroupEndpoint`, which provides:
+
+    * ``mcast_membership(message)`` -- transmit to every view member's GV,
+    * ``retained_messages_from(member, above)`` -- unstable messages held
+      for ``member`` (refutation piggyback),
+    * ``membership_clock_of(member)`` -- number of the latest message held
+      from ``member``,
+    * ``recover_messages(messages)`` -- feed recovered messages into the
+      normal receive path,
+    * ``replay_pending(items)`` -- re-inject held messages after a refute,
+    * ``execute_failure_detection(detection)`` -- step (viii),
+    * ``record_membership_event(kind, **details)`` -- tracing.
+    """
+
+    def __init__(self, endpoint, own_id: str, group_id: str) -> None:
+        self.endpoint = endpoint
+        self.own_id = own_id
+        self.group_id = group_id
+        self.stats = MembershipStats()
+        #: Rule (i): our own active suspicions.
+        self._suspicions: Set[Suspicion] = set()
+        #: Rule (ii): supporters per suspicion -- which remote GVs have sent
+        #: us a suspect message for exactly this {Pk, ln}.
+        self._gossip: Dict[Suspicion, Set[str]] = {}
+        #: Processes confirmed failed/disconnected (cumulative); their
+        #: messages are discarded from the moment of confirmation even if
+        #: the corresponding view has not been installed yet.
+        self._excluded: Set[str] = set()
+        #: Messages held while their sender is under suspicion:
+        #: sender -> list of raw payloads to replay or discard.
+        self._pending: Dict[str, List[object]] = {}
+        #: Detection sets confirmed so far, in confirmation order.
+        self.detection_history: List[frozenset] = []
+
+    # ------------------------------------------------------------------
+    # Queries used by the endpoint's receive path
+    # ------------------------------------------------------------------
+    def is_suspected(self, process: str) -> bool:
+        """Whether we currently hold an (unconfirmed) suspicion on ``process``."""
+        return any(suspicion.target == process for suspicion in self._suspicions)
+
+    def is_excluded(self, process: str) -> bool:
+        """Whether ``process`` has been confirmed failed/disconnected."""
+        return process in self._excluded
+
+    def suspected_processes(self) -> Set[str]:
+        """Targets of all current suspicions."""
+        return {suspicion.target for suspicion in self._suspicions}
+
+    def hold_pending(self, sender: str, payload: object) -> None:
+        """Park a message from a suspected sender until the suspicion is
+        resolved one way or the other."""
+        self._pending.setdefault(sender, []).append(payload)
+        self.stats.pending_held += 1
+
+    # ------------------------------------------------------------------
+    # Rule (i): local suspicion from the failure suspector
+    # ------------------------------------------------------------------
+    def on_suspector_notification(self, suspicion: Suspicion) -> None:
+        """Record a local suspicion and announce it to the group."""
+        target = suspicion.target
+        if target == self.own_id:
+            return
+        if target in self._excluded or target not in self.endpoint.view.members:
+            return
+        if self.is_suspected(target):
+            return
+        self._suspicions.add(suspicion)
+        self.stats.suspicions_raised += 1
+        self.endpoint.record_membership_event(
+            trace_events.SUSPECT, target=target, last_number=suspicion.last_number
+        )
+        self.stats.suspect_messages_sent += 1
+        self.endpoint.mcast_membership(
+            SuspectMessage(origin=self.own_id, group=self.group_id, suspicion=suspicion)
+        )
+        self._try_confirm()
+
+    # ------------------------------------------------------------------
+    # Incoming membership traffic
+    # ------------------------------------------------------------------
+    def on_membership_message(self, sender: str, message: object) -> None:
+        """Dispatch a membership message from ``sender``'s GV process."""
+        if sender in self._excluded or sender not in self.endpoint.view.members:
+            return
+        if self.is_suspected(sender):
+            # "once suspicion {Pk, ln} has been added to suspicions, GVi
+            # will keep the messages received from Pk and GVk as pending"
+            self.hold_pending(sender, message)
+            return
+        if isinstance(message, SuspectMessage):
+            self._on_suspect(sender, message)
+        elif isinstance(message, RefuteMessage):
+            self._on_refute(sender, message)
+        elif isinstance(message, ConfirmMessage):
+            self._on_confirm(sender, message)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected membership message {message!r}")
+
+    def on_data_from(self, sender: str, clock: int) -> None:
+        """Hook from the endpoint's data path: a message numbered ``clock``
+        from ``sender`` just arrived.  Used for rule (iii): it may refute
+        gossip suspicions about ``sender`` with a smaller ``ln``."""
+        if self.is_suspected(sender):
+            return
+        refutable = [
+            suspicion
+            for suspicion in self._gossip
+            if suspicion.target == sender and suspicion.last_number < clock
+        ]
+        for suspicion in refutable:
+            self._send_refute(suspicion)
+
+    # ------------------------------------------------------------------
+    # Rule (ii) + (iii): suspect messages from peers
+    # ------------------------------------------------------------------
+    def _on_suspect(self, sender: str, message: SuspectMessage) -> None:
+        suspicion = message.suspicion
+        if suspicion.target == self.own_id:
+            # "If GVi ever receives a message (k, suspect, {Pi, ln}), it
+            # takes no action in the hope that some GVj will refute it."
+            return
+        if suspicion.target in self._excluded:
+            return
+        supporters = self._gossip.setdefault(suspicion, set())
+        supporters.add(message.origin)
+        # Rule (iii): refute immediately if we already hold something newer
+        # from the target (unless we suspect the target ourselves).
+        if not self.is_suspected(suspicion.target):
+            held_clock = self.endpoint.membership_clock_of(suspicion.target)
+            if held_clock > suspicion.last_number:
+                self._send_refute(suspicion)
+                self._try_confirm()
+                return
+        self._try_confirm()
+
+    def _send_refute(self, suspicion: Suspicion) -> None:
+        recovered = tuple(
+            self.endpoint.retained_messages_from(
+                suspicion.target, above=suspicion.last_number
+            )
+        )
+        self.stats.refute_messages_sent += 1
+        self.endpoint.record_membership_event(
+            trace_events.REFUTE,
+            target=suspicion.target,
+            last_number=suspicion.last_number,
+            recovered=len(recovered),
+        )
+        self._gossip.pop(suspicion, None)
+        self.endpoint.mcast_membership(
+            RefuteMessage(
+                origin=self.own_id,
+                group=self.group_id,
+                suspicion=suspicion,
+                recovered=recovered,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Rule (iv): refutations of our own suspicions
+    # ------------------------------------------------------------------
+    def _on_refute(self, sender: str, message: RefuteMessage) -> None:
+        suspicion = message.suspicion
+        # Stale gossip about the same {Pk, ln} is dropped in every case.
+        self._gossip.pop(suspicion, None)
+        if suspicion not in self._suspicions:
+            return
+        self._suspicions.discard(suspicion)
+        self.stats.suspicions_refuted += 1
+        self.endpoint.record_membership_event(
+            trace_events.REFUTE,
+            target=suspicion.target,
+            last_number=suspicion.last_number,
+            accepted=True,
+        )
+        # Recover the messages we were missing, then let the suspector try
+        # again from a clean slate (it will re-suspect at the higher ln if
+        # the target really is gone).
+        if message.recovered:
+            self.stats.messages_recovered += len(message.recovered)
+            self.endpoint.recover_messages(list(message.recovered))
+        self.endpoint.suspector.clear_suspicion(suspicion.target)
+        # Forward the refutation so other suspecting processes learn of it.
+        self.stats.refute_messages_sent += 1
+        self.endpoint.mcast_membership(
+            RefuteMessage(
+                origin=self.own_id,
+                group=self.group_id,
+                suspicion=suspicion,
+                recovered=(),
+            )
+        )
+        # Replay messages held while the target was under suspicion.
+        held = self._pending.pop(suspicion.target, [])
+        if held:
+            self.endpoint.replay_pending(suspicion.target, held)
+        self._try_confirm()
+
+    # ------------------------------------------------------------------
+    # Rules (vi) + (vii): confirmed detections from peers
+    # ------------------------------------------------------------------
+    def _on_confirm(self, sender: str, message: ConfirmMessage) -> None:
+        detection = frozenset(message.detection)
+        if any(suspicion.target == self.own_id for suspicion in detection):
+            # Rule (vii): the sender has agreed that *we* failed;
+            # reciprocate so the two sides' views stabilise into
+            # non-intersecting ones (Example 3).
+            self.endpoint.suspector.force_suspect(sender)
+            return
+        if detection and detection <= self._suspicions:
+            self._confirm(detection)
+
+    # ------------------------------------------------------------------
+    # Rule (v): local confirmation
+    # ------------------------------------------------------------------
+    def _required_supporters(self) -> Set[str]:
+        """The members whose agreement is needed: everyone in the current
+        view except ourselves, the currently suspected and the already
+        excluded."""
+        suspected = self.suspected_processes()
+        return {
+            member
+            for member in self.endpoint.view.members
+            if member != self.own_id
+            and member not in suspected
+            and member not in self._excluded
+        }
+
+    def _try_confirm(self) -> None:
+        if not self._suspicions:
+            return
+        required = self._required_supporters()
+        for suspicion in self._suspicions:
+            supporters = self._gossip.get(suspicion, set())
+            if not required <= supporters:
+                return
+        self._confirm(frozenset(self._suspicions))
+
+    def _confirm(self, detection: frozenset) -> None:
+        """Steps (v)/(vi) tail + step (viii) hand-off."""
+        self._suspicions -= set(detection)
+        self.detection_history.append(detection)
+        self.stats.detections_confirmed += 1
+        self.stats.confirm_messages_sent += 1
+        targets = sorted(suspicion.target for suspicion in detection)
+        self.endpoint.record_membership_event(
+            trace_events.CONFIRM,
+            targets=tuple(targets),
+            lnmn=min(suspicion.last_number for suspicion in detection),
+        )
+        self.endpoint.mcast_membership(
+            ConfirmMessage(origin=self.own_id, group=self.group_id, detection=detection)
+        )
+        for suspicion in detection:
+            target = suspicion.target
+            self._excluded.add(target)
+            self.endpoint.suspector.remove_member(target)
+            discarded = self._pending.pop(target, [])
+            self.stats.pending_discarded += len(discarded)
+        # Drop gossip that refers to now-excluded processes.
+        self._gossip = {
+            suspicion: supporters
+            for suspicion, supporters in self._gossip.items()
+            if suspicion.target not in self._excluded
+        }
+        self.endpoint.execute_failure_detection(detection)
+        # Confirming one detection may have shrunk the required-supporter
+        # set enough to unlock the remaining suspicions.
+        self._try_confirm()
+
+    # ------------------------------------------------------------------
+    # View bookkeeping
+    # ------------------------------------------------------------------
+    def on_view_installed(self) -> None:
+        """Re-evaluate outstanding suspicions against the new view."""
+        members = self.endpoint.view.members
+        self._suspicions = {
+            suspicion for suspicion in self._suspicions if suspicion.target in members
+        }
+        self._gossip = {
+            suspicion: {origin for origin in supporters if origin in members}
+            for suspicion, supporters in self._gossip.items()
+            if suspicion.target in members
+        }
+        self._try_confirm()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GroupViewProcess(own={self.own_id!r}, group={self.group_id!r}, "
+            f"suspicions={sorted(s.target for s in self._suspicions)}, "
+            f"excluded={sorted(self._excluded)})"
+        )

@@ -1,0 +1,486 @@
+"""The Newtop process: the library's primary public API.
+
+A :class:`NewtopProcess` represents one application process participating
+in any number of groups.  It owns the pieces the paper describes as shared
+across a process's memberships:
+
+* the single Lamport clock (CA1/CA2, §4.1) -- one per process, *not* one
+  per group;
+* the cross-group delivery queue implementing safe1'/safe2, which is what
+  extends total order across overlapping groups (MD4');
+* the blocking rules of §4.2/§4.3 (a multi-group process must not
+  disseminate a new message while a message it unicast to some *other*
+  group's sequencer is still awaiting sequencing);
+* the group-formation coordinator (§5.3).
+
+Per-group machinery (ordering engine, membership, stability, time-silence,
+flow control) lives in :class:`~repro.core.endpoint.GroupEndpoint`.
+
+Typical usage::
+
+    sim = Simulator(seed=1)
+    network = Network(sim)
+    transport = Transport(network)
+    recorder = TraceRecorder()
+    config = NewtopConfig()
+
+    processes = {
+        name: NewtopProcess(name, sim, transport, recorder, config)
+        for name in ("P1", "P2", "P3")
+    }
+    for process in processes.values():
+        process.create_group("g1", ["P1", "P2", "P3"])
+
+    processes["P1"].multicast("g1", {"op": "set", "key": "x", "value": 1})
+    sim.run(until=50)
+
+(or use :class:`repro.core.cluster.NewtopCluster`, which wraps exactly this
+boilerplate.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.clock import LamportClock
+from repro.core.config import NewtopConfig, OrderingMode
+from repro.core.delivery import DeliveryQueue
+from repro.core.endpoint import GroupEndpoint
+from repro.core.errors import (
+    AlreadyMemberError,
+    DepartedGroupError,
+    NotAMemberError,
+    ProcessCrashedError,
+)
+from repro.core.group_formation import FormationCoordinator, FormationHandle, VotePolicy
+from repro.core.messages import (
+    ConfirmMessage,
+    DataMessage,
+    FormGroupInvite,
+    FormGroupVote,
+    RefuteMessage,
+    SequencerRequest,
+    SuspectMessage,
+)
+from repro.core.vectors import INFINITY
+from repro.core.views import MembershipView
+from repro.net import trace as trace_events
+from repro.net.simulator import Simulator
+from repro.net.trace import TraceRecorder
+from repro.net.transport import Transport, TransportMessage
+
+#: Application delivery callback: ``callback(group, sender, payload, msg_id)``.
+DeliveryCallback = Callable[[str, str, object, str], None]
+
+
+@dataclass
+class DeliveredMessage:
+    """A record of one application delivery, kept in arrival order."""
+
+    group: str
+    sender: str
+    payload: object
+    msg_id: str
+    clock: int
+    view_index: int
+    time: float
+
+
+class NewtopProcess:
+    """One Newtop protocol participant (public API)."""
+
+    def __init__(
+        self,
+        process_id: str,
+        sim: Simulator,
+        transport: Transport,
+        recorder: Optional[TraceRecorder] = None,
+        config: Optional[NewtopConfig] = None,
+        delivery_callback: Optional[DeliveryCallback] = None,
+        formation_vote_policy: Optional[VotePolicy] = None,
+    ) -> None:
+        self.process_id = process_id
+        self.sim = sim
+        self.config = (config or NewtopConfig()).validate()
+        self.recorder = recorder if recorder is not None else TraceRecorder()
+        self.transport_endpoint = transport.endpoint(process_id)
+        self.transport_endpoint.register_handler("newtop", self._on_transport_message)
+        self.clock = LamportClock()
+        self.delivery_queue = DeliveryQueue()
+        self.formation = FormationCoordinator(
+            self,
+            sim,
+            vote_policy=formation_vote_policy,
+            formation_timeout=self.config.formation_timeout,
+        )
+        self._endpoints: Dict[str, GroupEndpoint] = {}
+        self._delivery_callbacks: List[DeliveryCallback] = []
+        if delivery_callback is not None:
+            self._delivery_callbacks.append(delivery_callback)
+        #: Per-group set of request ids unicast to a sequencer and not yet
+        #: sequenced (the Send / Mixed-mode Blocking Rule bookkeeping).
+        self._outstanding_unicasts: Dict[str, Set[str]] = {}
+        #: Group messages that arrived for a group whose formation we are
+        #: still voting on (e.g. a faster member's start-group overtaking the
+        #: last vote); replayed once the group is activated locally.
+        self._pre_activation_buffer: Dict[str, List[DataMessage]] = {}
+        self.delivered: List[DeliveredMessage] = []
+        self.crashed = False
+        self._delivering = False
+        self._flushing = False
+
+    # ------------------------------------------------------------------
+    # Group membership (public API)
+    # ------------------------------------------------------------------
+    def create_group(
+        self,
+        group_id: str,
+        members: Sequence[str],
+        mode: Optional[OrderingMode] = None,
+    ) -> GroupEndpoint:
+        """Install the initial view of a statically configured group.
+
+        Every intended member must call this with the same membership; the
+        initial view ``V^0`` is the full membership (§3).  For dynamically
+        formed groups use :meth:`form_group` instead.
+        """
+        self._ensure_alive()
+        if group_id in self._endpoints:
+            raise AlreadyMemberError(self.process_id, group_id)
+        if self.process_id not in members:
+            raise NotAMemberError(self.process_id, group_id)
+        endpoint = GroupEndpoint(
+            self,
+            group_id,
+            tuple(sorted(set(members))),
+            mode or self.config.default_mode,
+        )
+        self._endpoints[group_id] = endpoint
+        endpoint.start()
+        return endpoint
+
+    def form_group(
+        self,
+        group_id: str,
+        members: Sequence[str],
+        mode: Optional[OrderingMode] = None,
+    ) -> FormationHandle:
+        """Initiate dynamic formation of a new group (§5.3)."""
+        self._ensure_alive()
+        if group_id in self._endpoints:
+            raise AlreadyMemberError(self.process_id, group_id)
+        return self.formation.initiate(
+            group_id, tuple(sorted(set(members))), mode or self.config.default_mode
+        )
+
+    def activate_formed_group(
+        self, group_id: str, members: Tuple[str, ...], mode: OrderingMode
+    ) -> None:
+        """Formation step 4: install the initial view of a formed group and
+        multicast the ``start-group`` message.  Called by the formation
+        coordinator; applications normally never call this directly."""
+        if self.crashed or group_id in self._endpoints:
+            return
+        endpoint = GroupEndpoint(
+            self, group_id, tuple(sorted(set(members))), mode, formation_wait=True
+        )
+        self._endpoints[group_id] = endpoint
+        endpoint.start()
+        endpoint.send_start_group()
+        # Replay group traffic (typically other members' start-group
+        # messages) that overtook our last formation vote.
+        for message in self._pre_activation_buffer.pop(group_id, []):
+            endpoint.on_data_message(message)
+
+    def leave_group(self, group_id: str) -> None:
+        """Voluntarily depart from ``group_id``.
+
+        The departing process simply stops participating; the remaining
+        members observe its silence, reach agreement and install a view
+        without it (the paper folds departures into the same machinery as
+        crashes).  Once departed, a process keeps no view for the group.
+        """
+        endpoint = self._endpoint(group_id)
+        self.recorder.record(
+            self.sim.now, trace_events.DEPART, self.process_id, group=group_id
+        )
+        endpoint.shutdown()
+        self.attempt_delivery()
+
+    def crash(self) -> None:
+        """Crash-stop this process: all memberships cease immediately."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.recorder.record(self.sim.now, trace_events.CRASH, self.process_id)
+        for endpoint in self._endpoints.values():
+            endpoint.shutdown()
+        self.transport_endpoint.crash()
+
+    # ------------------------------------------------------------------
+    # Introspection (public API)
+    # ------------------------------------------------------------------
+    @property
+    def groups(self) -> List[str]:
+        """Groups this process currently participates in."""
+        return sorted(
+            group_id
+            for group_id, endpoint in self._endpoints.items()
+            if not endpoint.departed
+        )
+
+    def view(self, group_id: str) -> MembershipView:
+        """The currently installed view for ``group_id``."""
+        return self._endpoint(group_id).view
+
+    def endpoint(self, group_id: str) -> GroupEndpoint:
+        """The group endpoint (advanced introspection; prefer :meth:`view`)."""
+        return self._endpoint(group_id)
+
+    def is_member(self, group_id: str) -> bool:
+        """Whether the process currently participates in ``group_id``."""
+        endpoint = self._endpoints.get(group_id)
+        return endpoint is not None and not endpoint.departed and not self.crashed
+
+    def add_delivery_callback(self, callback: DeliveryCallback) -> None:
+        """Register an additional application delivery callback."""
+        self._delivery_callbacks.append(callback)
+
+    def delivered_payloads(self, group_id: Optional[str] = None) -> List[object]:
+        """Payloads delivered so far, in delivery order."""
+        return [
+            record.payload
+            for record in self.delivered
+            if group_id is None or record.group == group_id
+        ]
+
+    # ------------------------------------------------------------------
+    # Sending (public API)
+    # ------------------------------------------------------------------
+    def multicast(self, group_id: str, payload: object) -> Optional[str]:
+        """Multicast ``payload`` to the members of ``group_id``.
+
+        Returns the end-to-end message id, or ``None`` when the send was
+        deferred (blocking rules, formation wait, view-change blocking or
+        flow control); deferred sends are transmitted automatically, in
+        order, as soon as the obstacle clears.
+        """
+        self._ensure_alive()
+        endpoint = self._endpoint(group_id)
+        if endpoint.departed:
+            raise DepartedGroupError(self.process_id, group_id)
+        reason = self._send_block_reason(endpoint)
+        if reason is not None or endpoint.deferred_sends:
+            endpoint.defer_send(payload, reason or "queued_behind_deferred")
+            return None
+        return self._transmit(endpoint, payload)
+
+    def _transmit(self, endpoint: GroupEndpoint, payload: object) -> str:
+        message_id = endpoint.send_application(payload)
+        self.recorder.record(
+            self.sim.now,
+            trace_events.SEND,
+            self.process_id,
+            group=endpoint.group_id,
+            message_id=message_id,
+            sender=self.process_id,
+            clock=self.clock.value,
+        )
+        return message_id
+
+    def _send_block_reason(self, endpoint: GroupEndpoint) -> Optional[str]:
+        """Why an application send in this group must wait, if at all.
+
+        Implements the Send Blocking Rule / Mixed-mode Blocking Rule
+        (§4.2/§4.3): dissemination waits while a message unicast to the
+        sequencer of a *different* group is still unsequenced.  Also folds
+        in the optional ISIS-style view-change blocking, the §5.3 step-5
+        formation wait, and flow control.
+        """
+        for group_id, outstanding in self._outstanding_unicasts.items():
+            if group_id != endpoint.group_id and outstanding:
+                return f"blocking_rule:{group_id}"
+        if endpoint.in_formation_wait:
+            return "formation_wait"
+        if self.config.block_sends_during_view_change and endpoint.pending_view_changes:
+            return "view_change"
+        if not endpoint.flow.can_send():
+            return "flow_control"
+        return None
+
+    def flush_deferred_sends(self) -> int:
+        """Transmit deferred application sends whose obstacle has cleared.
+
+        Called internally whenever an obstacle may have cleared; returns the
+        number of messages transmitted.  The method is not re-entrant:
+        transmitting a deferred message loops back through the local receive
+        path, which would otherwise re-invoke the flush mid-transmission and
+        interleave the recorded send order.
+        """
+        if self.crashed or self._flushing:
+            return 0
+        self._flushing = True
+        flushed = 0
+        try:
+            for endpoint in self._endpoints.values():
+                while endpoint.deferred_sends and not endpoint.departed:
+                    if self._send_block_reason(endpoint) is not None:
+                        break
+                    payload = endpoint.deferred_sends.pop(0)
+                    self.recorder.record(
+                        self.sim.now,
+                        trace_events.UNBLOCKED_SEND,
+                        self.process_id,
+                        group=endpoint.group_id,
+                    )
+                    self._transmit(endpoint, payload)
+                    flushed += 1
+        finally:
+            self._flushing = False
+        return flushed
+
+    # ------------------------------------------------------------------
+    # Blocking-rule bookkeeping (called by the asymmetric engine)
+    # ------------------------------------------------------------------
+    def note_unicast_outstanding(self, group_id: str, request_id: str) -> None:
+        """A message was unicast to ``group_id``'s sequencer and now awaits
+        sequencing."""
+        self._outstanding_unicasts.setdefault(group_id, set()).add(request_id)
+
+    def note_unicast_sequenced(self, group_id: str, request_id: str) -> None:
+        """A previously unicast message came back from the sequencer."""
+        outstanding = self._outstanding_unicasts.get(group_id)
+        if outstanding is not None:
+            outstanding.discard(request_id)
+        self.flush_deferred_sends()
+
+    def outstanding_unicasts(self, group_id: Optional[str] = None) -> int:
+        """Number of unsequenced unicasts (introspection for tests)."""
+        if group_id is not None:
+            return len(self._outstanding_unicasts.get(group_id, set()))
+        return sum(len(values) for values in self._outstanding_unicasts.values())
+
+    # ------------------------------------------------------------------
+    # Transport ingress
+    # ------------------------------------------------------------------
+    def _on_transport_message(self, tmsg: TransportMessage) -> None:
+        if self.crashed:
+            return
+        payload = tmsg.payload
+        if isinstance(payload, DataMessage):
+            endpoint = self._endpoints.get(payload.group)
+            if endpoint is not None:
+                endpoint.on_data_message(payload)
+            elif self.formation.attempt(payload.group) is not None:
+                self._pre_activation_buffer.setdefault(payload.group, []).append(payload)
+        elif isinstance(payload, SequencerRequest):
+            endpoint = self._endpoints.get(payload.group)
+            if endpoint is not None:
+                endpoint.on_sequencer_request(payload)
+        elif isinstance(payload, (SuspectMessage, RefuteMessage, ConfirmMessage)):
+            endpoint = self._endpoints.get(payload.group)
+            if endpoint is not None:
+                endpoint.on_membership_message(tmsg.src, payload)
+        elif isinstance(payload, FormGroupInvite):
+            self.formation.on_invite(payload)
+        elif isinstance(payload, FormGroupVote):
+            self.formation.on_vote(payload)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected protocol payload: {payload!r}")
+
+    def send_control(self, member: str, payload: object) -> None:
+        """Transmit a formation (control) message to ``member``."""
+        size = payload.wire_size_bytes() if hasattr(payload, "wire_size_bytes") else 0
+        self.transport_endpoint.send(member, payload, channel="newtop", size_bytes=size)
+
+    # ------------------------------------------------------------------
+    # Delivery machinery
+    # ------------------------------------------------------------------
+    def global_deliverable_bound(self) -> float:
+        """``D_i``: the minimum of the per-group deliverable bounds (safe1')."""
+        bounds = [
+            endpoint.deliverable_bound()
+            for endpoint in self._endpoints.values()
+        ]
+        return min(bounds) if bounds else INFINITY
+
+    def attempt_delivery(self) -> int:
+        """Deliver everything that is deliverable, interleaving pending view
+        installations at their thresholds.  Returns deliveries made."""
+        if self.crashed or self._delivering:
+            return 0
+        self._delivering = True
+        delivered = 0
+        try:
+            progress = True
+            while progress:
+                progress = False
+                bound = self.global_deliverable_bound()
+                threshold = min(
+                    (
+                        endpoint.next_view_change_threshold()
+                        for endpoint in self._endpoints.values()
+                    ),
+                    default=INFINITY,
+                )
+                effective = min(bound, threshold)
+                if effective > 0:
+                    for delivery in self.delivery_queue.pop_deliverable(effective):
+                        self._handle_delivery(delivery.message)
+                        delivered += 1
+                        progress = True
+                for endpoint in self._endpoints.values():
+                    if endpoint.maybe_install_views():
+                        progress = True
+        finally:
+            self._delivering = False
+        return delivered
+
+    def deliver_immediately(self, endpoint: GroupEndpoint, message: DataMessage) -> None:
+        """Atomic-only groups: hand the message to the application without
+        total-order gating (Fig. 3's atomic-delivery path)."""
+        self._handle_delivery(message)
+
+    def _handle_delivery(self, message: DataMessage) -> None:
+        endpoint = self._endpoints.get(message.group)
+        view_index = endpoint.view.index if endpoint is not None else -1
+        record = DeliveredMessage(
+            group=message.group,
+            sender=message.sender,
+            payload=message.payload,
+            msg_id=message.msg_id,
+            clock=message.clock,
+            view_index=view_index,
+            time=self.sim.now,
+        )
+        self.delivered.append(record)
+        self.recorder.record(
+            self.sim.now,
+            trace_events.DELIVER,
+            self.process_id,
+            group=message.group,
+            message_id=message.msg_id,
+            sender=message.sender,
+            clock=message.clock,
+            view_index=view_index,
+        )
+        for callback in self._delivery_callbacks:
+            callback(message.group, message.sender, message.payload, message.msg_id)
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _endpoint(self, group_id: str) -> GroupEndpoint:
+        endpoint = self._endpoints.get(group_id)
+        if endpoint is None:
+            raise NotAMemberError(self.process_id, group_id)
+        return endpoint
+
+    def _ensure_alive(self) -> None:
+        if self.crashed:
+            raise ProcessCrashedError(self.process_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self.crashed else "up"
+        return f"NewtopProcess({self.process_id!r}, groups={self.groups}, {state})"

@@ -1,0 +1,159 @@
+"""The failure suspector ``S`` (§5.2).
+
+Each group-view process ``GV_x,i`` has a failure suspector module ``S_i``
+that monitors the liveliness of every other member of the current view:
+
+    "If S_i observes that no multicast message has been received from Pj
+    for a period Omega > omega (omega = the time-silence timeout duration)
+    then it suspects the crash of Pj and notifies GV_i of its suspicion."
+
+A notification has the form ``{Pk, ln}`` where ``ln`` is the number of the
+last message received from ``Pk``.  In an asynchronous system suspicions
+can be wrong -- that is the whole point of the refutation half of the
+membership algorithm -- so the suspector is deliberately simple: a timeout
+per member, checked periodically, plus a *forced* suspicion entry point
+used by membership step (vii) (reciprocating a confirmed detection that
+includes us).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Set
+
+from repro.core.messages import Suspicion
+from repro.net.simulator import EventHandle, Simulator
+
+#: Callback signature: the suspector notifies its GV with a Suspicion.
+NotifyCallback = Callable[[Suspicion], None]
+
+
+class FailureSuspector:
+    """Timeout-based failure suspector for one (process, group) pair."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        own_id: str,
+        members: Iterable[str],
+        suspicion_timeout: float,
+        check_interval: float,
+        notify: NotifyCallback,
+    ) -> None:
+        if suspicion_timeout <= 0 or check_interval <= 0:
+            raise ValueError("suspicion_timeout and check_interval must be positive")
+        self.sim = sim
+        self.own_id = own_id
+        self.suspicion_timeout = suspicion_timeout
+        self.check_interval = check_interval
+        self._notify = notify
+        self._last_heard: Dict[str, float] = {
+            member: sim.now for member in members if member != own_id
+        }
+        self._last_clock: Dict[str, int] = {member: 0 for member in self._last_heard}
+        self._already_suspected: Set[str] = set()
+        self._active = False
+        self._timer: Optional[EventHandle] = None
+        self.suspicions_raised = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start periodic silence checks."""
+        if self._active:
+            return
+        self._active = True
+        now = self.sim.now
+        for member in self._last_heard:
+            self._last_heard[member] = now
+        self._schedule_check()
+
+    def stop(self) -> None:
+        """Stop monitoring (crash, departure, teardown)."""
+        self._active = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    @property
+    def active(self) -> bool:
+        """Whether the suspector is currently running."""
+        return self._active
+
+    # ------------------------------------------------------------------
+    # Inputs from the endpoint
+    # ------------------------------------------------------------------
+    def heard_from(self, member: str, clock: int) -> None:
+        """Record activity from ``member`` carrying message number ``clock``.
+
+        Any group traffic counts (data, null, membership), matching the
+        paper's "no multicast message has been received from Pj".
+        """
+        if member == self.own_id or member not in self._last_heard:
+            return
+        self._last_heard[member] = self.sim.now
+        if clock > self._last_clock.get(member, 0):
+            self._last_clock[member] = clock
+
+    def clear_suspicion(self, member: str) -> None:
+        """A suspicion on ``member`` was refuted; allow re-suspecting later."""
+        self._already_suspected.discard(member)
+        if member in self._last_heard:
+            self._last_heard[member] = self.sim.now
+
+    def remove_member(self, member: str) -> None:
+        """Stop monitoring ``member`` (it left the view)."""
+        self._last_heard.pop(member, None)
+        self._last_clock.pop(member, None)
+        self._already_suspected.discard(member)
+
+    def force_suspect(self, member: str) -> None:
+        """Membership step (vii): unconditionally suspect ``member`` now."""
+        if member == self.own_id or member not in self._last_heard:
+            return
+        self._raise_suspicion(member)
+
+    def monitored_members(self) -> Set[str]:
+        """Members currently being monitored."""
+        return set(self._last_heard)
+
+    def last_clock(self, member: str) -> int:
+        """Number of the last message seen from ``member`` (0 if none)."""
+        return self._last_clock.get(member, 0)
+
+    def last_heard(self, member: str) -> Optional[float]:
+        """Simulated time at which ``member`` was last heard from, or
+        ``None`` if the member is not monitored."""
+        return self._last_heard.get(member)
+
+    # ------------------------------------------------------------------
+    # Internal machinery
+    # ------------------------------------------------------------------
+    def _schedule_check(self) -> None:
+        if not self._active:
+            return
+        self._timer = self.sim.schedule(self.check_interval, self._on_check, label="suspector")
+
+    def _on_check(self) -> None:
+        if not self._active:
+            return
+        now = self.sim.now
+        for member, last in list(self._last_heard.items()):
+            if member in self._already_suspected:
+                continue
+            if now - last >= self.suspicion_timeout:
+                self._raise_suspicion(member)
+        self._schedule_check()
+
+    def _raise_suspicion(self, member: str) -> None:
+        if member in self._already_suspected:
+            return
+        self._already_suspected.add(member)
+        self.suspicions_raised += 1
+        self._notify(Suspicion(target=member, last_number=self._last_clock.get(member, 0)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FailureSuspector(own={self.own_id!r}, monitored={sorted(self._last_heard)}, "
+            f"suspected={sorted(self._already_suspected)})"
+        )

@@ -1,0 +1,115 @@
+"""The time-silence mechanism (§4.1).
+
+Delivery in the symmetric protocol is gated on ``D_x,i`` -- the minimum
+message number received from every view member -- so a member that has
+nothing to say would stall everybody else's deliveries.  The paper's
+remedy:
+
+    "Newtop provides each process with a simple mechanism, called the
+    time-silence, that enables a process to remain lively by sending null
+    messages during those periods it is not generating computational
+    messages.  We assume that this mechanism for a given Pi prompts Pi to
+    send a null message, if no (null or non-null) message was sent by Pi in
+    the past interval of a fixed length, say, omega."
+
+The mechanism operates *independently per group* (a process chatty in one
+group may still be silent in another), and in the asymmetric protocol only
+the sequencer needs to run it (§4.2).  Beyond liveness of delivery, the
+paper notes the mechanism is also what makes crash detection possible at
+all, so it keeps running even when only atomic delivery is required (§5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.simulator import EventHandle, Simulator
+
+
+class TimeSilence:
+    """Per-(process, group) null-message timer.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel (provides time and timers).
+    omega:
+        The silence threshold ω.
+    send_null:
+        Callback invoked when the process has been silent in the group for
+        ω; expected to multicast a null message (which resets the timer via
+        :meth:`notify_sent`).
+    """
+
+    def __init__(self, sim: Simulator, omega: float, send_null: Callable[[], None]) -> None:
+        if omega <= 0:
+            raise ValueError(f"omega must be positive (got {omega})")
+        self.sim = sim
+        self.omega = omega
+        self._send_null = send_null
+        self._last_send_time: float = sim.now
+        self._active = False
+        self._timer: Optional[EventHandle] = None
+        self.nulls_sent = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin monitoring; the first null can fire ω from now."""
+        if self._active:
+            return
+        self._active = True
+        self._last_send_time = self.sim.now
+        self._schedule_check(self.omega)
+
+    def stop(self) -> None:
+        """Stop monitoring (process crashed, departed the group, or the
+        group endpoint is being torn down)."""
+        self._active = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    @property
+    def active(self) -> bool:
+        """Whether the mechanism is currently running."""
+        return self._active
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def notify_sent(self) -> None:
+        """Record that the process just sent a message (null or not) in the
+        group; pushes the next null out by ω."""
+        self._last_send_time = self.sim.now
+
+    def _schedule_check(self, delay: float) -> None:
+        if not self._active:
+            return
+        self._timer = self.sim.schedule(delay, self._on_timer, label="time-silence")
+
+    #: Tolerance applied when comparing the silent interval against ω, so
+    #: floating-point rounding of simulated timestamps cannot leave the
+    #: timer re-arming itself with a vanishingly small delay forever.
+    _EPSILON = 1e-9
+
+    def _on_timer(self) -> None:
+        if not self._active:
+            return
+        silent_for = self.sim.now - self._last_send_time
+        if silent_for + self._EPSILON >= self.omega:
+            self.nulls_sent += 1
+            self._send_null()
+            # The send_null callback goes through the normal send path, so
+            # notify_sent() has been called and _last_send_time is now.
+            self._schedule_check(self.omega)
+        else:
+            # Something was sent in the meantime; wake up when the current
+            # silence would reach ω (never sooner than the tolerance, so the
+            # timer always makes real progress).
+            self._schedule_check(max(self.omega - silent_for, self._EPSILON * 10))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "active" if self._active else "stopped"
+        return f"TimeSilence(omega={self.omega}, nulls_sent={self.nulls_sent}, {state})"

@@ -1,0 +1,153 @@
+"""Receive vectors, stability vectors and the deliverability bound ``D``.
+
+§4.1: each process ``Pi`` keeps, per group ``gx``, a *receive vector*
+``RV_x,i`` with one entry per member of its current view recording the
+number (``m.c``) of the latest message received from that member.  The
+minimum entry, ``D_x,i``, bounds the numbers of messages that can still
+arrive: because senders number their messages increasingly and channels are
+FIFO, ``Pi`` will never again receive a message numbered ``<= D_x,i`` in
+``gx``, so every received message numbered ``<= D_x,i`` is safe to deliver
+(condition *safe1*).  For a multi-group process the per-group minima are
+combined into ``D_i = min over groups`` (*safe1'*).
+
+§5.1: the *stability vector* ``SV_x,i`` records, per member, the largest
+``m.ldn`` (the sender's own ``D`` at send time) received from it; a message
+numbered ``<= min(SV_x,i)`` has been received by every member of the view
+and can be discarded from retransmission buffers.
+
+§5.2 (view installation, step viii): entries of failed processes are set to
+infinity so that ``D`` can advance past the point at which the failed
+processes fell silent.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, Optional
+
+#: Sentinel used for members removed from the view: their entry no longer
+#: constrains the minimum (step (viii): ``RV[k] := infinity``).
+INFINITY = math.inf
+
+
+class MemberVector:
+    """A per-member counter vector with a cached minimum.
+
+    Base class for :class:`ReceiveVector` and :class:`StabilityVector`;
+    both are maps ``member id -> message number`` whose minimum over the
+    current view drives a protocol decision.
+    """
+
+    def __init__(self, members: Iterable[str], initial: int = 0) -> None:
+        self._entries: Dict[str, float] = {member: initial for member in members}
+        if not self._entries:
+            raise ValueError("a member vector needs at least one member")
+
+    # ------------------------------------------------------------------
+    # Entry access
+    # ------------------------------------------------------------------
+    def __getitem__(self, member: str) -> float:
+        return self._entries[member]
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, member: str, default: Optional[float] = None) -> Optional[float]:
+        """Entry for ``member`` or ``default`` when absent."""
+        return self._entries.get(member, default)
+
+    def members(self) -> list[str]:
+        """Member identifiers tracked by this vector, sorted."""
+        return sorted(self._entries)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Copy of the underlying mapping (for inspection / metrics)."""
+        return dict(self._entries)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def update(self, member: str, value: float) -> bool:
+        """Record ``value`` for ``member`` if it is larger than the current
+        entry.  Returns True if the entry changed.
+
+        Message numbers from one sender only ever increase (CA1 + FIFO), so
+        a monotone update is the correct and safe behaviour even if the
+        caller processes piggybacked or recovered messages out of order.
+        """
+        if member not in self._entries:
+            raise KeyError(f"{member!r} is not tracked by this vector")
+        if value > self._entries[member]:
+            self._entries[member] = value
+            return True
+        return False
+
+    def mark_infinite(self, member: str) -> None:
+        """Step (viii): stop letting ``member`` constrain the minimum."""
+        if member in self._entries:
+            self._entries[member] = INFINITY
+
+    def remove(self, member: str) -> None:
+        """Drop ``member`` from the vector entirely (after view installation)."""
+        self._entries.pop(member, None)
+
+    def add_member(self, member: str, initial: int = 0) -> None:
+        """Track a new member (used only by group formation, where the
+        vector is created for the full intended membership)."""
+        self._entries.setdefault(member, initial)
+
+    # ------------------------------------------------------------------
+    # The protocol-relevant aggregate
+    # ------------------------------------------------------------------
+    def minimum(self) -> float:
+        """Minimum entry over all tracked members.
+
+        Entries marked infinite (failed/departed members) do not constrain
+        the result; if *every* entry is infinite the result is infinity,
+        meaning nothing constrains deliverability any more.
+        """
+        return min(self._entries.values()) if self._entries else INFINITY
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{member}:{value}" for member, value in sorted(self._entries.items()))
+        return f"{type(self).__name__}({inner})"
+
+
+class ReceiveVector(MemberVector):
+    """``RV_x,i``: latest message number received from each view member.
+
+    ``minimum()`` is the paper's ``D_x,i``.
+    """
+
+    def record_receipt(self, sender: str, clock: int) -> bool:
+        """Record that a message numbered ``clock`` arrived from ``sender``."""
+        return self.update(sender, clock)
+
+    @property
+    def deliverable_bound(self) -> float:
+        """``D_x,i`` -- the largest number that is safe to deliver."""
+        return self.minimum()
+
+
+class StabilityVector(MemberVector):
+    """``SV_x,i``: latest ``m.ldn`` received from each view member.
+
+    ``minimum()`` bounds the numbers of messages known to have been received
+    by every member; such messages are *stable* and may be discarded from
+    retransmission buffers (§5.1).
+    """
+
+    def record_ldn(self, sender: str, ldn: int) -> bool:
+        """Record the ``m.ldn`` piggybacked on a message from ``sender``."""
+        return self.update(sender, ldn)
+
+    @property
+    def stability_bound(self) -> float:
+        """Largest message number known to be stable."""
+        return self.minimum()

@@ -1,0 +1,63 @@
+"""Simulated asynchronous network substrate for the Newtop reproduction.
+
+The paper assumes an asynchronous communication environment (no bound on
+message transmission times), a message transport layer providing
+uncorrupted, sequenced (FIFO) transmission between connected, functioning
+processes, crash-stop process failures and (real or virtual) network
+partitions.  This package provides exactly that environment as a
+deterministic, seedable discrete-event simulation:
+
+* :mod:`repro.net.simulator` -- the discrete-event kernel (clock, event
+  queue, timers, seeded randomness).
+* :mod:`repro.net.latency` -- latency models used to sample per-message
+  transmission delays.
+* :mod:`repro.net.partitions` -- the partition model (which pairs of nodes
+  can currently communicate).
+* :mod:`repro.net.network` -- the network fabric gluing latency, partitions
+  and crashed-node tracking together.
+* :mod:`repro.net.transport` -- the reliable FIFO transport endpoints used
+  by protocol processes.
+* :mod:`repro.net.failures` -- declarative fault-injection schedules
+  (crashes, crash-during-multicast, partitions, heals).
+* :mod:`repro.net.trace` -- an event trace recorder consumed by the
+  property checkers and the benchmark harness.
+"""
+
+from repro.net.failures import FailureSchedule, FaultInjector
+from repro.net.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    JitteredLatency,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+)
+from repro.net.network import Network, NetworkConfig, NetworkStats
+from repro.net.partitions import PartitionManager
+from repro.net.simulator import EventHandle, Simulator, SimulatorError
+from repro.net.trace import EventTrace, TraceEvent, TraceRecorder
+from repro.net.transport import Endpoint, Transport, TransportMessage
+
+__all__ = [
+    "ConstantLatency",
+    "Endpoint",
+    "EventHandle",
+    "EventTrace",
+    "ExponentialLatency",
+    "FailureSchedule",
+    "FaultInjector",
+    "JitteredLatency",
+    "LatencyModel",
+    "LogNormalLatency",
+    "Network",
+    "NetworkConfig",
+    "NetworkStats",
+    "PartitionManager",
+    "Simulator",
+    "SimulatorError",
+    "TraceEvent",
+    "TraceRecorder",
+    "Transport",
+    "TransportMessage",
+    "UniformLatency",
+]

@@ -1,0 +1,144 @@
+"""Latency models for the simulated asynchronous network.
+
+The paper's only assumption about message transmission is that delays are
+*unbounded and unpredictable* ("message transmission times cannot be
+accurately estimated").  Each model below samples a per-message delay; the
+network layer additionally enforces FIFO ordering per channel, matching the
+paper's transport-layer assumption of sequenced delivery.
+
+All models draw from a :class:`random.Random` supplied by the simulator so
+that simulations are reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+class LatencyModel(ABC):
+    """Samples one-way message transmission delays."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        """Return a non-negative delay for a message from ``src`` to ``dst``."""
+
+    def describe(self) -> str:
+        """Human-readable description used in benchmark reports."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``delay`` time units.
+
+    Useful in unit tests where deterministic arrival times make assertions
+    about delivery order straightforward.
+    """
+
+    delay: float = 1.0
+
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        return self.delay
+
+    def describe(self) -> str:
+        return f"constant({self.delay})"
+
+
+@dataclass(frozen=True)
+class UniformLatency(LatencyModel):
+    """Delays uniformly distributed in ``[low, high]``."""
+
+    low: float = 0.5
+    high: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ValueError(f"invalid uniform latency bounds [{self.low}, {self.high}]")
+
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def describe(self) -> str:
+        return f"uniform({self.low}, {self.high})"
+
+
+@dataclass(frozen=True)
+class ExponentialLatency(LatencyModel):
+    """Exponentially distributed delays with a minimum floor.
+
+    Heavy-ish tail: occasionally a message is much slower than average,
+    which is exactly the behaviour that makes asynchronous protocols hard
+    and exercises the time-silence / suspicion machinery.
+    """
+
+    mean: float = 1.0
+    floor: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0 or self.floor < 0:
+            raise ValueError("mean must be positive and floor non-negative")
+
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        return self.floor + rng.expovariate(1.0 / self.mean)
+
+    def describe(self) -> str:
+        return f"exponential(mean={self.mean}, floor={self.floor})"
+
+
+@dataclass(frozen=True)
+class LogNormalLatency(LatencyModel):
+    """Log-normally distributed delays, a common WAN latency approximation.
+
+    ``median`` is the median delay; ``sigma`` controls tail heaviness.
+    """
+
+    median: float = 1.0
+    sigma: float = 0.5
+    floor: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.median <= 0 or self.sigma < 0 or self.floor < 0:
+            raise ValueError("invalid log-normal latency parameters")
+
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        return self.floor + rng.lognormvariate(math.log(self.median), self.sigma)
+
+    def describe(self) -> str:
+        return f"lognormal(median={self.median}, sigma={self.sigma})"
+
+
+@dataclass(frozen=True)
+class JitteredLatency(LatencyModel):
+    """A fixed base delay per ordered pair plus random jitter.
+
+    Models a geographically distributed deployment (e.g. processes
+    "communicating over the Internet", as the paper motivates): each
+    directed pair gets a stable base delay derived from the pair identity,
+    plus per-message jitter.
+    """
+
+    base_low: float = 0.5
+    base_high: float = 5.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_low < 0 or self.base_high < self.base_low or self.jitter < 0:
+            raise ValueError("invalid jittered latency parameters")
+
+    def _pair_base(self, src: str, dst: str) -> float:
+        # Derive a stable pseudo-random base delay from the pair identity so
+        # that the same pair always has the same base regardless of sampling
+        # order.  Uses a dedicated Random seeded from the pair.
+        pair_rng = random.Random(f"{src}->{dst}")
+        return pair_rng.uniform(self.base_low, self.base_high)
+
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        return self._pair_base(src, dst) + rng.uniform(0.0, self.jitter)
+
+    def describe(self) -> str:
+        return (
+            f"jittered(base=[{self.base_low}, {self.base_high}], jitter={self.jitter})"
+        )

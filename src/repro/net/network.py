@@ -1,0 +1,233 @@
+"""Simulated network fabric.
+
+The :class:`Network` connects named nodes through point-to-point channels
+with these properties, matching the paper's transport assumptions:
+
+* **Reliable and sequenced (FIFO)** between connected, functioning nodes:
+  each directed channel delivers messages in the order they were sent, and
+  never corrupts or duplicates them.
+* **Asynchronous**: per-message delays are sampled from a pluggable
+  :class:`~repro.net.latency.LatencyModel` and are unbounded in general.
+* **Crash-stop failures**: a crashed node never sends again and messages
+  addressed to it are discarded.
+* **Partitions**: while two nodes are in different partition components
+  messages between them are silently dropped (checked both when the message
+  is sent and when it would be delivered, so messages in flight across a
+  partition event are lost -- exactly the scenario of the paper's Fig. 2 /
+  Example 2).
+
+In addition the network supports *message filters*: predicates that may
+drop individual messages.  Filters are how the fault injector models a
+sender crashing part-way through a multicast (Example 1) without the
+protocol code needing any special hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.net.latency import LatencyModel, UniformLatency
+from repro.net.partitions import PartitionManager
+from repro.net.simulator import Simulator
+
+#: A filter receives ``(src, dst, payload)`` and returns ``True`` to let the
+#: message through, ``False`` to drop it.
+MessageFilter = Callable[[str, str, object], bool]
+
+#: Delivery callback registered per node: ``callback(src, payload)``.
+DeliverCallback = Callable[[str, object], None]
+
+
+@dataclass
+class NetworkConfig:
+    """Tunable parameters of the simulated network."""
+
+    #: Model used to sample the one-way delay of every message.
+    latency_model: LatencyModel = field(default_factory=UniformLatency)
+    #: Whether a message already in flight is lost if a partition separates
+    #: sender and receiver before it would be delivered.  The paper's
+    #: scenarios (a partition occurring "while m1 is being multicast")
+    #: require this to be True.
+    drop_in_flight_on_partition: bool = True
+    #: Minimal spacing enforced between consecutive deliveries on one
+    #: channel, used to preserve FIFO order under random latencies.
+    fifo_epsilon: float = 1e-9
+
+
+@dataclass
+class NetworkStats:
+    """Counters maintained by the network, used by benchmarks."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped_partition: int = 0
+    messages_dropped_crash: int = 0
+    messages_dropped_filter: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+
+    @property
+    def messages_dropped(self) -> int:
+        """Total messages lost for any reason."""
+        return (
+            self.messages_dropped_partition
+            + self.messages_dropped_crash
+            + self.messages_dropped_filter
+        )
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict copy, convenient for benchmark result tables."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped_partition": self.messages_dropped_partition,
+            "messages_dropped_crash": self.messages_dropped_crash,
+            "messages_dropped_filter": self.messages_dropped_filter,
+            "bytes_sent": self.bytes_sent,
+            "bytes_delivered": self.bytes_delivered,
+        }
+
+
+class Network:
+    """Point-to-point message fabric between named nodes."""
+
+    def __init__(self, sim: Simulator, config: Optional[NetworkConfig] = None) -> None:
+        self.sim = sim
+        self.config = config or NetworkConfig()
+        self.partitions = PartitionManager()
+        self.stats = NetworkStats()
+        self._deliver_callbacks: Dict[str, DeliverCallback] = {}
+        self._crashed: set[str] = set()
+        self._filters: List[MessageFilter] = []
+        # Per directed channel: the simulated time of the latest scheduled
+        # delivery, used to preserve FIFO order.
+        self._last_delivery_time: Dict[Tuple[str, str], float] = {}
+
+    # ------------------------------------------------------------------
+    # Node management
+    # ------------------------------------------------------------------
+    def attach(self, node_id: str, deliver: DeliverCallback) -> None:
+        """Register ``node_id`` with its delivery callback."""
+        if node_id in self._deliver_callbacks:
+            raise ValueError(f"node {node_id!r} already attached")
+        self._deliver_callbacks[node_id] = deliver
+        self.partitions.register(node_id)
+
+    def detach(self, node_id: str) -> None:
+        """Remove a node; pending messages to it will be dropped."""
+        self._deliver_callbacks.pop(node_id, None)
+
+    @property
+    def nodes(self) -> List[str]:
+        """Identifiers of all attached nodes."""
+        return sorted(self._deliver_callbacks)
+
+    def crash(self, node_id: str) -> None:
+        """Mark ``node_id`` as crashed (crash-stop: it never recovers)."""
+        self._crashed.add(node_id)
+
+    def is_crashed(self, node_id: str) -> bool:
+        """Whether ``node_id`` has crashed."""
+        return node_id in self._crashed
+
+    @property
+    def crashed_nodes(self) -> set[str]:
+        """Set of crashed node ids."""
+        return set(self._crashed)
+
+    # ------------------------------------------------------------------
+    # Filters (used by fault injection)
+    # ------------------------------------------------------------------
+    def add_filter(self, message_filter: MessageFilter) -> None:
+        """Install a drop filter; it applies to messages sent afterwards."""
+        self._filters.append(message_filter)
+
+    def remove_filter(self, message_filter: MessageFilter) -> None:
+        """Remove a previously installed filter (no-op if absent)."""
+        if message_filter in self._filters:
+            self._filters.remove(message_filter)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, payload: object, size_bytes: int = 0) -> bool:
+        """Send ``payload`` from ``src`` to ``dst``.
+
+        Returns ``True`` if the message was accepted for (eventual)
+        delivery, ``False`` if it was dropped immediately (crashed sender or
+        receiver, partition, or filter).  Note that acceptance does not
+        guarantee delivery: an in-flight message can still be lost to a
+        partition installed before its delivery time.
+        """
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += size_bytes
+        if src in self._crashed:
+            self.stats.messages_dropped_crash += 1
+            return False
+        if dst in self._crashed:
+            self.stats.messages_dropped_crash += 1
+            return False
+        if not self.partitions.can_communicate(src, dst):
+            self.stats.messages_dropped_partition += 1
+            return False
+        for message_filter in self._filters:
+            if not message_filter(src, dst, payload):
+                self.stats.messages_dropped_filter += 1
+                return False
+
+        delay = self.config.latency_model.sample(self.sim.rng, src, dst)
+        channel = (src, dst)
+        earliest = self._last_delivery_time.get(channel, -1.0) + self.config.fifo_epsilon
+        delivery_time = max(self.sim.now + delay, earliest)
+        self._last_delivery_time[channel] = delivery_time
+        self.sim.schedule_at(
+            delivery_time,
+            self._deliver,
+            src,
+            dst,
+            payload,
+            size_bytes,
+            label=f"deliver {src}->{dst}",
+        )
+        return True
+
+    def multicast(
+        self, src: str, dsts: Iterable[str], payload: object, size_bytes: int = 0
+    ) -> int:
+        """Send ``payload`` from ``src`` to every destination in ``dsts``.
+
+        Destinations are contacted in sorted order (deterministic).  Returns
+        the number of sends accepted.
+        """
+        accepted = 0
+        for dst in sorted(set(dsts)):
+            if self.send(src, dst, payload, size_bytes=size_bytes):
+                accepted += 1
+        return accepted
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def _deliver(self, src: str, dst: str, payload: object, size_bytes: int) -> None:
+        if dst in self._crashed:
+            self.stats.messages_dropped_crash += 1
+            return
+        if self.config.drop_in_flight_on_partition and not self.partitions.can_communicate(
+            src, dst
+        ):
+            self.stats.messages_dropped_partition += 1
+            return
+        callback = self._deliver_callbacks.get(dst)
+        if callback is None:
+            self.stats.messages_dropped_crash += 1
+            return
+        self.stats.messages_delivered += 1
+        self.stats.bytes_delivered += size_bytes
+        callback(src, payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network(nodes={len(self._deliver_callbacks)}, crashed={len(self._crashed)}, "
+            f"partition={self.partitions.describe()!r})"
+        )

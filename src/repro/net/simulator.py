@@ -1,0 +1,252 @@
+"""Discrete-event simulation kernel.
+
+The Newtop paper assumes an *asynchronous* system: message transmission
+times cannot be accurately estimated and processes have no synchronised
+clocks.  A discrete-event simulator reproduces this faithfully while being
+deterministic and seedable, which is what the test-suite and the benchmark
+harness need.  Simulated time is a ``float`` in arbitrary "time units";
+the protocol never reads it for correctness decisions (only timers such as
+the time-silence period ``omega`` and the suspicion timeout ``Omega`` are
+expressed in it, exactly as the paper's timeouts are).
+
+The kernel is intentionally small:
+
+* :class:`Simulator` owns the virtual clock, the pending-event heap and a
+  seeded :class:`random.Random` instance.
+* :meth:`Simulator.schedule` registers a callback after a delay and returns
+  an :class:`EventHandle` that can be cancelled.
+* :meth:`Simulator.run` / :meth:`Simulator.run_until` drive the simulation.
+
+Everything above the kernel (network, transport, protocol processes) is
+built from these primitives.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulatorError(RuntimeError):
+    """Raised when the simulation kernel is used incorrectly."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    """Internal heap entry.
+
+    Ordered by ``(time, sequence)`` so that events scheduled for the same
+    instant fire in the order they were scheduled (stable, deterministic).
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+    label: str = field(compare=False, default="")
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`, usable to cancel."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the event will fire."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this handle."""
+        return self._event.cancelled
+
+    @property
+    def label(self) -> str:
+        """Optional human-readable label given at scheduling time."""
+        return self._event.label
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self._event.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(time={self.time!r}, label={self.label!r}, {state})"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-owned random number generator.  All
+        randomness in a simulation (latency sampling, workload generation)
+        should be drawn from :attr:`rng` so runs are reproducible.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now: float = 0.0
+        self._heap: list[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._events_processed = 0
+        self._running = False
+        self.rng = random.Random(seed)
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (monitoring / debugging)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently queued (including cancelled ones)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` time units from now.
+
+        ``delay`` must be non-negative; a zero delay schedules the callback
+        for the current instant but *after* the currently executing event
+        completes (run-to-completion semantics, like an event loop).
+        """
+        if delay < 0:
+            raise SimulatorError(f"cannot schedule an event in the past (delay={delay})")
+        event = _ScheduledEvent(
+            time=self._now + delay,
+            sequence=next(self._sequence),
+            callback=callback,
+            args=args,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at an absolute simulated time."""
+        return self.schedule(time - self._now, callback, *args, label=label)
+
+    def call_soon(self, callback: Callable[..., None], *args: Any, label: str = "") -> EventHandle:
+        """Schedule ``callback(*args)`` at the current instant."""
+        return self.schedule(0.0, callback, *args, label=label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event was executed, ``False`` if the queue
+        was empty (only cancelled events or nothing at all).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulatorError("event heap corrupted: time went backwards")
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` is reached or
+        ``max_events`` events have been executed.
+
+        ``until`` is an absolute simulated time; events scheduled at exactly
+        ``until`` are executed.  When the run stops because of ``until`` the
+        clock is advanced to ``until`` so subsequent relative scheduling
+        behaves intuitively.
+        """
+        if self._running:
+            raise SimulatorError("Simulator.run is not re-entrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                if max_events is not None and executed >= max_events:
+                    return
+                # Peek at the next non-cancelled event.
+                next_event = self._peek()
+                if next_event is None:
+                    break
+                if until is not None and next_event.time > until:
+                    break
+                if not self.step():
+                    break
+                executed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float,
+        max_events: int = 10_000_000,
+    ) -> bool:
+        """Run until ``predicate()`` becomes true or ``timeout`` time passes.
+
+        Returns ``True`` if the predicate became true, ``False`` on timeout
+        or queue exhaustion.  The predicate is evaluated after every event.
+        """
+        deadline = self._now + timeout
+        executed = 0
+        if predicate():
+            return True
+        while self._heap and executed < max_events:
+            next_event = self._peek()
+            if next_event is None or next_event.time > deadline:
+                break
+            self.step()
+            executed += 1
+            if predicate():
+                return True
+        return predicate()
+
+    def _peek(self) -> Optional[_ScheduledEvent]:
+        """Return the next non-cancelled event without executing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now:.3f}, pending={self.pending_events}, "
+            f"processed={self._events_processed})"
+        )

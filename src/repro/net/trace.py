@@ -1,0 +1,306 @@
+"""Event trace recording.
+
+Every protocol implementation in this repository (Newtop and the baselines)
+reports its externally observable events -- sends, receives, deliveries,
+view installations, suspicions -- to a :class:`TraceRecorder`.  The trace is
+the single source of truth used by:
+
+* the property checkers in :mod:`repro.analysis.checkers`, which assert the
+  paper's guarantees (MD1-MD5', VC1-VC3) over whole executions, and
+* the benchmark harness, which derives latency, message-count and overhead
+  series from it.
+
+Keeping verification outside the protocol code means the checks cannot be
+accidentally weakened by the implementation they are checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+#: Event kinds recorded by protocol implementations.
+SEND = "send"
+RECEIVE = "receive"
+DELIVER = "deliver"
+NULL_SEND = "null_send"
+NULL_DELIVER = "null_deliver"
+VIEW_INSTALL = "view_install"
+SUSPECT = "suspect"
+REFUTE = "refute"
+CONFIRM = "confirm"
+CRASH = "crash"
+DEPART = "depart"
+GROUP_FORMED = "group_formed"
+BLOCKED_SEND = "blocked_send"
+UNBLOCKED_SEND = "unblocked_send"
+
+EVENT_KINDS = frozenset(
+    {
+        SEND,
+        RECEIVE,
+        DELIVER,
+        NULL_SEND,
+        NULL_DELIVER,
+        VIEW_INSTALL,
+        SUSPECT,
+        REFUTE,
+        CONFIRM,
+        CRASH,
+        DEPART,
+        GROUP_FORMED,
+        BLOCKED_SEND,
+        UNBLOCKED_SEND,
+    }
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    Attributes
+    ----------
+    time:
+        Simulated time of the event.
+    kind:
+        One of the module-level event-kind constants.
+    process:
+        Identifier of the process at which the event occurred.
+    group:
+        Group identifier the event refers to (may be ``None`` for
+        process-level events such as crashes).
+    message_id:
+        Globally unique message identifier for message events.
+    sender:
+        Original sender for message events.
+    clock:
+        The message number ``m.c`` for message events.
+    details:
+        Free-form extra data (view composition, suspicion target, ...).
+    seq:
+        Per-trace monotonically increasing sequence number; breaks ties
+        between events at the same simulated time and records the physical
+        order in which the recorder saw them.
+    """
+
+    time: float
+    kind: str
+    process: str
+    group: Optional[str] = None
+    message_id: Optional[str] = None
+    sender: Optional[str] = None
+    clock: Optional[int] = None
+    details: Tuple[Tuple[str, Any], ...] = ()
+    seq: int = 0
+
+    def detail(self, key: str, default: Any = None) -> Any:
+        """Look up a value recorded in :attr:`details`."""
+        for item_key, value in self.details:
+            if item_key == key:
+                return value
+        return default
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` objects during a simulation."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+        self._seq = 0
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        process: str,
+        group: Optional[str] = None,
+        message_id: Optional[str] = None,
+        sender: Optional[str] = None,
+        clock: Optional[int] = None,
+        **details: Any,
+    ) -> TraceEvent:
+        """Record one event and return it."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown trace event kind {kind!r}")
+        event = TraceEvent(
+            time=time,
+            kind=kind,
+            process=process,
+            group=group,
+            message_id=message_id,
+            sender=sender,
+            clock=clock,
+            details=tuple(sorted(details.items())),
+            seq=self._seq,
+        )
+        self._seq += 1
+        self._events.append(event)
+        return event
+
+    def trace(self) -> "EventTrace":
+        """Return an immutable queryable view over the recorded events."""
+        return EventTrace(list(self._events))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class EventTrace:
+    """Queryable, immutable view over a list of trace events."""
+
+    def __init__(self, events: List[TraceEvent]) -> None:
+        self._events = sorted(events, key=lambda event: (event.time, event.seq))
+
+    # ------------------------------------------------------------------
+    # Basic access
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(
+        self,
+        kind: Optional[str] = None,
+        process: Optional[str] = None,
+        group: Optional[str] = None,
+    ) -> List[TraceEvent]:
+        """Events filtered by any combination of kind, process and group."""
+        result = []
+        for event in self._events:
+            if kind is not None and event.kind != kind:
+                continue
+            if process is not None and event.process != process:
+                continue
+            if group is not None and event.group != group:
+                continue
+            result.append(event)
+        return result
+
+    # ------------------------------------------------------------------
+    # Derived views used by checkers and benchmarks
+    # ------------------------------------------------------------------
+    def processes(self) -> List[str]:
+        """All process identifiers appearing in the trace."""
+        return sorted({event.process for event in self._events})
+
+    def groups(self) -> List[str]:
+        """All group identifiers appearing in the trace."""
+        return sorted({event.group for event in self._events if event.group is not None})
+
+    def delivered_sequence(
+        self, process: str, group: Optional[str] = None, include_nulls: bool = False
+    ) -> List[TraceEvent]:
+        """Delivery events at ``process`` in delivery order.
+
+        With ``group`` given, restricted to that group's messages; the order
+        is still the process-local delivery order (which, for multi-group
+        processes, interleaves groups).
+        """
+        kinds = {DELIVER}
+        if include_nulls:
+            kinds.add(NULL_DELIVER)
+        result = []
+        for event in self._events:
+            if event.process != process or event.kind not in kinds:
+                continue
+            if group is not None and event.group != group:
+                continue
+            result.append(event)
+        return result
+
+    def delivered_ids(self, process: str, group: Optional[str] = None) -> List[str]:
+        """Message ids delivered at ``process`` in delivery order."""
+        return [
+            event.message_id
+            for event in self.delivered_sequence(process, group)
+            if event.message_id is not None
+        ]
+
+    def sends(self, process: Optional[str] = None, group: Optional[str] = None) -> List[TraceEvent]:
+        """Application (non-null) send events."""
+        return self.events(kind=SEND, process=process, group=group)
+
+    def views_installed(self, process: str, group: str) -> List[TraceEvent]:
+        """View-installation events at ``process`` for ``group``, in order."""
+        return self.events(kind=VIEW_INSTALL, process=process, group=group)
+
+    def view_sequence(self, process: str, group: str) -> List[frozenset]:
+        """The sequence of views (as frozensets of member ids) installed."""
+        return [
+            frozenset(event.detail("members", ()))
+            for event in self.views_installed(process, group)
+        ]
+
+    def crashed_processes(self) -> List[str]:
+        """Processes that recorded a crash event."""
+        return sorted({event.process for event in self.events(kind=CRASH)})
+
+    def delivery_latencies(self, group: Optional[str] = None) -> List[float]:
+        """Per-delivery latency: delivery time minus original send time.
+
+        Only application messages are considered; every delivery of a
+        message contributes one sample (so a multicast to `n` members
+        contributes up to `n` samples).
+        """
+        send_times: Dict[str, float] = {}
+        for event in self.events(kind=SEND, group=group):
+            if event.message_id is not None:
+                send_times[event.message_id] = event.time
+        latencies = []
+        for event in self.events(kind=DELIVER, group=group):
+            if event.message_id in send_times:
+                latencies.append(event.time - send_times[event.message_id])
+        return latencies
+
+    def happened_before_pairs(self, group: Optional[str] = None) -> List[Tuple[str, str]]:
+        """Pairs ``(m, m')`` of message ids with ``send(m) -> send(m')``.
+
+        The happened-before relation is reconstructed per the paper: m -> m'
+        if the same process sent m before m', or if some process delivered m
+        before sending m', closed transitively.  Used by the causal-order
+        checkers; quadratic in the number of messages, fine at test scale.
+        """
+        per_process: Dict[str, List[TraceEvent]] = {}
+        for event in self._events:
+            if event.kind in (SEND, DELIVER):
+                if group is not None and event.group != group:
+                    continue
+                per_process.setdefault(event.process, []).append(event)
+
+        direct: Dict[str, set] = {}
+        for events in per_process.values():
+            seen_messages: List[str] = []
+            for event in events:
+                if event.message_id is None:
+                    continue
+                if event.kind == SEND:
+                    for earlier in seen_messages:
+                        if earlier != event.message_id:
+                            direct.setdefault(earlier, set()).add(event.message_id)
+                    seen_messages.append(event.message_id)
+                else:  # DELIVER
+                    seen_messages.append(event.message_id)
+
+        # Transitive closure (messages at test scale are few enough).
+        closed: Dict[str, set] = {key: set(values) for key, values in direct.items()}
+        changed = True
+        while changed:
+            changed = False
+            for key in list(closed):
+                additions = set()
+                for successor in closed[key]:
+                    additions |= closed.get(successor, set())
+                if not additions.issubset(closed[key]):
+                    closed[key] |= additions
+                    changed = True
+        pairs = []
+        for earlier, laters in closed.items():
+            for later in laters:
+                pairs.append((earlier, later))
+        return pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventTrace(events={len(self._events)})"

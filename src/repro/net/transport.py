@@ -1,0 +1,223 @@
+"""Reliable FIFO transport endpoints.
+
+The transport layer is the interface protocol processes actually use.  It
+wraps the raw :class:`~repro.net.network.Network` with:
+
+* per-destination FIFO sequence numbers (and an assertion that the network
+  really did preserve FIFO order -- a cheap, always-on sanity check of the
+  substrate the protocol's correctness argument rests on),
+* typed envelopes (:class:`TransportMessage`) carrying the sender, a
+  payload, a wire-size estimate and timing information used by the
+  benchmark harness,
+* a per-endpoint dispatch table so several protocol layers on the same node
+  (data traffic, membership traffic, group-formation traffic) can register
+  independent handlers keyed by a ``channel`` string.
+
+This mirrors the paper's architecture (Fig. 3) where the membership
+service's ``mcast`` primitive and the data multicasts both sit on the same
+transport but are logically distinct streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.net.network import Network
+
+#: Handler signature: ``handler(message)``.
+Handler = Callable[["TransportMessage"], None]
+
+
+@dataclass
+class TransportMessage:
+    """Envelope delivered to endpoint handlers.
+
+    Attributes
+    ----------
+    src, dst:
+        Node identifiers.
+    channel:
+        Logical stream name, e.g. ``"data"`` or ``"membership"``.
+    payload:
+        The protocol-level message object.
+    seqno:
+        Per ``(src, dst, channel)`` FIFO sequence number, starting at 1.
+    size_bytes:
+        Estimated wire size of the payload (protocol overhead accounting).
+    sent_at:
+        Simulated time at which the message was handed to the network.
+    """
+
+    src: str
+    dst: str
+    channel: str
+    payload: object
+    seqno: int
+    size_bytes: int
+    sent_at: float
+
+
+@dataclass
+class TransportStats:
+    """Per-endpoint counters."""
+
+    sent: int = 0
+    received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    per_channel_sent: Dict[str, int] = field(default_factory=dict)
+    per_channel_received: Dict[str, int] = field(default_factory=dict)
+
+
+class FifoViolationError(RuntimeError):
+    """Raised when the network delivers a channel's messages out of order."""
+
+
+class Endpoint:
+    """A node's attachment point to the transport.
+
+    Create endpoints through :meth:`Transport.endpoint`, not directly.
+    """
+
+    def __init__(self, transport: "Transport", node_id: str) -> None:
+        self.transport = transport
+        self.node_id = node_id
+        self.stats = TransportStats()
+        self._handlers: Dict[str, Handler] = {}
+        self._default_handler: Optional[Handler] = None
+        # FIFO bookkeeping: next expected seqno per (src, channel).
+        self._next_expected: Dict[tuple, int] = {}
+        # Outgoing seqnos per (dst, channel).
+        self._next_outgoing: Dict[tuple, int] = {}
+        self._crashed = False
+
+    # ------------------------------------------------------------------
+    # Handler registration
+    # ------------------------------------------------------------------
+    def register_handler(self, channel: str, handler: Handler) -> None:
+        """Register the handler for messages on ``channel``."""
+        self._handlers[channel] = handler
+
+    def register_default_handler(self, handler: Handler) -> None:
+        """Handler for channels without a specific registration."""
+        self._default_handler = handler
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(
+        self, dst: str, payload: object, channel: str = "data", size_bytes: int = 0
+    ) -> bool:
+        """Unicast ``payload`` to ``dst`` on ``channel``."""
+        if self._crashed:
+            return False
+        key = (dst, channel)
+        seqno = self._next_outgoing.get(key, 0) + 1
+        self._next_outgoing[key] = seqno
+        message = TransportMessage(
+            src=self.node_id,
+            dst=dst,
+            channel=channel,
+            payload=payload,
+            seqno=seqno,
+            size_bytes=size_bytes,
+            sent_at=self.transport.network.sim.now,
+        )
+        self.stats.sent += 1
+        self.stats.bytes_sent += size_bytes
+        self.stats.per_channel_sent[channel] = self.stats.per_channel_sent.get(channel, 0) + 1
+        return self.transport.network.send(self.node_id, dst, message, size_bytes=size_bytes)
+
+    def multicast(
+        self,
+        dsts: Iterable[str],
+        payload: object,
+        channel: str = "data",
+        size_bytes: int = 0,
+    ) -> int:
+        """Unicast ``payload`` to every destination (including possibly self).
+
+        Destinations are contacted in sorted order so simulations are
+        deterministic.  Returns the number of accepted sends.
+        """
+        accepted = 0
+        for dst in sorted(set(dsts)):
+            if self.send(dst, payload, channel=channel, size_bytes=size_bytes):
+                accepted += 1
+        return accepted
+
+    # ------------------------------------------------------------------
+    # Crash handling
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Crash-stop this endpoint: it stops sending and receiving."""
+        self._crashed = True
+        self.transport.network.crash(self.node_id)
+
+    @property
+    def crashed(self) -> bool:
+        """Whether :meth:`crash` has been called."""
+        return self._crashed
+
+    # ------------------------------------------------------------------
+    # Delivery (called by Transport)
+    # ------------------------------------------------------------------
+    def _on_network_delivery(self, src: str, raw: object) -> None:
+        if self._crashed:
+            return
+        if not isinstance(raw, TransportMessage):  # pragma: no cover - substrate misuse
+            raise TypeError(f"unexpected payload on the wire: {raw!r}")
+        message = raw
+        key = (src, message.channel)
+        expected = self._next_expected.get(key, 1)
+        if message.seqno < expected:
+            raise FifoViolationError(
+                f"{self.node_id}: duplicate/out-of-order message from {src} "
+                f"on {message.channel}: seqno {message.seqno} < expected {expected}"
+            )
+        # Gaps are legal: they correspond to messages lost to crashes or
+        # partitions (the network never re-orders within a channel, so a
+        # larger-than-expected seqno means the intermediate ones are gone
+        # for good, which is exactly the paper's loss model).
+        self._next_expected[key] = message.seqno + 1
+        self.stats.received += 1
+        self.stats.bytes_received += message.size_bytes
+        self.stats.per_channel_received[message.channel] = (
+            self.stats.per_channel_received.get(message.channel, 0) + 1
+        )
+        handler = self._handlers.get(message.channel, self._default_handler)
+        if handler is not None:
+            handler(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self._crashed else "up"
+        return f"Endpoint({self.node_id!r}, {state})"
+
+
+class Transport:
+    """Factory and registry for :class:`Endpoint` objects on one network."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self._endpoints: Dict[str, Endpoint] = {}
+
+    def endpoint(self, node_id: str) -> Endpoint:
+        """Create (or return the existing) endpoint for ``node_id``."""
+        if node_id in self._endpoints:
+            return self._endpoints[node_id]
+        endpoint = Endpoint(self, node_id)
+        self.network.attach(node_id, endpoint._on_network_delivery)
+        self._endpoints[node_id] = endpoint
+        return endpoint
+
+    def endpoints(self) -> List[Endpoint]:
+        """All endpoints created so far, sorted by node id."""
+        return [self._endpoints[node_id] for node_id in sorted(self._endpoints)]
+
+    def get(self, node_id: str) -> Optional[Endpoint]:
+        """Return the endpoint for ``node_id`` if it exists."""
+        return self._endpoints.get(node_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Transport(endpoints={sorted(self._endpoints)})"

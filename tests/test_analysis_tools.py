@@ -1,0 +1,199 @@
+"""Tests for the analysis layer: checkers, metrics, overhead models and
+workload generators."""
+
+import pytest
+
+from repro.analysis.checkers import (
+    check_causal_prefix,
+    check_same_view_delivery_sets,
+    check_sender_in_view,
+    check_total_order,
+    check_view_sequences,
+)
+from repro.analysis.metrics import (
+    LatencySummary,
+    build_report,
+    messages_per_delivered_multicast,
+    summarize_latencies,
+    view_agreement_latency,
+)
+from repro.analysis.overhead import (
+    isis_overhead_bytes,
+    newtop_overhead_bytes,
+    piggyback_overhead_bytes,
+    psync_overhead_bytes,
+)
+from repro.analysis.workloads import BurstyWorkload, UniformWorkload, WorkloadRunner
+from repro.core import NewtopCluster, NewtopConfig
+from repro.net.network import NetworkStats
+from repro.net.trace import DELIVER, SEND, SUSPECT, TraceRecorder, VIEW_INSTALL
+
+
+# ----------------------------------------------------------------------
+# Checkers on synthetic traces (both accepting and violating ones)
+# ----------------------------------------------------------------------
+def _delivery_trace(orders):
+    """Build a trace where each process delivers the given message ids."""
+    recorder = TraceRecorder()
+    for msg_id in sorted({m for order in orders.values() for m in order}):
+        recorder.record(0.0, SEND, msg_id.split("@")[0] if "@" in msg_id else "p0",
+                        group="g", message_id=msg_id, sender="p0", clock=1)
+    for process, order in orders.items():
+        for index, msg_id in enumerate(order):
+            recorder.record(
+                1.0 + index, DELIVER, process, group="g", message_id=msg_id,
+                sender="p0", clock=index + 1, view_index=0,
+            )
+    return recorder.trace()
+
+
+def test_total_order_checker_accepts_agreeing_orders():
+    trace = _delivery_trace({"p1": ["m1", "m2", "m3"], "p2": ["m1", "m2", "m3"]})
+    assert check_total_order(trace, "g").passed
+
+
+def test_total_order_checker_accepts_prefixes_and_gaps():
+    trace = _delivery_trace({"p1": ["m1", "m2", "m3"], "p2": ["m1", "m3"]})
+    assert check_total_order(trace, "g").passed
+
+
+def test_total_order_checker_rejects_inversion():
+    trace = _delivery_trace({"p1": ["m1", "m2"], "p2": ["m2", "m1"]})
+    result = check_total_order(trace, "g")
+    assert not result.passed
+    assert result.violations
+
+
+def test_causal_order_violation_detected():
+    recorder = TraceRecorder()
+    recorder.record(0.0, VIEW_INSTALL, "p2", group="g", members=("p1", "p2"), index=0)
+    recorder.record(1.0, SEND, "p1", group="g", message_id="m1", sender="p1", clock=1)
+    recorder.record(2.0, DELIVER, "p1", group="g", message_id="m1", sender="p1", clock=1, view_index=0)
+    recorder.record(3.0, SEND, "p1", group="g", message_id="m2", sender="p1", clock=2)
+    # p2 delivers m2 without ever delivering m1 although p1 stays in view.
+    recorder.record(4.0, DELIVER, "p2", group="g", message_id="m2", sender="p1", clock=2, view_index=0)
+    trace = recorder.trace()
+    assert not check_causal_prefix(trace).passed
+
+
+def test_sender_in_view_checker():
+    recorder = TraceRecorder()
+    recorder.record(0.0, VIEW_INSTALL, "p1", group="g", members=("p1", "p2"), index=0)
+    recorder.record(1.0, VIEW_INSTALL, "p1", group="g", members=("p1",), index=1)
+    recorder.record(2.0, DELIVER, "p1", group="g", message_id="m", sender="p2", clock=1, view_index=1)
+    assert not check_sender_in_view(recorder.trace()).passed
+
+
+def test_view_sequence_checker_detects_divergence():
+    recorder = TraceRecorder()
+    recorder.record(0.0, VIEW_INSTALL, "p1", group="g", members=("p1", "p2", "p3"), index=0)
+    recorder.record(0.0, VIEW_INSTALL, "p2", group="g", members=("p1", "p2", "p3"), index=0)
+    recorder.record(1.0, VIEW_INSTALL, "p1", group="g", members=("p1", "p2"), index=1)
+    recorder.record(1.0, VIEW_INSTALL, "p2", group="g", members=("p2", "p3"), index=1)
+    assert not check_view_sequences(recorder.trace(), "g", ["p1", "p2"]).passed
+
+
+def test_virtual_synchrony_checker_detects_mismatch():
+    recorder = TraceRecorder()
+    for process in ("p1", "p2"):
+        recorder.record(0.0, VIEW_INSTALL, process, group="g", members=("p1", "p2", "p3"), index=0)
+        recorder.record(5.0, VIEW_INSTALL, process, group="g", members=("p1", "p2"), index=1)
+    recorder.record(1.0, DELIVER, "p1", group="g", message_id="m1", sender="p3", clock=1, view_index=0)
+    # p2 never delivers m1 in view 0 although both install the same views.
+    result = check_same_view_delivery_sets(recorder.trace(), "g", ["p1", "p2"])
+    assert not result.passed
+
+
+def test_check_result_merge():
+    trace = _delivery_trace({"p1": ["m1"], "p2": ["m1"]})
+    merged = check_total_order(trace, "g").merge(check_sender_in_view(trace))
+    assert merged.passed
+    assert bool(merged)
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+def test_latency_summary():
+    summary = summarize_latencies([1.0, 2.0, 3.0, 4.0])
+    assert summary.count == 4
+    assert summary.mean == pytest.approx(2.5)
+    assert summary.minimum == 1.0 and summary.maximum == 4.0
+    assert summarize_latencies([]) == LatencySummary.empty()
+
+
+def test_build_report_from_real_run():
+    config = NewtopConfig(omega=2.0, suspicion_timeout=8.0)
+    cluster = NewtopCluster(["P1", "P2", "P3"], config=config, seed=3)
+    cluster.create_group("g")
+    for i in range(5):
+        cluster["P1"].multicast("g", i)
+    cluster.run(60)
+    report = build_report(cluster.trace(), cluster.network.stats, duration=60.0, group="g")
+    assert report.application_sends == 5
+    assert report.application_deliveries == 15
+    assert report.delivery_latency.count == 15
+    assert report.throughput > 0
+    assert report.null_messages > 0
+    flattened = report.as_dict()
+    assert flattened["application_sends"] == 5.0
+    ratio = messages_per_delivered_multicast(cluster.trace(), cluster.network.stats, "g")
+    assert ratio > 0
+
+
+def test_view_agreement_latency_metric():
+    recorder = TraceRecorder()
+    recorder.record(10.0, SUSPECT, "p1", group="g", target="p3", last_number=4)
+    recorder.record(14.0, VIEW_INSTALL, "p1", group="g", members=("p1", "p2"), index=1)
+    latency = view_agreement_latency(recorder.trace(), "g", "p3")
+    assert latency == {"p1": pytest.approx(4.0)}
+
+
+# ----------------------------------------------------------------------
+# Overhead models
+# ----------------------------------------------------------------------
+def test_newtop_overhead_independent_of_group_size():
+    assert newtop_overhead_bytes(3) == newtop_overhead_bytes(100)
+    assert newtop_overhead_bytes(10, groups_per_process=8) == newtop_overhead_bytes(10)
+    assert newtop_overhead_bytes(10, asymmetric=True) > newtop_overhead_bytes(10)
+
+
+def test_isis_overhead_grows_with_group_size_and_groups():
+    assert isis_overhead_bytes(50) > isis_overhead_bytes(5)
+    assert isis_overhead_bytes(10, groups_per_process=4) > isis_overhead_bytes(10)
+    assert isis_overhead_bytes(5) > newtop_overhead_bytes(5)
+
+
+def test_psync_and_piggyback_overheads():
+    assert psync_overhead_bytes(20) > psync_overhead_bytes(4)
+    assert psync_overhead_bytes(4, average_predecessors=1.0) < psync_overhead_bytes(4)
+    assert piggyback_overhead_bytes(5, unstable_messages=10) > piggyback_overhead_bytes(5, 1)
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def test_uniform_workload_is_deterministic_and_sorted():
+    workload = UniformWorkload(senders=["P1", "P2"], groups=["g"], rate=0.5, duration=20, seed=3)
+    first = workload.sends()
+    second = UniformWorkload(senders=["P1", "P2"], groups=["g"], rate=0.5, duration=20, seed=3).sends()
+    assert [ (s.time, s.process) for s in first ] == [ (s.time, s.process) for s in second ]
+    assert all(first[i].time <= first[i + 1].time for i in range(len(first) - 1))
+    assert {send.process for send in first} == {"P1", "P2"}
+
+
+def test_bursty_workload_produces_bursts():
+    workload = BurstyWorkload(senders=["P1"], groups=["g"], burst_size=4, burst_interval=10, duration=30, seed=1)
+    sends = workload.sends()
+    assert len(sends) >= 8
+
+
+def test_workload_runner_delivers_everything():
+    config = NewtopConfig(omega=2.0, suspicion_timeout=10.0)
+    cluster = NewtopCluster(["P1", "P2", "P3"], config=config, seed=5)
+    cluster.create_group("g")
+    workload = UniformWorkload(senders=["P1", "P2"], groups=["g"], rate=0.3, duration=30, seed=2)
+    runner = WorkloadRunner(cluster, workload)
+    runner.run(drain_time=60)
+    assert runner.scheduled_count > 0
+    assert runner.delivered_everywhere("g")

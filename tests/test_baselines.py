@@ -1,0 +1,157 @@
+"""Tests for the §6 comparison baselines."""
+
+import pytest
+
+from repro.baselines import (
+    BaselineCluster,
+    FixedSequencerProcess,
+    IsisProcess,
+    LamportAckProcess,
+    PrimaryPartitionMembership,
+    PropagationGraphNetwork,
+    PsyncProcess,
+)
+from repro.net.latency import UniformLatency
+
+
+TOTAL_ORDER_BASELINES = [IsisProcess, LamportAckProcess, FixedSequencerProcess]
+
+
+@pytest.mark.parametrize("process_class", TOTAL_ORDER_BASELINES)
+def test_baseline_total_order_and_completeness(process_class):
+    cluster = BaselineCluster(process_class, ["A", "B", "C", "D"], seed=7)
+    expected = 0
+    for i in range(4):
+        cluster["A"].multicast(f"a{i}")
+        cluster["C"].multicast(f"c{i}")
+        expected += 2
+        cluster.run(1.0)
+    assert cluster.run_until_all_delivered(expected, timeout=300)
+    assert cluster.delivery_orders_agree()
+    for process in cluster:
+        assert len(process.delivered) == expected
+
+
+@pytest.mark.parametrize("process_class", TOTAL_ORDER_BASELINES + [PsyncProcess])
+def test_baseline_under_random_latency(process_class):
+    cluster = BaselineCluster(
+        process_class, ["A", "B", "C"], seed=9, latency_model=UniformLatency(0.2, 3.0)
+    )
+    for i in range(3):
+        cluster["B"].multicast(i)
+    assert cluster.run_until_all_delivered(3, timeout=300)
+    for process in cluster:
+        assert set(process.delivered_payloads()) == {0, 1, 2}
+
+
+def test_psync_preserves_causal_order():
+    cluster = BaselineCluster(PsyncProcess, ["A", "B", "C"], seed=3)
+    first = cluster["A"].multicast("cause")
+    cluster.run(30)
+    second = cluster["B"].multicast("effect")  # sent after B delivered "cause"
+    cluster.run(60)
+    for process in cluster:
+        order = process.delivered_ids()
+        assert order.index(first) < order.index(second)
+
+
+def test_isis_overhead_grows_with_group_size():
+    small = BaselineCluster(IsisProcess, ["A", "B", "C"], seed=1)
+    large = BaselineCluster(IsisProcess, [f"P{i}" for i in range(10)], seed=1)
+    assert (
+        large["P0"].per_message_overhead_bytes() > small["A"].per_message_overhead_bytes()
+    )
+
+
+def test_lamport_ack_message_complexity():
+    cluster = BaselineCluster(LamportAckProcess, ["A", "B", "C", "D"], seed=2)
+    cluster["A"].multicast("x")
+    cluster.run_until_all_delivered(1, timeout=200)
+    cluster.run(50)  # let the remaining acknowledgements drain
+    # One multicast costs (n-1) data messages plus every receiver acking to
+    # everyone else: (n-1) + (n-1)^2 = n*(n-1) = 12 messages for n = 4,
+    # i.e. far more than the n-1 a symmetric Newtop multicast needs.
+    size = len(cluster.processes)
+    assert cluster.total_messages_sent() >= size * (size - 1)
+    assert cluster["B"].ack_messages_sent > 0
+
+
+def test_fixed_sequencer_non_sequencer_submission_path():
+    cluster = BaselineCluster(FixedSequencerProcess, ["A", "B", "C"], seed=4)
+    assert cluster["A"].is_sequencer
+    cluster["C"].multicast("via-sequencer")
+    assert cluster.run_until_all_delivered(1, timeout=200)
+    assert cluster["B"].delivered_payloads() == ["via-sequencer"]
+
+
+def test_baseline_protocol_bytes_accounted():
+    cluster = BaselineCluster(IsisProcess, ["A", "B", "C"], seed=5)
+    cluster["A"].multicast("x")
+    cluster.run(60)
+    assert cluster.total_protocol_bytes() > 0
+
+
+# ----------------------------------------------------------------------
+# Propagation graph (Garcia-Molina & Spauster style)
+# ----------------------------------------------------------------------
+def test_propagation_graph_delivers_to_group_members_only():
+    network = PropagationGraphNetwork({"g1": ["A", "B", "C"], "g2": ["C", "D"]}, seed=3)
+    message_id = network.multicast("A", "g1", "hello")
+    network.run(60)
+    assert message_id in network.delivered_ids("B")
+    assert message_id in network.delivered_ids("C")
+    assert message_id not in network.delivered_ids("D")
+
+
+def test_propagation_graph_orders_overlapping_groups_through_shared_path():
+    network = PropagationGraphNetwork({"g1": ["A", "B", "C"], "g2": ["B", "C", "D"]}, seed=5)
+    first = network.multicast("A", "g1", "m1")
+    second = network.multicast("D", "g2", "m2")
+    network.run(80)
+    order_b = [m for m in network.delivered_ids("B") if m in (first, second)]
+    order_c = [m for m in network.delivered_ids("C") if m in (first, second)]
+    assert order_b == order_c
+    assert network.total_hops > 0
+
+
+def test_propagation_graph_depth_reflects_tree_structure():
+    network = PropagationGraphNetwork(
+        {"g1": ["A", "B"], "g2": ["B", "C"], "g3": ["C", "D"]}, seed=1
+    )
+    depths = [network.depth_of(node) for node in ("A", "B", "C", "D")]
+    assert max(depths) >= 1
+
+
+# ----------------------------------------------------------------------
+# Primary-partition policy
+# ----------------------------------------------------------------------
+def test_primary_partition_majority_rules():
+    policy = PrimaryPartitionMembership(["P1", "P2", "P3", "P4", "P5"])
+    outcomes = policy.evaluate([["P1", "P2"], ["P3", "P4", "P5"]])
+    by_members = {outcome.members: outcome.may_continue for outcome in outcomes}
+    assert by_members[frozenset({"P3", "P4", "P5"})] is True
+    assert by_members[frozenset({"P1", "P2"})] is False
+    assert policy.availability_fraction([["P1", "P2"], ["P3", "P4", "P5"]]) == 0.6
+
+
+def test_primary_partition_no_majority_means_total_outage():
+    policy = PrimaryPartitionMembership(["P1", "P2", "P3", "P4"])
+    assert policy.availability_fraction([["P1", "P2"], ["P3", "P4"]]) == 0.0
+    # Newtop keeps every connected process available in the same scenario.
+    assert (
+        PrimaryPartitionMembership.newtop_availability_fraction(
+            ["P1", "P2", "P3", "P4"], [["P1", "P2"], ["P3", "P4"]]
+        )
+        == 1.0
+    )
+
+
+def test_primary_partition_weights():
+    policy = PrimaryPartitionMembership(["P1", "P2", "P3"], weights={"P1": 3.0})
+    assert policy.is_primary(["P1"])
+    assert not policy.is_primary(["P2", "P3"])
+
+
+def test_primary_partition_requires_members():
+    with pytest.raises(ValueError):
+        PrimaryPartitionMembership([])

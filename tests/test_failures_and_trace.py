@@ -1,0 +1,159 @@
+"""Unit tests for fault injection and event tracing."""
+
+import pytest
+
+from repro.net.failures import FailureSchedule, FaultInjector
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network, NetworkConfig
+from repro.net.simulator import Simulator
+from repro.net.trace import (
+    DELIVER,
+    EventTrace,
+    RECEIVE,
+    SEND,
+    TraceRecorder,
+    VIEW_INSTALL,
+)
+
+
+def _network():
+    sim = Simulator(seed=0)
+    network = Network(sim, NetworkConfig(latency_model=ConstantLatency(1.0)))
+    for node in ("a", "b", "c"):
+        network.attach(node, lambda src, payload: None)
+    return sim, network
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+def test_scheduled_crash():
+    sim, network = _network()
+    injector = FaultInjector(sim, network)
+    injector.install(FailureSchedule().crash(5.0, "b"))
+    sim.run(until=4.0)
+    assert not network.is_crashed("b")
+    sim.run(until=6.0)
+    assert network.is_crashed("b")
+
+
+def test_scheduled_partition_and_heal():
+    sim, network = _network()
+    injector = FaultInjector(sim, network)
+    schedule = FailureSchedule().partition(2.0, [["a"], ["b", "c"]]).heal(8.0)
+    injector.install(schedule)
+    sim.run(until=3.0)
+    assert not network.partitions.can_communicate("a", "b")
+    sim.run(until=9.0)
+    assert network.partitions.can_communicate("a", "b")
+
+
+def test_crash_during_multicast_limits_receivers():
+    sim, network = _network()
+    received = {"b": [], "c": []}
+    network.detach("b")
+    network.detach("c")
+    network.attach("b", lambda src, payload: received["b"].append(payload))
+    network.attach("c", lambda src, payload: received["c"].append(payload))
+    injector = FaultInjector(sim, network)
+    injector.install(
+        FailureSchedule().crash_during_multicast(5.0, "a", allowed_receivers=["b"])
+    )
+
+    def send_multicast():
+        network.multicast("a", ["b", "c"], "m1")
+
+    sim.schedule_at(5.0, send_multicast)
+    sim.run()
+    assert received["b"] == ["m1"]
+    assert received["c"] == []
+    assert network.is_crashed("a")
+
+
+def test_drop_between_window():
+    sim, network = _network()
+    received = []
+    network.detach("b")
+    network.attach("b", lambda src, payload: received.append(payload))
+    injector = FaultInjector(sim, network)
+    injector.install(
+        FailureSchedule().drop_between(2.0, ["a"], ["b"], duration=5.0)
+    )
+    sim.schedule_at(3.0, network.send, "a", "b", "dropped")
+    sim.schedule_at(10.0, network.send, "a", "b", "kept")
+    sim.run()
+    assert received == ["kept"]
+
+
+def test_isolate_action():
+    sim, network = _network()
+    injector = FaultInjector(sim, network)
+    injector.install(FailureSchedule().isolate(1.0, "c"))
+    sim.run(until=2.0)
+    assert not network.partitions.can_communicate("a", "c")
+    assert network.partitions.can_communicate("a", "b")
+
+
+def test_schedule_merge():
+    first = FailureSchedule().crash(1.0, "a")
+    second = FailureSchedule().heal(2.0)
+    merged = first.merge(second)
+    assert len(merged.actions) == 2
+
+
+# ----------------------------------------------------------------------
+# Trace recorder / event trace
+# ----------------------------------------------------------------------
+def test_recorder_rejects_unknown_kind():
+    recorder = TraceRecorder()
+    with pytest.raises(ValueError):
+        recorder.record(0.0, "bogus", "p1")
+
+
+def test_trace_filters_and_sequences():
+    recorder = TraceRecorder()
+    recorder.record(1.0, SEND, "p1", group="g", message_id="m1", sender="p1", clock=1)
+    recorder.record(2.0, RECEIVE, "p2", group="g", message_id="m1", sender="p1", clock=1)
+    recorder.record(3.0, DELIVER, "p2", group="g", message_id="m1", sender="p1", clock=1)
+    recorder.record(2.5, DELIVER, "p1", group="g", message_id="m1", sender="p1", clock=1)
+    trace = recorder.trace()
+    assert trace.processes() == ["p1", "p2"]
+    assert trace.groups() == ["g"]
+    assert trace.delivered_ids("p2", "g") == ["m1"]
+    assert len(trace.events(kind=DELIVER)) == 2
+    latencies = trace.delivery_latencies("g")
+    assert sorted(latencies) == [1.5, 2.0]
+
+
+def test_trace_view_sequence():
+    recorder = TraceRecorder()
+    recorder.record(0.0, VIEW_INSTALL, "p1", group="g", members=("p1", "p2", "p3"), index=0)
+    recorder.record(5.0, VIEW_INSTALL, "p1", group="g", members=("p1", "p2"), index=1)
+    trace = recorder.trace()
+    assert trace.view_sequence("p1", "g") == [
+        frozenset({"p1", "p2", "p3"}),
+        frozenset({"p1", "p2"}),
+    ]
+
+
+def test_trace_happened_before_transitive():
+    recorder = TraceRecorder()
+    # p1 sends m1; p2 delivers m1 then sends m2; p3 delivers m2 then sends m3.
+    recorder.record(1.0, SEND, "p1", group="g", message_id="m1", sender="p1")
+    recorder.record(2.0, DELIVER, "p2", group="g", message_id="m1", sender="p1")
+    recorder.record(3.0, SEND, "p2", group="g", message_id="m2", sender="p2")
+    recorder.record(4.0, DELIVER, "p3", group="g", message_id="m2", sender="p2")
+    recorder.record(5.0, SEND, "p3", group="g", message_id="m3", sender="p3")
+    trace = recorder.trace()
+    pairs = set(trace.happened_before_pairs())
+    assert ("m1", "m2") in pairs
+    assert ("m2", "m3") in pairs
+    assert ("m1", "m3") in pairs  # transitivity
+    assert ("m2", "m1") not in pairs
+
+
+def test_trace_event_detail_lookup():
+    recorder = TraceRecorder()
+    event = recorder.record(0.0, VIEW_INSTALL, "p1", group="g", members=("a",), index=3)
+    assert event.detail("index") == 3
+    assert event.detail("missing", "fallback") == "fallback"

@@ -1,0 +1,285 @@
+"""Unit tests for the network fabric, latency models, partitions and the
+reliable FIFO transport."""
+
+import random
+
+import pytest
+
+from repro.net.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    JitteredLatency,
+    LogNormalLatency,
+    UniformLatency,
+)
+from repro.net.network import Network, NetworkConfig
+from repro.net.partitions import PartitionManager
+from repro.net.simulator import Simulator
+from repro.net.transport import Transport
+
+
+# ----------------------------------------------------------------------
+# Latency models
+# ----------------------------------------------------------------------
+def test_constant_latency():
+    model = ConstantLatency(2.5)
+    rng = random.Random(0)
+    assert model.sample(rng, "a", "b") == 2.5
+
+
+@pytest.mark.parametrize(
+    "model",
+    [
+        UniformLatency(0.5, 1.5),
+        ExponentialLatency(mean=1.0, floor=0.1),
+        LogNormalLatency(median=1.0, sigma=0.4),
+        JitteredLatency(base_low=0.5, base_high=2.0, jitter=0.3),
+    ],
+)
+def test_latency_models_non_negative(model):
+    rng = random.Random(3)
+    samples = [model.sample(rng, "a", "b") for _ in range(200)]
+    assert all(sample >= 0 for sample in samples)
+    assert model.describe()
+
+
+def test_uniform_latency_bounds():
+    model = UniformLatency(1.0, 2.0)
+    rng = random.Random(1)
+    samples = [model.sample(rng, "a", "b") for _ in range(100)]
+    assert all(1.0 <= sample <= 2.0 for sample in samples)
+
+
+def test_uniform_latency_invalid_bounds():
+    with pytest.raises(ValueError):
+        UniformLatency(2.0, 1.0)
+
+
+def test_jittered_latency_stable_base_per_pair():
+    model = JitteredLatency(jitter=0.0)
+    rng = random.Random(0)
+    first = model.sample(rng, "a", "b")
+    second = model.sample(rng, "a", "b")
+    assert first == second
+    assert model.sample(rng, "b", "a") != first or True  # may coincide, just no error
+
+
+# ----------------------------------------------------------------------
+# Partition manager
+# ----------------------------------------------------------------------
+def test_partition_manager_default_connected():
+    manager = PartitionManager(["a", "b", "c"])
+    assert manager.can_communicate("a", "b")
+    assert not manager.partitioned
+
+
+def test_partition_splits_components():
+    manager = PartitionManager(["a", "b", "c", "d"])
+    manager.partition([["a", "b"], ["c", "d"]])
+    assert manager.can_communicate("a", "b")
+    assert not manager.can_communicate("a", "c")
+    assert manager.partitioned
+    assert len(manager.components()) == 2
+
+
+def test_partition_leftover_nodes_form_component():
+    manager = PartitionManager(["a", "b", "c", "d"])
+    manager.partition([["a"]])
+    assert not manager.can_communicate("a", "b")
+    assert manager.can_communicate("b", "c")
+
+
+def test_partition_heal():
+    manager = PartitionManager(["a", "b"])
+    manager.partition([["a"], ["b"]])
+    manager.heal()
+    assert manager.can_communicate("a", "b")
+    assert manager.history
+
+
+def test_isolate_single_node():
+    manager = PartitionManager(["a", "b", "c"])
+    manager.isolate("b")
+    assert not manager.can_communicate("a", "b")
+    assert manager.can_communicate("a", "c")
+
+
+def test_partition_rejects_duplicate_membership():
+    manager = PartitionManager(["a", "b"])
+    with pytest.raises(ValueError):
+        manager.partition([["a"], ["a", "b"]])
+
+
+def test_self_communication_always_possible():
+    manager = PartitionManager(["a", "b"])
+    manager.partition([["a"], ["b"]])
+    assert manager.can_communicate("a", "a")
+
+
+# ----------------------------------------------------------------------
+# Network
+# ----------------------------------------------------------------------
+def _make_network(latency=None):
+    sim = Simulator(seed=1)
+    config = NetworkConfig(latency_model=latency or ConstantLatency(1.0))
+    return sim, Network(sim, config)
+
+
+def test_network_delivers_messages():
+    sim, network = _make_network()
+    received = []
+    network.attach("a", lambda src, payload: None)
+    network.attach("b", lambda src, payload: received.append((src, payload)))
+    assert network.send("a", "b", "hello", size_bytes=10)
+    sim.run()
+    assert received == [("a", "hello")]
+    assert network.stats.messages_delivered == 1
+    assert network.stats.bytes_delivered == 10
+
+
+def test_network_drops_to_crashed_node():
+    sim, network = _make_network()
+    received = []
+    network.attach("a", lambda src, payload: None)
+    network.attach("b", lambda src, payload: received.append(payload))
+    network.crash("b")
+    assert not network.send("a", "b", "x")
+    sim.run()
+    assert received == []
+    assert network.stats.messages_dropped_crash >= 1
+
+
+def test_network_drops_from_crashed_sender():
+    sim, network = _make_network()
+    network.attach("a", lambda src, payload: None)
+    network.attach("b", lambda src, payload: None)
+    network.crash("a")
+    assert not network.send("a", "b", "x")
+
+
+def test_network_partition_drops_at_send():
+    sim, network = _make_network()
+    received = []
+    network.attach("a", lambda src, payload: None)
+    network.attach("b", lambda src, payload: received.append(payload))
+    network.partitions.partition([["a"], ["b"]])
+    assert not network.send("a", "b", "x")
+    sim.run()
+    assert received == []
+
+
+def test_network_partition_drops_in_flight():
+    sim, network = _make_network(ConstantLatency(5.0))
+    received = []
+    network.attach("a", lambda src, payload: None)
+    network.attach("b", lambda src, payload: received.append(payload))
+    assert network.send("a", "b", "x")
+    # Partition before the delivery time of the in-flight message.
+    sim.schedule(1.0, network.partitions.partition, [["a"], ["b"]])
+    sim.run()
+    assert received == []
+    assert network.stats.messages_dropped_partition == 1
+
+
+def test_network_filter_drops_selected_messages():
+    sim, network = _make_network()
+    received = []
+    network.attach("a", lambda src, payload: None)
+    network.attach("b", lambda src, payload: received.append(payload))
+    network.add_filter(lambda src, dst, payload: payload != "drop-me")
+    network.send("a", "b", "keep")
+    network.send("a", "b", "drop-me")
+    sim.run()
+    assert received == ["keep"]
+    assert network.stats.messages_dropped_filter == 1
+
+
+def test_network_multicast_counts_accepted():
+    sim, network = _make_network()
+    for node in ("a", "b", "c", "d"):
+        network.attach(node, lambda src, payload: None)
+    network.crash("d")
+    accepted = network.multicast("a", ["b", "c", "d"], "x")
+    assert accepted == 2
+
+
+def test_network_duplicate_attach_rejected():
+    _, network = _make_network()
+    network.attach("a", lambda src, payload: None)
+    with pytest.raises(ValueError):
+        network.attach("a", lambda src, payload: None)
+
+
+# ----------------------------------------------------------------------
+# Transport
+# ----------------------------------------------------------------------
+def test_transport_fifo_per_channel_with_random_latency():
+    sim = Simulator(seed=9)
+    network = Network(sim, NetworkConfig(latency_model=UniformLatency(0.1, 5.0)))
+    transport = Transport(network)
+    sender = transport.endpoint("s")
+    receiver = transport.endpoint("r")
+    received = []
+    receiver.register_handler("data", lambda msg: received.append(msg.payload))
+    for i in range(50):
+        sender.send("r", i, channel="data")
+    sim.run()
+    assert received == list(range(50))
+
+
+def test_transport_channels_are_independent_streams():
+    sim = Simulator(seed=2)
+    network = Network(sim, NetworkConfig(latency_model=ConstantLatency(1.0)))
+    transport = Transport(network)
+    sender = transport.endpoint("s")
+    receiver = transport.endpoint("r")
+    seen = {"a": [], "b": []}
+    receiver.register_handler("a", lambda msg: seen["a"].append(msg.payload))
+    receiver.register_handler("b", lambda msg: seen["b"].append(msg.payload))
+    sender.send("r", 1, channel="a")
+    sender.send("r", 2, channel="b")
+    sim.run()
+    assert seen == {"a": [1], "b": [2]}
+
+
+def test_transport_crashed_endpoint_stops_sending_and_receiving():
+    sim = Simulator(seed=2)
+    network = Network(sim, NetworkConfig(latency_model=ConstantLatency(1.0)))
+    transport = Transport(network)
+    a = transport.endpoint("a")
+    b = transport.endpoint("b")
+    received = []
+    b.register_default_handler(lambda msg: received.append(msg.payload))
+    a.send("b", "before")
+    sim.run()
+    b.crash()
+    a.send("b", "after")
+    sim.run()
+    assert received == ["before"]
+    assert not b.send("a", "from-crashed")
+
+
+def test_transport_stats_track_channels():
+    sim = Simulator(seed=2)
+    network = Network(sim, NetworkConfig(latency_model=ConstantLatency(1.0)))
+    transport = Transport(network)
+    a = transport.endpoint("a")
+    b = transport.endpoint("b")
+    b.register_default_handler(lambda msg: None)
+    a.send("b", "x", channel="data", size_bytes=5)
+    a.send("b", "y", channel="ctl", size_bytes=7)
+    sim.run()
+    assert a.stats.per_channel_sent == {"data": 1, "ctl": 1}
+    assert b.stats.per_channel_received == {"data": 1, "ctl": 1}
+    assert a.stats.bytes_sent == 12
+
+
+def test_transport_endpoint_reused_for_same_node():
+    sim = Simulator(seed=2)
+    network = Network(sim, NetworkConfig())
+    transport = Transport(network)
+    first = transport.endpoint("a")
+    second = transport.endpoint("a")
+    assert first is second
+    assert transport.get("a") is first
+    assert transport.get("missing") is None

@@ -1,0 +1,160 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.net.simulator import Simulator, SimulatorError
+
+
+def test_initial_state():
+    sim = Simulator(seed=42)
+    assert sim.now == 0.0
+    assert sim.pending_events == 0
+    assert sim.events_processed == 0
+
+
+def test_schedule_and_run_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "a")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.now == 5.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, fired.append, "late")
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(2.0, fired.append, "middle")
+    sim.run()
+    assert fired == ["early", "middle", "late"]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for label in ("first", "second", "third"):
+        sim.schedule(1.0, fired.append, label)
+    sim.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulatorError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "cancelled")
+    sim.schedule(2.0, fired.append, "kept")
+    handle.cancel()
+    sim.run()
+    assert fired == ["kept"]
+    assert handle.cancelled
+
+
+def test_run_until_time_bound():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(10.0, fired.append, "b")
+    sim.run(until=5.0)
+    assert fired == ["a"]
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_max_events():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_events_scheduled_during_execution():
+    sim = Simulator()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 3:
+            sim.schedule(1.0, chain, depth + 1)
+
+    sim.schedule(1.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 4.0
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, lambda: sim.schedule_at(7.5, fired.append, "x"))
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 7.5
+
+
+def test_call_soon_runs_after_current_event():
+    sim = Simulator()
+    order = []
+
+    def outer():
+        sim.call_soon(order.append, "soon")
+        order.append("outer")
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert order == ["outer", "soon"]
+
+
+def test_run_until_predicate():
+    sim = Simulator()
+    counter = []
+    for i in range(10):
+        sim.schedule(float(i + 1), counter.append, i)
+    reached = sim.run_until(lambda: len(counter) >= 4, timeout=100.0)
+    assert reached
+    assert len(counter) == 4
+
+
+def test_run_until_predicate_timeout():
+    sim = Simulator()
+    sim.schedule(100.0, lambda: None)
+    reached = sim.run_until(lambda: False, timeout=5.0)
+    assert not reached
+
+
+def test_rng_is_deterministic_per_seed():
+    first = Simulator(seed=7).rng.random()
+    second = Simulator(seed=7).rng.random()
+    other = Simulator(seed=8).rng.random()
+    assert first == second
+    assert first != other
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert not sim.step()
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def try_nested():
+        try:
+            sim.run()
+        except SimulatorError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, try_nested)
+    sim.run()
+    assert len(errors) == 1

@@ -1,0 +1,136 @@
+"""Integration tests for the symmetric total-order protocol (§4.1)."""
+
+import pytest
+
+from repro.analysis import check_all
+from repro.analysis.checkers import check_total_order
+from repro.core import NewtopCluster, NewtopConfig, OrderingMode
+from repro.net.latency import ExponentialLatency, UniformLatency
+from repro.net.trace import NULL_SEND
+
+
+def _cluster(names, seed=1, **config_overrides):
+    config = NewtopConfig(omega=2.0, suspicion_timeout=8.0).replace(**config_overrides)
+    return NewtopCluster(names, config=config, seed=seed)
+
+
+def test_single_multicast_reaches_every_member_in_order():
+    cluster = _cluster(["P1", "P2", "P3"])
+    cluster.create_group("g1")
+    message_id = cluster["P1"].multicast("g1", "hello")
+    assert cluster.run_until_delivered(message_id, timeout=60)
+    for process in cluster:
+        assert process.delivered_payloads("g1") == ["hello"]
+
+
+def test_concurrent_senders_agree_on_total_order():
+    cluster = _cluster(["P1", "P2", "P3", "P4"], seed=5)
+    cluster.create_group("g1")
+    for i in range(5):
+        cluster["P1"].multicast("g1", f"a{i}")
+        cluster["P2"].multicast("g1", f"b{i}")
+        cluster["P3"].multicast("g1", f"c{i}")
+        cluster.run(0.5)
+    cluster.run(60)
+    orders = [tuple(process.delivered_payloads("g1")) for process in cluster]
+    assert len(set(orders)) == 1
+    assert len(orders[0]) == 15
+    assert check_total_order(cluster.trace(), "g1").passed
+
+
+def test_total_order_under_heavy_latency_variance():
+    config = NewtopConfig(omega=2.0, suspicion_timeout=30.0)
+    cluster = NewtopCluster(
+        ["P1", "P2", "P3", "P4", "P5"],
+        config=config,
+        latency_model=ExponentialLatency(mean=2.0, floor=0.1),
+        seed=13,
+    )
+    cluster.create_group("g1")
+    for i in range(4):
+        for name in ("P1", "P3", "P5"):
+            cluster[name].multicast("g1", f"{name}-{i}")
+        cluster.run(1.0)
+    cluster.run(150)
+    orders = [tuple(process.delivered_payloads("g1")) for process in cluster]
+    assert len(set(orders)) == 1
+    assert len(orders[0]) == 12
+    result = check_all(cluster.trace())
+    assert result.passed, result.violations
+
+
+def test_sender_delivers_its_own_messages_through_the_protocol():
+    cluster = _cluster(["P1", "P2"])
+    cluster.create_group("g1")
+    cluster["P1"].multicast("g1", "mine")
+    # Not yet deliverable: P1 has not heard anything numbered >= 1 from P2.
+    assert cluster["P1"].delivered_payloads("g1") == []
+    cluster.run(30)
+    assert cluster["P1"].delivered_payloads("g1") == ["mine"]
+
+
+def test_time_silence_keeps_delivery_live_with_silent_members():
+    # P3 never sends anything; its null messages must still let P1's
+    # multicast become deliverable.
+    cluster = _cluster(["P1", "P2", "P3"])
+    cluster.create_group("g1")
+    message_id = cluster["P1"].multicast("g1", "x")
+    delivered = cluster.run_until_delivered(message_id, timeout=60)
+    assert delivered
+    nulls = cluster.trace().events(kind=NULL_SEND)
+    assert nulls, "the time-silence mechanism should have produced null messages"
+
+
+def test_causal_order_across_request_reply():
+    cluster = _cluster(["P1", "P2", "P3"])
+    cluster.create_group("g1")
+    request_id = cluster["P1"].multicast("g1", "request")
+
+    replied = []
+
+    def reply_on_delivery(group, sender, payload, msg_id):
+        if payload == "request" and not replied:
+            replied.append(cluster["P2"].multicast(group, "reply"))
+
+    cluster["P2"].add_delivery_callback(reply_on_delivery)
+    cluster.run(80)
+    for process in cluster:
+        payloads = process.delivered_payloads("g1")
+        assert payloads.index("request") < payloads.index("reply")
+    assert check_all(cluster.trace()).passed
+
+
+def test_larger_group_total_order():
+    names = [f"P{i}" for i in range(1, 9)]
+    cluster = _cluster(names, seed=21)
+    cluster.create_group("big")
+    for i, name in enumerate(names):
+        cluster[name].multicast("big", f"m{i}")
+    cluster.run(80)
+    orders = [tuple(process.delivered_payloads("big")) for process in cluster]
+    assert len(set(orders)) == 1
+    assert len(orders[0]) == len(names)
+
+
+def test_delivery_latency_bounded_by_time_silence_period():
+    # With quiet co-members, a multicast becomes deliverable roughly one
+    # omega plus one network delay after it is sent, not arbitrarily later.
+    cluster = _cluster(["P1", "P2", "P3"], omega=1.0, suspicion_timeout=5.0)
+    cluster.create_group("g1")
+    cluster.run(5)
+    cluster["P1"].multicast("g1", "probe")
+    cluster.run(40)
+    latencies = cluster.trace().delivery_latencies("g1")
+    assert latencies and max(latencies) < 10.0
+
+
+def test_message_history_and_view_index_recorded():
+    cluster = _cluster(["P1", "P2"])
+    cluster.create_group("g1")
+    cluster["P1"].multicast("g1", "x")
+    cluster.run(30)
+    record = cluster["P2"].delivered[0]
+    assert record.group == "g1"
+    assert record.sender == "P1"
+    assert record.view_index == 0
+    assert record.clock >= 1
