@@ -19,6 +19,18 @@ The package is organised as the paper's system is layered (its Fig. 3):
 * :mod:`repro.analysis` -- trace checkers for the paper's guarantees
   (MD1-MD5', VC1-VC3), workload generators and overhead/latency metrics
   used by the benchmark harness.
+* :mod:`repro.scenarios` -- a declarative large-scale scenario engine:
+  config dicts describe processes, overlapping (mixed-mode) groups, a
+  background workload and timed fault events (churn, cascading
+  partitions, merge storms, sequencer migration); the engine runs them
+  on a fresh cluster and verifies the paper's guarantees on the trace,
+  deriving per-group view-agreement sets from the event list
+  automatically.  Ready-made generators scale to hundreds of processes::
+
+      from repro.scenarios import churn_scenario, run_scenario
+
+      result = run_scenario(churn_scenario(n_processes=100, n_groups=10))
+      assert result.passed
 
 Quick start::
 

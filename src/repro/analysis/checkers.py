@@ -35,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.net.trace import DELIVER, EventTrace, SEND, VIEW_INSTALL
+from repro.net.trace import DELIVER, DEPART, EventTrace, SEND, VIEW_INSTALL
 
 
 @dataclass
@@ -252,6 +252,13 @@ def check_causal_prefix(trace: EventTrace) -> CheckResult:
             view_timeline.setdefault(event.group, []).append(
                 (event.time, event.seq, frozenset(event.detail("members", ())))
             )
+        # A voluntary departure ends the process's membership: afterwards it
+        # keeps no view of the group, so causal predecessors from that group
+        # are exempt (same clause of MD5' that covers excluded senders).
+        departed_at: Dict[str, Tuple[float, int]] = {}
+        for event in trace.events(kind=DEPART, process=process):
+            if event.group is not None and event.group not in departed_at:
+                departed_at[event.group] = (event.time, event.seq)
         deliver_events = {
             event.message_id: event
             for event in trace.events(kind=DELIVER, process=process)
@@ -264,6 +271,10 @@ def check_causal_prefix(trace: EventTrace) -> CheckResult:
             earlier_sender, earlier_group = send_info[earlier]
             later_event = deliver_events.get(later)
             if later_event is None:
+                continue
+            departure = departed_at.get(earlier_group)
+            if departure is not None and departure <= (later_event.time, later_event.seq):
+                # The process had departed earlier's group by then.
                 continue
             # View of earlier's group in force when `later` was delivered.
             timeline = view_timeline.get(earlier_group, [])

@@ -48,6 +48,9 @@ class AsymmetricOrdering(OrderingEngine):
         #: sequenced multicast: request id -> (payload, kind).  Used to
         #: re-send after a sequencer failover.
         self._unsequenced: Dict[str, Tuple[object, str]] = {}
+        #: Sequencer of the view as last installed; view installations that
+        #: leave the sequencer in place must not trigger re-sends.
+        self._current_sequencer: str = endpoint.view.sequencer()
 
     # ------------------------------------------------------------------
     # Sequencer identity
@@ -180,18 +183,41 @@ class AsymmetricOrdering(OrderingEngine):
         for member in removed:
             self._member_ldn.pop(member, None)
 
+    def on_own_messages_discarded(self, messages: List[DataMessage]) -> None:
+        """Step (viii) discarded our own sequenced messages (they travelled
+        through the failed sequencer above ``lnmn``); track them as
+        unsequenced again so the failover resend gives them a second life
+        under their original identity instead of silently losing them."""
+        process = self.endpoint.process
+        for message in messages:
+            request_id = message.origin_request
+            if request_id is None or request_id in self._unsequenced:
+                continue
+            self._unsequenced[request_id] = (message.payload, message.kind)
+            process.note_unicast_outstanding(self.endpoint.group_id, request_id)
+
     def on_view_installed(self) -> None:
         """Sequencer failover: if the sequencer changed, re-send requests
         that were never sequenced (or whose sequenced copies were discarded
         by the failure agreement) to the new sequencer."""
         process = self.endpoint.process
+        new_sequencer = self.sequencer()
+        if new_sequencer == self._current_sequencer:
+            # The view shrank but the sequencer survived: our outstanding
+            # requests are still queued at (or in flight to) it, and
+            # re-unicasting would make it sequence them twice.
+            return
+        self._current_sequencer = new_sequencer
         if self.is_sequencer():
-            # We just became the sequencer; nothing to re-send (our own
-            # sends sequence locally from now on).
+            # We just became the sequencer; sequence our unsequenced
+            # requests locally, under their original request ids.  The
+            # loopback receipt clears the Send-Blocking-Rule bookkeeping --
+            # clearing it up front would let deferred sends in *other*
+            # groups flush with Lamport clocks below these messages',
+            # violating the causal order the blocking rule exists for.
             pending = list(self._unsequenced.items())
             self._unsequenced.clear()
             for request_id, (payload, kind) in pending:
-                process.note_unicast_sequenced(self.endpoint.group_id, request_id)
                 self._sequence_and_multicast(
                     origin=process.process_id,
                     payload=payload,
@@ -201,11 +227,22 @@ class AsymmetricOrdering(OrderingEngine):
             return
         if not self._unsequenced:
             return
-        pending = list(self._unsequenced.items())
-        self._unsequenced.clear()
-        for request_id, (payload, kind) in pending:
-            process.note_unicast_sequenced(self.endpoint.group_id, request_id)
-            self.send(payload, kind)
+        # Re-unicast under the *original* request id: the sequencer reuses
+        # it as the multicast's message id, so the message keeps one
+        # identity from the origin's send to every delivery (receivers that
+        # saw a pre-crash copy dedup instead of delivering twice), and the
+        # Send-Blocking-Rule bookkeeping simply stays outstanding.
+        for request_id, (payload, kind) in list(self._unsequenced.items()):
+            request = SequencerRequest(
+                request_id=request_id,
+                origin=process.process_id,
+                group=self.endpoint.group_id,
+                origin_clock=process.clock.tick(),
+                payload=payload,
+                kind=kind,
+                origin_ldn=self.ldn(),
+            )
+            self.endpoint.send_to_member(self.sequencer(), request)
 
     def unsequenced_requests(self) -> List[str]:
         """Request ids awaiting sequencing (introspection for tests)."""

@@ -414,11 +414,15 @@ class GroupEndpoint:
         processes, unblock ``D``, and schedule the view installation."""
         removed = frozenset(suspicion.target for suspicion in detection)
         lnmn = min(suspicion.last_number for suspicion in detection)
+        own_id = self.process.process_id
         for target in removed:
             discarded = self.process.delivery_queue.discard_from_sender(
                 self.group_id, target, above_clock=lnmn
             )
             self.discarded_from_excluded += len(discarded)
+            own_discards = [m for m in discarded if m.sender == own_id]
+            if own_discards:
+                self.engine.on_own_messages_discarded(own_discards)
             self.stability.handle_member_removed(target, discard_above=lnmn)
         self.engine.on_members_removed(removed, lnmn)
         self.pending_view_changes.append(

@@ -103,3 +103,10 @@ class OrderingEngine(ABC):
 
     def on_view_installed(self) -> None:
         """Hook called after a new view has been installed (default: no-op)."""
+
+    def on_own_messages_discarded(self, messages) -> None:
+        """Hook: step (viii) discarded pending messages this process
+        originated.  Engines that route messages through another process
+        (the asymmetric sequencer) can arrange recovery; the symmetric
+        engine's own multicasts reach members directly, so the default is
+        a no-op."""

@@ -186,7 +186,13 @@ class StabilityTracker:
         return self.buffer.discard_stable(self.vector.stability_bound)
 
     def stability_bound(self) -> float:
-        """``min(SV_x)``: every message numbered at or below this is stable."""
+        """``min(SV_x)``: every message numbered at or below this is stable.
+
+        Always finite: when every vector entry has been marked infinite
+        (all other members failed at once), the bound clamps to the last
+        finite value instead of ``inf`` -- an infinite bound must never
+        leak into piggybacked ``m.ldn`` fields or integer comparisons.
+        """
         return self.vector.stability_bound
 
     def is_stable(self, clock: int) -> bool:

@@ -42,6 +42,10 @@ class MemberVector:
         self._entries: Dict[str, float] = {member: initial for member in members}
         if not self._entries:
             raise ValueError("a member vector needs at least one member")
+        #: Largest finite minimum ever observed; the fallback value of
+        #: :meth:`finite_minimum` once every entry has been marked infinite
+        #: (mass failure / view collapse, §5.2 step viii).
+        self._last_finite_minimum: float = float(initial)
 
     # ------------------------------------------------------------------
     # Entry access
@@ -114,6 +118,25 @@ class MemberVector:
         """
         return min(self._entries.values()) if self._entries else INFINITY
 
+    def finite_minimum(self) -> float:
+        """Minimum over the *finite* entries, with an all-infinite fallback.
+
+        When every entry has been marked infinite (all other members failed
+        at once) the plain :meth:`minimum` is ``inf`` -- a value that must
+        never be serialised into an ``m.ldn`` field or compared against
+        integer message numbers.  This variant clamps to the last finite
+        bound observed instead, which is always a *safe* (possibly
+        conservative) stability bound: entries only ever grow, so every
+        message at or below it really was covered by finite evidence.
+        """
+        finite = [value for value in self._entries.values() if value != INFINITY]
+        if not finite:
+            return self._last_finite_minimum
+        value = min(finite)
+        if value > self._last_finite_minimum:
+            self._last_finite_minimum = value
+        return value
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         inner = ", ".join(f"{member}:{value}" for member, value in sorted(self._entries.items()))
         return f"{type(self).__name__}({inner})"
@@ -149,5 +172,12 @@ class StabilityVector(MemberVector):
 
     @property
     def stability_bound(self) -> float:
-        """Largest message number known to be stable."""
-        return self.minimum()
+        """Largest message number known to be stable.
+
+        Unlike the deliverable bound ``D`` (where an all-infinite vector
+        legitimately means "nothing constrains delivery"), the stability
+        bound is piggybacked into ``m.ldn`` fields and compared against
+        integer message numbers, so it is clamped to the last finite value
+        when every entry is infinite (mass failure, §5.2 step viii).
+        """
+        return self.finite_minimum()

@@ -24,6 +24,7 @@ protocol code needing any special hooks.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -37,6 +38,10 @@ MessageFilter = Callable[[str, str, object], bool]
 
 #: Delivery callback registered per node: ``callback(src, payload)``.
 DeliverCallback = Callable[[str, object], None]
+
+#: Optional batch delivery callback per node: ``callback([(src, payload), ...])``
+#: invoked once per delivery instant instead of once per message.
+DeliverBatchCallback = Callable[[List[Tuple[str, object]]], None]
 
 
 @dataclass
@@ -53,6 +58,14 @@ class NetworkConfig:
     #: Minimal spacing enforced between consecutive deliveries on one
     #: channel, used to preserve FIFO order under random latencies.
     fifo_epsilon: float = 1e-9
+    #: When positive, delivery times are quantised *up* to the next multiple
+    #: of this window so deliveries coalesce into per-destination batch
+    #: events.  Zero (the default) batches only deliveries that already
+    #: share an exact instant (e.g. deterministic latency models), leaving
+    #: timing untouched.  Per-channel FIFO order is preserved either way:
+    #: quantisation is monotone and same-instant messages are handed over
+    #: in send order.
+    batch_window: float = 0.0
 
 
 @dataclass
@@ -66,6 +79,9 @@ class NetworkStats:
     messages_dropped_filter: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
+    #: Scheduled delivery events; with batching this is at most one per
+    #: (destination, instant) rather than one per message.
+    delivery_events: int = 0
 
     @property
     def messages_dropped(self) -> int:
@@ -86,6 +102,7 @@ class NetworkStats:
             "messages_dropped_filter": self.messages_dropped_filter,
             "bytes_sent": self.bytes_sent,
             "bytes_delivered": self.bytes_delivered,
+            "delivery_events": self.delivery_events,
         }
 
 
@@ -98,25 +115,43 @@ class Network:
         self.partitions = PartitionManager()
         self.stats = NetworkStats()
         self._deliver_callbacks: Dict[str, DeliverCallback] = {}
+        self._batch_callbacks: Dict[str, DeliverBatchCallback] = {}
         self._crashed: set[str] = set()
         self._filters: List[MessageFilter] = []
         # Per directed channel: the simulated time of the latest scheduled
         # delivery, used to preserve FIFO order.
         self._last_delivery_time: Dict[Tuple[str, str], float] = {}
+        # Open delivery batches: (dst, instant) -> accepted messages, each a
+        # (src, payload, size_bytes) triple in send order.  One simulator
+        # event is scheduled per key; it drains the whole list at once.
+        self._open_batches: Dict[Tuple[str, float], List[Tuple[str, object, int]]] = {}
 
     # ------------------------------------------------------------------
     # Node management
     # ------------------------------------------------------------------
-    def attach(self, node_id: str, deliver: DeliverCallback) -> None:
-        """Register ``node_id`` with its delivery callback."""
+    def attach(
+        self,
+        node_id: str,
+        deliver: DeliverCallback,
+        deliver_batch: Optional[DeliverBatchCallback] = None,
+    ) -> None:
+        """Register ``node_id`` with its delivery callback.
+
+        When ``deliver_batch`` is given, all messages arriving at one
+        simulated instant are handed over in a single call instead of one
+        ``deliver`` call per message.
+        """
         if node_id in self._deliver_callbacks:
             raise ValueError(f"node {node_id!r} already attached")
         self._deliver_callbacks[node_id] = deliver
+        if deliver_batch is not None:
+            self._batch_callbacks[node_id] = deliver_batch
         self.partitions.register(node_id)
 
     def detach(self, node_id: str) -> None:
         """Remove a node; pending messages to it will be dropped."""
         self._deliver_callbacks.pop(node_id, None)
+        self._batch_callbacks.pop(node_id, None)
 
     @property
     def nodes(self) -> List[str]:
@@ -178,18 +213,32 @@ class Network:
 
         delay = self.config.latency_model.sample(self.sim.rng, src, dst)
         channel = (src, dst)
-        earliest = self._last_delivery_time.get(channel, -1.0) + self.config.fifo_epsilon
-        delivery_time = max(self.sim.now + delay, earliest)
+        window = self.config.batch_window
+        if window > 0.0:
+            # Equal delivery times on one channel are fine under batching
+            # (the batch preserves send order), so no epsilon spacing --
+            # otherwise every message in a burst would slip a full window.
+            earliest = self._last_delivery_time.get(channel, -1.0)
+            delivery_time = max(self.sim.now + delay, earliest)
+            # Quantise *up* so the message is never early; monotone in the
+            # raw delivery time, so per-channel FIFO order is preserved.
+            delivery_time = math.ceil(delivery_time / window) * window
+        else:
+            earliest = self._last_delivery_time.get(channel, -1.0) + self.config.fifo_epsilon
+            delivery_time = max(self.sim.now + delay, earliest)
         self._last_delivery_time[channel] = delivery_time
-        self.sim.schedule_at(
-            delivery_time,
-            self._deliver,
-            src,
-            dst,
-            payload,
-            size_bytes,
-            label=f"deliver {src}->{dst}",
-        )
+        key = (dst, delivery_time)
+        batch = self._open_batches.get(key)
+        if batch is None:
+            self._open_batches[key] = batch = []
+            self.stats.delivery_events += 1
+            self.sim.schedule_at(
+                delivery_time,
+                self._deliver_batch,
+                key,
+                label=f"deliver ->{dst}",
+            )
+        batch.append((src, payload, size_bytes))
         return True
 
     def multicast(
@@ -209,22 +258,42 @@ class Network:
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
-    def _deliver(self, src: str, dst: str, payload: object, size_bytes: int) -> None:
-        if dst in self._crashed:
-            self.stats.messages_dropped_crash += 1
+    def _deliver_batch(self, key: Tuple[str, float]) -> None:
+        """Drain one (destination, instant) batch.
+
+        Drop checks (crash, in-flight partition) are still per message --
+        a partition installed mid-flight must lose exactly the messages
+        that crossed it -- but the scheduling overhead is paid once per
+        batch instead of once per message.
+        """
+        dst = key[0]
+        messages = self._open_batches.pop(key, None)
+        if not messages:
             return
-        if self.config.drop_in_flight_on_partition and not self.partitions.can_communicate(
-            src, dst
-        ):
-            self.stats.messages_dropped_partition += 1
+        if dst in self._crashed:
+            self.stats.messages_dropped_crash += len(messages)
+            return
+        drop_in_flight = self.config.drop_in_flight_on_partition
+        surviving: List[Tuple[str, object, int]] = []
+        for src, payload, size_bytes in messages:
+            if drop_in_flight and not self.partitions.can_communicate(src, dst):
+                self.stats.messages_dropped_partition += 1
+                continue
+            surviving.append((src, payload, size_bytes))
+        if not surviving:
             return
         callback = self._deliver_callbacks.get(dst)
-        if callback is None:
-            self.stats.messages_dropped_crash += 1
+        batch_callback = self._batch_callbacks.get(dst)
+        if callback is None and batch_callback is None:
+            self.stats.messages_dropped_crash += len(surviving)
             return
-        self.stats.messages_delivered += 1
-        self.stats.bytes_delivered += size_bytes
-        callback(src, payload)
+        self.stats.messages_delivered += len(surviving)
+        self.stats.bytes_delivered += sum(size for _, _, size in surviving)
+        if batch_callback is not None:
+            batch_callback([(src, payload) for src, payload, _ in surviving])
+        else:
+            for src, payload, _ in surviving:
+                callback(src, payload)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -9,12 +9,21 @@ the protocol never reads it for correctness decisions (only timers such as
 the time-silence period ``omega`` and the suspicion timeout ``Omega`` are
 expressed in it, exactly as the paper's timeouts are).
 
-The kernel is intentionally small:
+The kernel is intentionally small but built for throughput:
 
 * :class:`Simulator` owns the virtual clock, the pending-event heap and a
   seeded :class:`random.Random` instance.
 * :meth:`Simulator.schedule` registers a callback after a delay and returns
-  an :class:`EventHandle` that can be cancelled.
+  an :class:`EventHandle` that can be cancelled.  Cancellation is lazy (the
+  heap entry is only marked dead), but the heap is *compacted* whenever the
+  dead fraction crosses :attr:`Simulator.compaction_threshold`, so timer
+  churn -- protocols that schedule and cancel timers per message -- cannot
+  grow the heap beyond a small multiple of the live event count.
+* Dead event records are recycled through a bounded free list; at high
+  event rates this keeps allocation pressure flat.  A per-record
+  *generation* counter makes recycled records safe: a stale
+  :class:`EventHandle` whose event already fired (or was compacted away)
+  can never cancel the record's next occupant.
 * :meth:`Simulator.run` / :meth:`Simulator.run_until` drive the simulation.
 
 Everything above the kernel (network, transport, protocol processes) is
@@ -24,9 +33,7 @@ built from these primitives.
 from __future__ import annotations
 
 import heapq
-import itertools
 import random
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 
@@ -34,48 +41,78 @@ class SimulatorError(RuntimeError):
     """Raised when the simulation kernel is used incorrectly."""
 
 
-@dataclass(order=True)
 class _ScheduledEvent:
     """Internal heap entry.
 
     Ordered by ``(time, sequence)`` so that events scheduled for the same
     instant fire in the order they were scheduled (stable, deterministic).
+    Plain ``__slots__`` class (not a dataclass): these records are the
+    hottest allocation in the whole simulator and are recycled via the
+    kernel's free list, with ``generation`` guarding stale handles.
     """
 
-    time: float
-    sequence: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-    label: str = field(compare=False, default="")
+    __slots__ = ("time", "sequence", "callback", "args", "cancelled", "label", "generation")
+
+    def __init__(self) -> None:
+        self.time = 0.0
+        self.sequence = 0
+        self.callback: Optional[Callable[..., None]] = None
+        self.args: tuple = ()
+        self.cancelled = False
+        self.label = ""
+        self.generation = 0
+
+    def __lt__(self, other: "_ScheduledEvent") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.sequence < other.sequence
 
 
 class EventHandle:
-    """Handle returned by :meth:`Simulator.schedule`, usable to cancel."""
+    """Handle returned by :meth:`Simulator.schedule`, usable to cancel.
 
-    __slots__ = ("_event",)
+    The handle pins down the exact (event record, generation) pair it was
+    created for; once the event has fired -- and its record possibly been
+    recycled for a later event -- the handle becomes inert.
+    """
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    __slots__ = ("_sim", "_event", "_generation", "_time", "_label", "_cancelled")
+
+    def __init__(self, sim: "Simulator", event: _ScheduledEvent) -> None:
+        self._sim = sim
         self._event = event
+        self._generation = event.generation
+        self._time = event.time
+        self._label = event.label
+        self._cancelled = False
 
     @property
     def time(self) -> float:
-        """Simulated time at which the event will fire."""
-        return self._event.time
+        """Simulated time at which the event will (or would) fire."""
+        return self._time
 
     @property
     def cancelled(self) -> bool:
         """Whether :meth:`cancel` has been called on this handle."""
-        return self._event.cancelled
+        return self._cancelled
 
     @property
     def label(self) -> str:
         """Optional human-readable label given at scheduling time."""
-        return self._event.label
+        return self._label
 
     def cancel(self) -> None:
-        """Prevent the event from firing (idempotent)."""
-        self._event.cancelled = True
+        """Prevent the event from firing (idempotent).
+
+        Cancelling drops the callback and argument references immediately:
+        a cancelled long-dated timer must not keep its closure (and
+        whatever object graph it captures) alive until the original fire
+        time rolls around.
+        """
+        if self._cancelled:
+            return
+        self._cancelled = True
+        self._sim._cancel_event(self._event, self._generation)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -93,12 +130,28 @@ class Simulator:
         should be drawn from :attr:`rng` so runs are reproducible.
     """
 
+    #: Compact the heap once more than this fraction of it is cancelled
+    #: entries (and the heap is at least ``_MIN_COMPACTION_SIZE`` long).
+    compaction_threshold: float = 0.5
+    _MIN_COMPACTION_SIZE = 64
+    _FREE_LIST_LIMIT = 4096
+    #: Relative tolerance for clamping epsilon-negative delays: absolute
+    #: scheduling (``schedule_at``) computes ``t - now``, and float rounding
+    #: can turn an intended zero into e.g. ``-1e-16`` mid-run.  Kept within
+    #: a few thousand ulps of double precision so genuinely past-scheduled
+    #: events (real timer-arithmetic bugs) still raise instead of being
+    #: silently clamped.
+    _NEGATIVE_DELAY_EPSILON = 1e-12
+
     def __init__(self, seed: int = 0) -> None:
         self._now: float = 0.0
         self._heap: list[_ScheduledEvent] = []
-        self._sequence = itertools.count()
+        self._next_sequence = 0
         self._events_processed = 0
         self._running = False
+        self._cancelled_in_heap = 0
+        self._free: list[_ScheduledEvent] = []
+        self.compactions = 0
         self.rng = random.Random(seed)
         self.seed = seed
 
@@ -120,6 +173,11 @@ class Simulator:
         """Number of events currently queued (including cancelled ones)."""
         return len(self._heap)
 
+    @property
+    def live_pending_events(self) -> int:
+        """Number of queued events that have not been cancelled."""
+        return len(self._heap) - self._cancelled_in_heap
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -135,18 +193,25 @@ class Simulator:
         ``delay`` must be non-negative; a zero delay schedules the callback
         for the current instant but *after* the currently executing event
         completes (run-to-completion semantics, like an event loop).
+        Epsilon-negative delays produced by float rounding of absolute
+        times are clamped to zero rather than rejected.
         """
         if delay < 0:
-            raise SimulatorError(f"cannot schedule an event in the past (delay={delay})")
-        event = _ScheduledEvent(
-            time=self._now + delay,
-            sequence=next(self._sequence),
-            callback=callback,
-            args=args,
-            label=label,
-        )
+            if delay >= -self._NEGATIVE_DELAY_EPSILON * max(1.0, abs(self._now)):
+                delay = 0.0
+            else:
+                raise SimulatorError(
+                    f"cannot schedule an event in the past (delay={delay})"
+                )
+        event = self._new_event()
+        event.time = self._now + delay
+        event.sequence = self._next_sequence
+        self._next_sequence += 1
+        event.callback = callback
+        event.args = args
+        event.label = label
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        return EventHandle(self, event)
 
     def schedule_at(
         self,
@@ -174,12 +239,19 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_in_heap -= 1
+                self._recycle(event)
                 continue
             if event.time < self._now:
                 raise SimulatorError("event heap corrupted: time went backwards")
+            callback = event.callback
+            args = event.args
             self._now = event.time
             self._events_processed += 1
-            event.callback(*event.args)
+            # Recycle before invoking: the callback frequently schedules new
+            # events, which can then reuse this record immediately.
+            self._recycle(event)
+            callback(*args)
             return True
         return False
 
@@ -242,11 +314,63 @@ class Simulator:
     def _peek(self) -> Optional[_ScheduledEvent]:
         """Return the next non-cancelled event without executing it."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            self._cancelled_in_heap -= 1
+            self._recycle(heapq.heappop(self._heap))
         return self._heap[0] if self._heap else None
+
+    # ------------------------------------------------------------------
+    # Event-record lifecycle (free list + lazy-deletion compaction)
+    # ------------------------------------------------------------------
+    def _new_event(self) -> _ScheduledEvent:
+        if self._free:
+            return self._free.pop()
+        return _ScheduledEvent()
+
+    def _recycle(self, event: _ScheduledEvent) -> None:
+        """Retire an event record that left the heap.
+
+        Bumping the generation invalidates every outstanding handle; clearing
+        the callback/args drops whatever the closure kept alive.
+        """
+        event.generation += 1
+        event.callback = None
+        event.args = ()
+        event.label = ""
+        event.cancelled = False
+        if len(self._free) < self._FREE_LIST_LIMIT:
+            self._free.append(event)
+
+    def _cancel_event(self, event: _ScheduledEvent, generation: int) -> None:
+        """Cancel the heap occurrence a handle refers to (if still queued)."""
+        if event.generation != generation or event.cancelled:
+            return
+        event.cancelled = True
+        # Release the references right away; the record itself stays in the
+        # heap (lazy deletion) until popped or compacted.
+        event.callback = None
+        event.args = ()
+        self._cancelled_in_heap += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        heap_size = len(self._heap)
+        if heap_size < self._MIN_COMPACTION_SIZE:
+            return
+        if self._cancelled_in_heap <= heap_size * self.compaction_threshold:
+            return
+        live = []
+        for event in self._heap:
+            if event.cancelled:
+                self._recycle(event)
+            else:
+                live.append(event)
+        heapq.heapify(live)
+        self._heap = live
+        self._cancelled_in_heap = 0
+        self.compactions += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Simulator(now={self._now:.3f}, pending={self.pending_events}, "
-            f"processed={self._events_processed})"
+            f"live={self.live_pending_events}, processed={self._events_processed})"
         )

@@ -163,6 +163,18 @@ class Endpoint:
     # ------------------------------------------------------------------
     # Delivery (called by Transport)
     # ------------------------------------------------------------------
+    def _on_network_delivery_batch(self, items: List[tuple]) -> None:
+        """Process every message that arrived at one simulated instant.
+
+        The network hands same-instant arrivals over in a single call (one
+        scheduled event per destination per instant); FIFO checking and
+        handler dispatch remain per message.
+        """
+        for src, raw in items:
+            if self._crashed:
+                return
+            self._on_network_delivery(src, raw)
+
     def _on_network_delivery(self, src: str, raw: object) -> None:
         if self._crashed:
             return
@@ -207,7 +219,11 @@ class Transport:
         if node_id in self._endpoints:
             return self._endpoints[node_id]
         endpoint = Endpoint(self, node_id)
-        self.network.attach(node_id, endpoint._on_network_delivery)
+        self.network.attach(
+            node_id,
+            endpoint._on_network_delivery,
+            deliver_batch=endpoint._on_network_delivery_batch,
+        )
         self._endpoints[node_id] = endpoint
         return endpoint
 

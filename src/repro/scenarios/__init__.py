@@ -1,0 +1,66 @@
+"""Declarative large-scale scenario engine.
+
+This package turns config dicts into verified simulation runs: a scenario
+names its processes, its (possibly overlapping, possibly mixed-mode)
+groups, a background workload, and a timed list of fault and membership
+events -- churn, cascading partitions, merge storms, lossy windows,
+sequencer migration.  The engine runs the scenario on a fresh simulated
+cluster, samples the runtime's health while it runs, and evaluates the
+paper's correctness predicates (total order, view agreement, virtual
+synchrony) over the recorded trace, deriving the per-group agreement sets
+from the event list automatically.
+
+Quick start::
+
+    from repro.scenarios import churn_scenario, run_scenario
+
+    result = run_scenario(churn_scenario(n_processes=100, n_groups=10))
+    assert result.passed, result.checks.violations
+
+See :mod:`repro.scenarios.spec` for the config-dict format and
+:mod:`repro.scenarios.library` for the ready-made scenario generators.
+"""
+
+from repro.scenarios.engine import (
+    SCENARIO_PROTOCOL_DEFAULTS,
+    RuntimeSample,
+    ScenarioEngine,
+    ScenarioResult,
+    run_scenario,
+)
+from repro.scenarios.library import (
+    cascading_partitions_scenario,
+    churn_scenario,
+    merge_storm_scenario,
+    migration_under_load_scenario,
+    mixed_modes_scenario,
+    ring_overlap_groups,
+)
+from repro.scenarios.spec import (
+    GroupSpec,
+    ScenarioConfigError,
+    ScenarioEvent,
+    ScenarioSpec,
+    WorkloadSpec,
+    from_config,
+)
+
+__all__ = [
+    "SCENARIO_PROTOCOL_DEFAULTS",
+    "RuntimeSample",
+    "ScenarioEngine",
+    "ScenarioResult",
+    "run_scenario",
+    "cascading_partitions_scenario",
+    "churn_scenario",
+    "merge_storm_scenario",
+    "migration_under_load_scenario",
+    "mixed_modes_scenario",
+    "ring_overlap_groups",
+    "GroupSpec",
+    "ScenarioConfigError",
+    "ScenarioEvent",
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "from_config",
+]

@@ -1,0 +1,289 @@
+"""The scenario engine: run a declarative spec, verify the guarantees.
+
+The engine turns a :class:`~repro.scenarios.spec.ScenarioSpec` into a
+running :class:`~repro.core.cluster.NewtopCluster`: it installs the groups,
+drives the background workload, applies the timed fault/membership events,
+samples the simulator's health (heap occupancy) while running, and finally
+evaluates the paper's correctness predicates over the recorded trace.
+
+Checking under churn needs care: after partitions (real or induced by drop
+windows) only processes that were never separated -- the scenario's *stable
+core* -- are required to agree on view sequences (VC1 quantifies over
+processes that never suspect each other).  The engine derives the expected
+agreement set per group from the event list alone, so scenario authors get
+the right checks without hand-writing them; total order (MD4/MD4') is
+checked over every process unconditionally, exactly as the paper states it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.analysis.checkers import CheckResult, check_all
+from repro.core.cluster import NewtopCluster
+from repro.core.config import NewtopConfig
+from repro.net.latency import LatencyModel
+from repro.scenarios.spec import ScenarioEvent, ScenarioSpec, from_config
+
+#: Protocol defaults for scenario runs: fast time-silence and suspicion so
+#: membership events settle within short simulated horizons, with enough
+#: slack over the default latency model that healthy, connected processes
+#: never suspect each other.
+SCENARIO_PROTOCOL_DEFAULTS: Mapping[str, object] = {
+    "omega": 1.5,
+    "suspicion_timeout": 6.0,
+    "suspector_check_interval": 0.5,
+}
+
+#: Simulated-time spacing of runtime health samples.
+SAMPLE_INTERVAL = 2.0
+
+
+@dataclass
+class RuntimeSample:
+    """One periodic snapshot of simulator health while a scenario runs."""
+
+    time: float
+    pending_events: int
+    live_pending_events: int
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a scenario run produced: verdicts plus runtime metrics."""
+
+    name: str
+    checks: CheckResult
+    agreement_sets: Dict[str, List[str]]
+    sim_time: float
+    events_processed: int
+    deliveries: int
+    messages_sent: int
+    delivery_events: int
+    compactions: int
+    peak_pending_events: int
+    peak_live_pending_events: int
+    samples: List[RuntimeSample] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """Whether every checked guarantee held."""
+        return self.checks.passed
+
+    def summary(self) -> List[str]:
+        """Human-readable result rows (used by the benchmark report)."""
+        batching = (
+            f"{self.messages_sent / self.delivery_events:.1f} msgs/event"
+            if self.delivery_events
+            else "n/a"
+        )
+        return [
+            f"checks: {'PASS' if self.passed else 'FAIL ' + '; '.join(self.checks.violations[:2])}",
+            f"simulated time {self.sim_time:.1f}, events processed {self.events_processed}",
+            f"messages sent {self.messages_sent}, app deliveries {self.deliveries}, "
+            f"delivery batching {batching}",
+            f"heap: peak pending {self.peak_pending_events} "
+            f"(live {self.peak_live_pending_events}), compactions {self.compactions}",
+        ]
+
+
+class ScenarioEngine:
+    """Runs one scenario spec on a fresh simulated cluster."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        latency_model: Optional[LatencyModel] = None,
+    ) -> None:
+        self.spec = spec
+        overrides = dict(SCENARIO_PROTOCOL_DEFAULTS)
+        overrides.update(spec.protocol)
+        self.cluster = NewtopCluster(
+            list(spec.processes),
+            config=NewtopConfig(**overrides),
+            latency_model=latency_model,
+            seed=spec.seed,
+        )
+        self.cluster.network.config.batch_window = spec.batch_window
+        self.samples: List[RuntimeSample] = []
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _install(self) -> None:
+        if self._installed:
+            return
+        self._installed = True
+        for group in self.spec.groups:
+            for member in group.members:
+                self.cluster.processes[member].create_group(
+                    group.group_id, group.members, mode=group.mode
+                )
+        self._schedule_workload()
+        for event in self.spec.events:
+            self.cluster.sim.schedule_at(
+                event.time, self._apply_event, event, label=f"scenario:{event.kind}"
+            )
+        self._schedule_sample()
+
+    def _schedule_workload(self) -> None:
+        workload = self.spec.workload
+        for group in self.spec.groups:
+            senders = (
+                group.members[: workload.senders_per_group]
+                if workload.senders_per_group > 0
+                else group.members
+            )
+            for round_index in range(workload.messages_per_sender):
+                send_time = workload.start + round_index * workload.gap
+                for sender in senders:
+                    self.cluster.sim.schedule_at(
+                        send_time,
+                        self._send,
+                        sender,
+                        group.group_id,
+                        f"{group.group_id}:{sender}:{round_index}",
+                        label="scenario:send",
+                    )
+
+    def _send(self, sender: str, group_id: str, payload: str) -> None:
+        process = self.cluster.processes[sender]
+        # Senders drop out of the workload when the scenario crashed or
+        # departed them; that is scenario-intended, not an error.
+        if process.crashed or not process.is_member(group_id):
+            return
+        process.multicast(group_id, payload)
+
+    def _apply_event(self, event: ScenarioEvent) -> None:
+        cluster = self.cluster
+        if event.kind == "crash":
+            for target in event.targets:
+                cluster.processes[target].crash()
+        elif event.kind == "leave":
+            for target in event.targets:
+                process = cluster.processes[target]
+                if not process.crashed and process.is_member(event.group):
+                    process.leave_group(event.group)
+        elif event.kind == "partition":
+            cluster.injector.partition_now([list(side) for side in event.components])
+        elif event.kind == "heal":
+            cluster.injector.heal_now()
+        elif event.kind == "isolate":
+            cluster.network.partitions.partition(
+                [[target] for target in event.targets], at_time=cluster.sim.now
+            )
+        elif event.kind == "drop":
+            src_nodes, dst_nodes = set(event.src), set(event.dst)
+
+            def drop_filter(src: str, dst: str, payload: object) -> bool:
+                return not (src in src_nodes and dst in dst_nodes)
+
+            cluster.network.add_filter(drop_filter)
+            cluster.sim.schedule(
+                event.duration,
+                cluster.network.remove_filter,
+                drop_filter,
+                label="scenario:drop-end",
+            )
+        else:  # pragma: no cover - spec parsing rejects unknown kinds
+            raise ValueError(f"unknown scenario event kind {event.kind!r}")
+
+    def _schedule_sample(self) -> None:
+        sim = self.cluster.sim
+        self.samples.append(
+            RuntimeSample(
+                time=sim.now,
+                pending_events=sim.pending_events,
+                live_pending_events=sim.live_pending_events,
+            )
+        )
+        if sim.now < self.spec.horizon():
+            sim.schedule(SAMPLE_INTERVAL, self._schedule_sample, label="scenario:sample")
+
+    # ------------------------------------------------------------------
+    # Expected agreement sets (the scenario's stable core)
+    # ------------------------------------------------------------------
+    def expected_agreement_sets(self) -> Dict[str, List[str]]:
+        """Per group, the processes required to agree on view sequences.
+
+        The *stable core* starts as every process and shrinks on each event
+        that can separate processes' perceptions: crashed/isolated targets
+        drop out, a partition keeps only the component that retains the
+        most of the current core (ties break deterministically towards the
+        lexicographically smallest component), and drop windows remove the
+        affected endpoints conservatively.  Group leavers are additionally
+        excluded from that group's agreement set.
+        """
+        core: Set[str] = set(self.spec.processes)
+        leavers: Dict[str, Set[str]] = {}
+        for event in self.spec.events:
+            if event.kind in ("crash", "isolate"):
+                core -= set(event.targets)
+            elif event.kind == "leave":
+                leavers.setdefault(event.group, set()).update(event.targets)
+            elif event.kind == "partition":
+                listed: Set[str] = set()
+                components = [set(side) for side in event.components]
+                for side in components:
+                    listed |= side
+                leftover = set(self.spec.processes) - listed
+                if leftover:
+                    components.append(leftover)
+                core &= min(
+                    components,
+                    key=lambda side: (-len(side & core), tuple(sorted(side))),
+                )
+            elif event.kind == "drop":
+                # A lossy window can trigger genuine (if one-sided) mutual
+                # suspicion; be conservative about who must still agree.
+                core -= set(event.src) | set(event.dst)
+        return {
+            group.group_id: sorted(
+                member
+                for member in group.members
+                if member in core and member not in leavers.get(group.group_id, set())
+            )
+            for group in self.spec.groups
+        }
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self) -> ScenarioResult:
+        """Install, run to the horizon, and evaluate the trace checkers."""
+        self._install()
+        sim = self.cluster.sim
+        sim.run(until=self.spec.horizon())
+        agreement_sets = self.expected_agreement_sets()
+        checks = check_all(self.cluster.trace(), view_agreement_sets=agreement_sets)
+        deliveries = sum(
+            len(process.delivered) for process in self.cluster.processes.values()
+        )
+        stats = self.cluster.network.stats
+        return ScenarioResult(
+            name=self.spec.name,
+            checks=checks,
+            agreement_sets=agreement_sets,
+            sim_time=sim.now,
+            events_processed=sim.events_processed,
+            deliveries=deliveries,
+            messages_sent=stats.messages_sent,
+            delivery_events=stats.delivery_events,
+            compactions=sim.compactions,
+            peak_pending_events=max(sample.pending_events for sample in self.samples),
+            peak_live_pending_events=max(
+                sample.live_pending_events for sample in self.samples
+            ),
+            samples=list(self.samples),
+        )
+
+
+def run_scenario(
+    config: Mapping,
+    latency_model: Optional[LatencyModel] = None,
+) -> ScenarioResult:
+    """Parse a scenario config dict, run it, and return the result."""
+    spec = config if isinstance(config, ScenarioSpec) else from_config(config)
+    return ScenarioEngine(spec, latency_model=latency_model).run()

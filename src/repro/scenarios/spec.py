@@ -1,0 +1,264 @@
+"""Declarative scenario specifications.
+
+A scenario is described by a plain config dict -- JSON-shaped, so specs can
+be generated programmatically (see :mod:`repro.scenarios.library`), stored
+in files, or written inline in tests::
+
+    {
+        "name": "two-group churn",
+        "seed": 7,
+        "processes": 8,                     # or an explicit list of names
+        "groups": [
+            {"id": "g0", "members": ["P001", ..., "P004"]},
+            {"id": "g1", "members": ["P003", ..., "P006"], "mode": "asymmetric"},
+        ],
+        "workload": {"messages_per_sender": 3, "senders_per_group": 2, "gap": 2.0},
+        "events": [
+            {"time": 8.0, "kind": "crash", "targets": ["P002"]},
+            {"time": 10.0, "kind": "partition", "components": [["P001", "P003"]]},
+            {"time": 20.0, "kind": "heal"},
+        ],
+        "drain": 40.0,
+        "protocol": {"omega": 1.5, "suspicion_timeout": 6.0},
+        "batch_window": 0.25,
+    }
+
+:func:`from_config` parses and validates such a dict into a
+:class:`ScenarioSpec`; the :mod:`engine <repro.scenarios.engine>` runs it.
+
+Supported event kinds (matching the fault model of :mod:`repro.net.failures`):
+
+``crash``
+    Crash-stop every process in ``targets``.
+``leave``
+    The processes in ``targets`` voluntarily depart ``group``.
+``partition``
+    Install a partition with the listed ``components`` (unlisted processes
+    form one implicit extra component).
+``heal``
+    Remove all partitions.
+``isolate``
+    Partition each process in ``targets`` away from everyone else.
+``drop``
+    Drop messages from ``src`` processes to ``dst`` processes for
+    ``duration`` time units (one-directional lossy window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.config import OrderingMode
+
+
+class ScenarioConfigError(ValueError):
+    """Raised when a scenario config dict is malformed."""
+
+
+#: Event kinds accepted by the engine.
+EVENT_KINDS = ("crash", "leave", "partition", "heal", "isolate", "drop")
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One group in the scenario: id, members and ordering mode."""
+
+    group_id: str
+    members: Tuple[str, ...]
+    mode: OrderingMode = OrderingMode.SYMMETRIC
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The background application traffic driven through every group."""
+
+    #: Application messages each selected sender multicasts per group.
+    messages_per_sender: int = 2
+    #: How many members of each group act as senders (the first k, in
+    #: membership order); 0 means every member sends.
+    senders_per_group: int = 2
+    #: Simulated-time gap between successive send rounds.
+    gap: float = 2.0
+    #: Time of the first send round.
+    start: float = 1.0
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One timed fault/membership action."""
+
+    time: float
+    kind: str
+    targets: Tuple[str, ...] = ()
+    group: Optional[str] = None
+    components: Tuple[Tuple[str, ...], ...] = ()
+    src: Tuple[str, ...] = ()
+    dst: Tuple[str, ...] = ()
+    duration: float = 0.0
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A fully parsed scenario, ready for the engine."""
+
+    name: str
+    processes: Tuple[str, ...]
+    groups: Tuple[GroupSpec, ...]
+    workload: WorkloadSpec
+    events: Tuple[ScenarioEvent, ...]
+    seed: int = 0
+    #: Extra settling time after the last send/event before checking.
+    drain: float = 40.0
+    #: Overrides applied to :class:`~repro.core.config.NewtopConfig`.
+    protocol: Mapping[str, object] = field(default_factory=dict)
+    #: Network delivery batching window (0 batches exact instants only).
+    batch_window: float = 0.0
+
+    def horizon(self) -> float:
+        """Simulated time at which the scenario is considered settled."""
+        last_send = self.workload.start + max(
+            0, self.workload.messages_per_sender - 1
+        ) * self.workload.gap
+        last_event = max((event.time + event.duration for event in self.events), default=0.0)
+        return max(last_send, last_event) + self.drain
+
+
+def default_process_names(count: int) -> Tuple[str, ...]:
+    """Deterministic process names ``P001..Pnnn`` for generated scenarios."""
+    width = max(3, len(str(count)))
+    return tuple(f"P{index:0{width}d}" for index in range(1, count + 1))
+
+
+def _parse_mode(raw: object) -> OrderingMode:
+    if isinstance(raw, OrderingMode):
+        return raw
+    if isinstance(raw, str):
+        try:
+            return OrderingMode(raw)
+        except ValueError:
+            raise ScenarioConfigError(
+                f"unknown ordering mode {raw!r}; expected one of "
+                f"{[mode.value for mode in OrderingMode]}"
+            ) from None
+    raise ScenarioConfigError(f"unparseable ordering mode: {raw!r}")
+
+
+def _parse_event(raw: Mapping, processes: Sequence[str], groups: Dict[str, GroupSpec]) -> ScenarioEvent:
+    kind = raw.get("kind")
+    if kind not in EVENT_KINDS:
+        raise ScenarioConfigError(f"unknown event kind {kind!r}; expected one of {EVENT_KINDS}")
+    if "time" not in raw:
+        raise ScenarioConfigError(f"event {raw!r} is missing its 'time'")
+    time = float(raw["time"])
+    known = set(processes)
+
+    def checked(names: Sequence[str], what: str) -> Tuple[str, ...]:
+        names = tuple(names)
+        unknown = [name for name in names if name not in known]
+        if unknown:
+            raise ScenarioConfigError(f"{what} of {kind!r} event names unknown processes {unknown}")
+        return names
+
+    targets = checked(raw.get("targets", ()), "targets")
+    group = raw.get("group")
+    components = tuple(
+        checked(component, "components") for component in raw.get("components", ())
+    )
+    src = checked(raw.get("src", ()), "src")
+    dst = checked(raw.get("dst", ()), "dst")
+
+    if kind in ("crash", "isolate") and not targets:
+        raise ScenarioConfigError(f"{kind!r} event at t={time} needs non-empty 'targets'")
+    if kind == "leave":
+        if not targets or group is None:
+            raise ScenarioConfigError(f"'leave' event at t={time} needs 'targets' and 'group'")
+        if group not in groups:
+            raise ScenarioConfigError(f"'leave' event at t={time} names unknown group {group!r}")
+        for target in targets:
+            if target not in groups[group].members:
+                raise ScenarioConfigError(
+                    f"'leave' event at t={time}: {target!r} is not a member of {group!r}"
+                )
+    if kind == "partition" and not components:
+        raise ScenarioConfigError(f"'partition' event at t={time} needs 'components'")
+    if kind == "drop" and (not src or not dst):
+        raise ScenarioConfigError(f"'drop' event at t={time} needs 'src' and 'dst'")
+
+    return ScenarioEvent(
+        time=time,
+        kind=kind,
+        targets=targets,
+        group=group,
+        components=components,
+        src=src,
+        dst=dst,
+        duration=float(raw.get("duration", 0.0)),
+    )
+
+
+def from_config(config: Mapping) -> ScenarioSpec:
+    """Parse and validate a scenario config dict into a :class:`ScenarioSpec`."""
+    if "groups" not in config:
+        raise ScenarioConfigError("scenario config needs a 'groups' list")
+
+    raw_processes = config.get("processes")
+    if raw_processes is None:
+        # Infer the process set from the group memberships.
+        inferred: List[str] = []
+        for raw_group in config["groups"]:
+            for member in raw_group.get("members", ()):
+                if member not in inferred:
+                    inferred.append(member)
+        processes = tuple(sorted(inferred))
+    elif isinstance(raw_processes, int):
+        processes = default_process_names(raw_processes)
+    else:
+        processes = tuple(raw_processes)
+    if len(processes) < 2:
+        raise ScenarioConfigError("a scenario needs at least two processes")
+    if len(set(processes)) != len(processes):
+        raise ScenarioConfigError("duplicate process names in 'processes'")
+
+    known = set(processes)
+    groups: Dict[str, GroupSpec] = {}
+    for raw_group in config["groups"]:
+        group_id = raw_group.get("id")
+        if not group_id:
+            raise ScenarioConfigError(f"group entry {raw_group!r} is missing its 'id'")
+        if group_id in groups:
+            raise ScenarioConfigError(f"duplicate group id {group_id!r}")
+        members = tuple(raw_group.get("members", ()))
+        if len(members) < 2:
+            raise ScenarioConfigError(f"group {group_id!r} needs at least two members")
+        unknown = [member for member in members if member not in known]
+        if unknown:
+            raise ScenarioConfigError(f"group {group_id!r} names unknown processes {unknown}")
+        groups[group_id] = GroupSpec(
+            group_id=group_id,
+            members=members,
+            mode=_parse_mode(raw_group.get("mode", OrderingMode.SYMMETRIC)),
+        )
+
+    workload = WorkloadSpec(**config.get("workload", {}))
+    if workload.messages_per_sender < 0 or workload.gap <= 0:
+        raise ScenarioConfigError("workload needs messages_per_sender >= 0 and gap > 0")
+
+    events = tuple(
+        sorted(
+            (_parse_event(raw, processes, groups) for raw in config.get("events", ())),
+            key=lambda event: event.time,
+        )
+    )
+
+    return ScenarioSpec(
+        name=str(config.get("name", "scenario")),
+        processes=processes,
+        groups=tuple(groups.values()),
+        workload=workload,
+        events=events,
+        seed=int(config.get("seed", 0)),
+        drain=float(config.get("drain", 40.0)),
+        protocol=dict(config.get("protocol", {})),
+        batch_window=float(config.get("batch_window", 0.0)),
+    )

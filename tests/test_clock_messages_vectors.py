@@ -224,3 +224,58 @@ def test_all_infinite_vector_is_unconstrained():
     vector.mark_infinite("P1")
     vector.mark_infinite("P2")
     assert vector.deliverable_bound == INFINITY
+
+
+def test_stability_bound_clamps_when_all_entries_infinite():
+    """Mass failure (§5.2 step viii with every other member removed) must
+    not let an infinite bound leak into ldn serialisation: the stability
+    bound clamps to the last finite value instead."""
+    vector = StabilityVector(["P1", "P2", "P3"])
+    vector.record_ldn("P1", 4)
+    vector.record_ldn("P2", 6)
+    vector.record_ldn("P3", 5)
+    assert vector.stability_bound == 4
+    vector.mark_infinite("P1")
+    assert vector.stability_bound == 5  # finite entries still constrain
+    vector.mark_infinite("P2")
+    vector.mark_infinite("P3")
+    assert vector.stability_bound == 5  # clamped to the last finite bound
+    assert vector.stability_bound != INFINITY
+    # The receive vector's deliverable bound keeps the infinite semantics
+    # (D must be free to pass lnmn) -- only the stability side clamps.
+    assert vector.minimum() == INFINITY
+
+
+def test_all_failed_group_never_serialises_infinite_ldn():
+    """End-to-end §5.2 edge case: every other member of a group crashes at
+    once; the survivor's subsequent messages must carry finite integer
+    ldn values and its retention buffer must not grow unboundedly."""
+    import math
+
+    from repro.core import NewtopCluster, NewtopConfig
+
+    cluster = NewtopCluster(
+        ["P1", "P2", "P3"],
+        config=NewtopConfig(omega=1.5, suspicion_timeout=6.0, suspector_check_interval=0.5),
+        seed=3,
+    )
+    cluster.create_group("g", ["P1", "P2", "P3"])
+    cluster["P1"].multicast("g", "hello")
+    cluster.run(5)
+    cluster.crash("P2")
+    cluster.crash("P3")
+    # Run long enough for suspicion, agreement and the view collapse to a
+    # singleton, followed by plenty of time-silence nulls.
+    cluster.run(80)
+    survivor = cluster["P1"]
+    endpoint = survivor.endpoint("g")
+    assert endpoint.view.sorted_members() == ("P1",)
+    bound = endpoint.stability.stability_bound()
+    assert not math.isinf(bound)
+    ldn = endpoint.engine.ldn()
+    assert isinstance(ldn, int)
+    assert not math.isinf(ldn)
+    # Nulls kept flowing after the collapse and carried finite ldn values
+    # the whole time (they were retained/discarded through integer
+    # comparisons without error).
+    assert endpoint.time_silence.nulls_sent > 0

@@ -1,0 +1,202 @@
+"""Tests for the declarative scenario engine and the runtime it leans on.
+
+Covers the ISSUE-1 surface: scenario-spec parsing, churn and
+partition-merge scenarios verified end to end through the trace checkers,
+the simulator's bounded-heap invariant under timer churn, and the
+benchmark smoke mode that keeps the scenario path exercised by tier-1.
+"""
+
+import os
+import sys
+from collections import deque
+
+import pytest
+
+from repro.net.simulator import Simulator
+from repro.scenarios import (
+    ScenarioConfigError,
+    ScenarioEngine,
+    cascading_partitions_scenario,
+    churn_scenario,
+    from_config,
+    merge_storm_scenario,
+    migration_under_load_scenario,
+    mixed_modes_scenario,
+    run_scenario,
+)
+
+# ---------------------------------------------------------------------------
+# Spec parsing
+# ---------------------------------------------------------------------------
+
+
+def test_from_config_parses_a_minimal_scenario():
+    spec = from_config(
+        {
+            "name": "mini",
+            "processes": 4,
+            "groups": [{"id": "g0", "members": ["P001", "P002", "P003"]}],
+            "workload": {"messages_per_sender": 2, "gap": 2.0, "start": 1.0},
+            "events": [
+                {"time": 5.0, "kind": "crash", "targets": ["P003"]},
+                {"time": 3.0, "kind": "heal"},
+            ],
+            "drain": 10.0,
+        }
+    )
+    assert spec.processes == ("P001", "P002", "P003", "P004")
+    assert spec.groups[0].members == ("P001", "P002", "P003")
+    # Events come out sorted by time; the horizon covers the last action
+    # plus the drain.
+    assert [event.kind for event in spec.events] == ["heal", "crash"]
+    assert spec.horizon() == pytest.approx(15.0)
+
+
+def test_from_config_infers_processes_from_groups():
+    spec = from_config(
+        {"groups": [{"id": "g0", "members": ["B", "A"]}, {"id": "g1", "members": ["A", "C"]}]}
+    )
+    assert spec.processes == ("A", "B", "C")
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        {"groups": []},  # no groups
+        {"groups": [{"id": "g", "members": ["P001"]}], "processes": 2},  # 1-member group
+        {"groups": [{"id": "g", "members": ["P001", "NOPE"]}], "processes": 2},
+        {"groups": [{"id": "g", "members": ["P001", "P002"], "mode": "bogus"}], "processes": 2},
+        {
+            "groups": [{"id": "g", "members": ["P001", "P002"]}],
+            "processes": 2,
+            "events": [{"time": 1.0, "kind": "teleport"}],
+        },
+        {
+            "groups": [{"id": "g", "members": ["P001", "P002"]}],
+            "processes": 3,
+            "events": [{"time": 1.0, "kind": "leave", "targets": ["P003"], "group": "g"}],
+        },
+    ],
+)
+def test_from_config_rejects_malformed_specs(config):
+    with pytest.raises(ScenarioConfigError):
+        from_config(config)
+
+
+# ---------------------------------------------------------------------------
+# Scenario runs: churn and partition/merge, checked via analysis.checkers
+# ---------------------------------------------------------------------------
+
+
+def test_churn_scenario_passes_checkers_and_installs_views():
+    config = churn_scenario(
+        n_processes=10, n_groups=3, group_size=5, crashes=1, leaves=1, seed=5
+    )
+    engine = ScenarioEngine(from_config(config))
+    result = engine.run()
+    assert result.passed, result.checks.violations[:3]
+    assert result.deliveries > 0
+    # The crashed process must have been excluded from the views of the
+    # survivors that shared a group with it.
+    crashed = next(
+        event.targets[0] for event in engine.spec.events if event.kind == "crash"
+    )
+    for group, members in result.agreement_sets.items():
+        assert crashed not in members
+        for member in members:
+            view = engine.cluster.processes[member].view(group)
+            assert crashed not in view.members
+
+
+def test_partition_merge_scenario_passes_checkers():
+    result = run_scenario(merge_storm_scenario(n_processes=6, n_groups=2, group_size=4, cycles=2))
+    assert result.passed, result.checks.violations[:3]
+    # The storm's minority is excluded from the stable core's agreement sets.
+    assert all("P005" not in members for members in result.agreement_sets.values())
+    assert result.deliveries > 0
+
+
+def test_cascading_partitions_and_migration_scenarios():
+    for config in (
+        cascading_partitions_scenario(n_processes=9, n_groups=2, group_size=5, slices=1),
+        migration_under_load_scenario(n_processes=5),
+        mixed_modes_scenario(n_processes=6),
+    ):
+        result = run_scenario(config)
+        assert result.passed, (config["name"], result.checks.violations[:3])
+
+
+def test_scenario_samples_show_bounded_heap():
+    """A 10k-message churn run must not grow the event heap monotonically."""
+    config = churn_scenario(
+        n_processes=12,
+        n_groups=3,
+        group_size=6,
+        crashes=1,
+        leaves=1,
+        seed=3,
+    )
+    # Most of the >10k messages here are time-silence nulls: a long run
+    # with few application senders keeps every silent endpoint's null
+    # timer churning, which is exactly the load that used to grow the
+    # event heap without bound.
+    config["workload"] = {"messages_per_sender": 40, "senders_per_group": 2, "gap": 1.0}
+    config["drain"] = 180.0
+    engine = ScenarioEngine(from_config(config))
+    result = engine.run()
+    assert result.passed, result.checks.violations[:3]
+    assert result.messages_sent >= 10_000
+    # Heap occupancy tracks in-flight traffic and live timers, nowhere
+    # near one entry per message ever sent.
+    assert result.peak_pending_events < result.messages_sent / 4
+    # No monotone growth: the tail of the run is no worse than its middle.
+    samples = [sample.pending_events for sample in result.samples]
+    middle, tail = samples[len(samples) // 3 : 2 * len(samples) // 3], samples[-3:]
+    assert max(tail) <= 2 * max(middle)
+
+
+# ---------------------------------------------------------------------------
+# Simulator invariants the engine depends on
+# ---------------------------------------------------------------------------
+
+
+def test_pending_events_bounded_under_timer_churn():
+    """Schedule/cancel churn must trigger compaction, not grow the heap."""
+    sim = Simulator(seed=1)
+    live: deque = deque()
+    peak = 0
+    for index in range(10_000):
+        handle = sim.schedule(100.0 + index * 0.01, lambda: None, label="churn")
+        live.append(handle)
+        if len(live) > 16:
+            live.popleft().cancel()
+        peak = max(peak, sim.pending_events)
+    assert peak <= 256, f"heap grew to {peak} entries for 16 live timers"
+    assert sim.compactions > 0
+    assert sim.live_pending_events == 16
+
+
+def test_scenario_run_triggers_no_heap_growth_from_cancellations():
+    """End-to-end: cancelled timers never dominate a scenario's heap."""
+    config = mixed_modes_scenario(n_processes=6)
+    engine = ScenarioEngine(from_config(config))
+    result = engine.run()
+    sim = engine.cluster.sim
+    assert result.passed
+    assert sim.pending_events - sim.live_pending_events <= max(64, sim.pending_events)
+
+
+# ---------------------------------------------------------------------------
+# Benchmark smoke mode (CI wiring: tier-1 exercises the bench path)
+# ---------------------------------------------------------------------------
+
+
+def test_benchmark_smoke_mode():
+    benchmarks_dir = os.path.join(os.path.dirname(__file__), "..", "benchmarks")
+    if benchmarks_dir not in sys.path:
+        sys.path.insert(0, benchmarks_dir)
+    import bench_scenario_churn
+
+    result = bench_scenario_churn.run_churn(bench_scenario_churn.SMOKE_SCALE)
+    assert result.passed
+    assert result.deliveries > 0

@@ -158,3 +158,82 @@ def test_run_not_reentrant():
     sim.schedule(1.0, try_nested)
     sim.run()
     assert len(errors) == 1
+
+
+# ---------------------------------------------------------------------------
+# ISSUE 1 regressions: epsilon clamping, cancellation hygiene, compaction
+# ---------------------------------------------------------------------------
+
+
+def test_schedule_at_clamps_epsilon_negative_delay():
+    """Float rounding of absolute times must not abort the run.
+
+    ``schedule_at(t)`` computes ``t - now``; after many accumulated
+    additions the difference for "now" can come out a tiny negative
+    (e.g. -1e-16) and used to raise SimulatorError mid-run.
+    """
+    sim = Simulator()
+    sim.schedule(0.1 + 0.2, lambda: None)  # now becomes 0.30000000000000004
+    sim.run()
+    fired = []
+    # The absolute time 0.3 is epsilon below sim.now (0.30000000000000004).
+    assert 0.3 < sim.now
+    handle = sim.schedule_at(0.3, fired.append, "ok")
+    assert handle.time == pytest.approx(sim.now)
+    sim.run()
+    assert fired == ["ok"]
+
+
+def test_truly_negative_delay_still_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulatorError):
+        sim.schedule(-0.5, lambda: None)
+
+
+def test_cancel_releases_callback_references():
+    """A cancelled long-dated timer must not pin its closure until the
+    original fire time."""
+    import gc
+    import weakref
+
+    class Payload:
+        pass
+
+    sim = Simulator()
+    payload = Payload()
+    ref = weakref.ref(payload)
+    handle = sim.schedule(1000.0, lambda p: None, payload)
+    del payload
+    gc.collect()
+    assert ref() is not None  # pinned while scheduled
+    handle.cancel()
+    gc.collect()
+    assert ref() is None  # released immediately on cancel
+    sim.run()
+
+
+def test_stale_handle_cannot_cancel_recycled_event():
+    """After an event fires, its handle must be inert even though the
+    underlying record may be recycled for a newer event."""
+    sim = Simulator()
+    fired = []
+    first = sim.schedule(1.0, fired.append, "first")
+    sim.run()
+    assert fired == ["first"]
+    sim.schedule(1.0, fired.append, "second")  # likely reuses the record
+    first.cancel()  # stale: must not cancel "second"
+    sim.run()
+    assert fired == ["first", "second"]
+
+
+def test_heap_compaction_keeps_cancelled_fraction_bounded():
+    sim = Simulator()
+    handles = [sim.schedule(10.0 + i, lambda: None) for i in range(500)]
+    for handle in handles[:400]:
+        handle.cancel()
+    # More than half the heap was cancelled; compaction must have run.
+    assert sim.compactions >= 1
+    assert sim.live_pending_events == 100
+    assert sim.pending_events <= 300
+    sim.run()
+    assert sim.events_processed == 100
