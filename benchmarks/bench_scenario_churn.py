@@ -1,31 +1,42 @@
-"""E18 -- ROADMAP scale-out: large-scale multi-group churn scenarios.
+"""E18/E19 -- ROADMAP scale-out: large-scale multi-group churn scenarios.
 
 The paper argues (§2, §7) that Newtop's logical-clock deliverability bound
 makes total order cheap enough to run at scale -- no agreement round per
 message, constant protocol overhead per multicast.  This benchmark pushes
 the claim well past the paper's hand-sized examples: a declarative churn
-scenario (see :mod:`repro.scenarios`) drives 100 processes across 10
-overlapping groups through crashes and voluntary departures while
+scenario (see :mod:`repro.scenarios`) drives overlapping groups through
+crashes, voluntary departures and dynamic group formations while
 application traffic keeps flowing, then verifies every guarantee (total
-order, view agreement among the stable core, virtual synchrony) on the
-trace.
+order, view agreement among the stable core, virtual synchrony).
 
-Measured alongside correctness: the throughput levers of the reworked
-simulation runtime -- same-instant delivery batching (scheduled events per
-delivered message) and event-heap health (peak pending events, lazy-
-deletion compactions) -- so regressions in the runtime show up here as
-shape changes, not just as slower wall clock.
+* **E18** (100 processes / 10 groups) verifies post-hoc on the full trace
+  and measures the throughput levers of the simulation runtime --
+  same-instant delivery batching and event-heap health -- so runtime
+  regressions show up as shape changes, not just slower wall clock.
+* **E19** (1000 processes / 100 groups) is only feasible with the
+  streaming verification subsystem: the run uses ``analysis="online"`` --
+  the trace recorder streams into the incremental checkers and a rolling
+  metrics sink with ``keep_events=False``, so *no* event trace is ever
+  materialized, while every guarantee is still checked.
 
 The module doubles as the scenario smoke entry point: the test suite
 imports :func:`run_churn` with :data:`SMOKE_SCALE` (tiny N) so the whole
-scenario path is exercised by tier-1 without the full-scale cost.
+scenario path -- both analysis modes -- is exercised by tier-1 without the
+full-scale cost.  Run as a script to record results to JSON for CI::
+
+    python benchmarks/bench_scenario_churn.py --scale smoke \
+        --json BENCH_scenario_churn.json
 """
+
+import argparse
+import json
+import time
 
 from common import RESULTS, fmt
 
 from repro.scenarios import churn_scenario, run_scenario
 
-#: The headline configuration: >=100 processes across >=10 overlapping groups.
+#: The E18 headline configuration: >=100 processes across >=10 groups.
 FULL_SCALE = dict(
     n_processes=100,
     n_groups=10,
@@ -33,6 +44,19 @@ FULL_SCALE = dict(
     crashes=3,
     leaves=3,
     messages_per_sender=2,
+    seed=7,
+)
+
+#: The E19 headline configuration: 1000 processes, 100 overlapping groups,
+#: crashes + departures + dynamic formations -- verifiable online only.
+THOUSAND_SCALE = dict(
+    n_processes=1000,
+    n_groups=100,
+    group_size=12,
+    crashes=5,
+    leaves=5,
+    formations=3,
+    messages_per_sender=1,
     seed=7,
 )
 
@@ -47,18 +71,22 @@ SMOKE_SCALE = dict(
     seed=5,
 )
 
+SCALES = {"smoke": SMOKE_SCALE, "full": FULL_SCALE, "thousand": THOUSAND_SCALE}
 
-def run_churn(scale=None, batch_window=0.25):
+
+def run_churn(scale=None, batch_window=0.25, analysis="offline"):
     """Run one churn scenario and assert its guarantees held.
 
     Returns the :class:`~repro.scenarios.engine.ScenarioResult` so callers
-    (benchmark table below, smoke test in tier-1) can inspect the runtime
-    metrics.
+    (benchmark tables below, smoke test in tier-1, the CI JSON recorder)
+    can inspect the runtime metrics.
     """
     overrides = dict(FULL_SCALE if scale is None else scale)
     config = churn_scenario(batch_window=batch_window, **overrides)
-    result = run_scenario(config)
+    result = run_scenario(config, analysis=analysis)
     assert result.passed, f"scenario guarantees violated: {result.checks.violations[:3]}"
+    if analysis == "online":
+        assert result.trace_events_stored == 0, "online mode materialized a trace"
     return result
 
 
@@ -97,3 +125,76 @@ def test_scenario_churn(benchmark):
     assert batched.delivery_events < unbatched.delivery_events
     assert ratio(batched) > 1.5
     assert batched.peak_pending_events < batched.messages_sent
+
+
+def test_scenario_churn_1000_online(benchmark):
+    """E19: 1000-process churn verified entirely by the streaming checkers."""
+    result = benchmark.pedantic(
+        run_churn, kwargs=dict(scale=THOUSAND_SCALE, analysis="online"),
+        rounds=1, iterations=1,
+    )
+    table = [
+        f"scenario: {result.name} (crashes + leaves + dynamic formations)",
+        f"verification: online ({result.trace_events} trace events streamed, "
+        f"{result.trace_events_stored} stored -- no materialized trace)",
+        f"messages sent {fmt(result.messages_sent)}, app deliveries "
+        f"{result.deliveries}, simulated events {fmt(result.events_processed)}",
+        f"heap: peak pending {result.peak_pending_events} "
+        f"(live {result.peak_live_pending_events}), compactions {result.compactions}",
+        "all order/view/virtual-synchrony checkers passed ONLINE at 1000 "
+        "processes / 100 overlapping groups -> verification no longer the "
+        "scaling ceiling",
+    ]
+    RESULTS.add_table("E19 1000-process churn, streaming verification", table)
+
+    assert result.analysis == "online"
+    assert result.trace_events_stored == 0
+    assert result.deliveries > 0
+    assert result.metrics["by_kind"]["deliver"] == result.deliveries
+
+
+def record_results(scale_name, json_path):
+    """Run the named scale online and write a JSON result file (CI hook)."""
+    start = time.time()
+    result = run_churn(scale=SCALES[scale_name], analysis="online")
+    wall = time.time() - start
+    payload = {
+        "benchmark": "scenario_churn",
+        "scale": scale_name,
+        "config": SCALES[scale_name],
+        "passed": result.passed,
+        "analysis": result.analysis,
+        "wall_seconds": round(wall, 3),
+        "sim_time": result.sim_time,
+        "events_processed": result.events_processed,
+        "messages_sent": result.messages_sent,
+        "deliveries": result.deliveries,
+        "delivery_events": result.delivery_events,
+        "trace_events": result.trace_events,
+        "trace_events_stored": result.trace_events_stored,
+        "peak_pending_events": result.peak_pending_events,
+        "compactions": result.compactions,
+        "metrics": result.metrics,
+    }
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return payload
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    parser.add_argument("--json", default="BENCH_scenario_churn.json")
+    args = parser.parse_args()
+    payload = record_results(args.scale, args.json)
+    print(
+        f"{payload['benchmark']} [{payload['scale']}] "
+        f"passed={payload['passed']} wall={payload['wall_seconds']}s "
+        f"deliveries={payload['deliveries']} "
+        f"trace_events={payload['trace_events']} (stored "
+        f"{payload['trace_events_stored']}) -> {args.json}"
+    )
+
+
+if __name__ == "__main__":
+    main()

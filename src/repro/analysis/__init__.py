@@ -1,7 +1,10 @@
 """Analysis tooling: property checkers, metrics, overhead and workloads.
 
 * :mod:`repro.analysis.checkers` -- verify the paper's delivery and view
-  guarantees (MD1-MD5', VC1-VC3) over recorded event traces.
+  guarantees (MD1-MD5', VC1-VC3) over recorded event traces (post-hoc).
+* :mod:`repro.analysis.online` -- the same guarantees checked incrementally
+  while events stream through the trace recorder's sink API; scales to
+  1000-process runs with no materialized trace.
 * :mod:`repro.analysis.metrics` -- latency / throughput / message-count
   summaries derived from traces and network statistics.
 * :mod:`repro.analysis.overhead` -- per-message protocol overhead models
@@ -21,6 +24,16 @@ from repro.analysis.checkers import (
     check_view_sequences,
 )
 from repro.analysis.metrics import LatencySummary, MetricsReport, summarize_latencies
+from repro.analysis.online import (
+    OnlineCausalOrder,
+    OnlineCheckSuite,
+    OnlineChecker,
+    OnlineSenderInView,
+    OnlineTotalOrder,
+    OnlineViewAgreement,
+    OnlineVirtualSynchrony,
+    check_events,
+)
 from repro.analysis.overhead import (
     isis_overhead_bytes,
     newtop_overhead_bytes,
@@ -34,9 +47,17 @@ __all__ = [
     "CheckResult",
     "LatencySummary",
     "MetricsReport",
+    "OnlineCausalOrder",
+    "OnlineCheckSuite",
+    "OnlineChecker",
+    "OnlineSenderInView",
+    "OnlineTotalOrder",
+    "OnlineViewAgreement",
+    "OnlineVirtualSynchrony",
     "UniformWorkload",
     "WorkloadRunner",
     "check_all",
+    "check_events",
     "check_causal_prefix",
     "check_same_view_delivery_sets",
     "check_sender_in_view",

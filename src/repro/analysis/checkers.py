@@ -28,6 +28,13 @@ Checked properties
 Crashed processes are exempt from liveness-flavoured checks (a crashed
 process may have delivered a prefix only), exactly as the paper's
 properties quantify over functioning processes.
+
+These checkers are post-hoc: they need a materialized
+:class:`~repro.net.trace.EventTrace` and some are quadratic in processes
+or messages.  :mod:`repro.analysis.online` checks the same predicates
+incrementally from the trace recorder's sink API with amortized O(1)-O(k)
+work per event; both suites agree on every verdict (pinned down by
+``tests/test_online_checkers.py``).
 """
 
 from __future__ import annotations
@@ -116,27 +123,46 @@ def check_total_order(trace: EventTrace, group: Optional[str] = None) -> CheckRe
     return CheckResult("total_order", not violations, violations)
 
 
+def _view_timelines(
+    trace: EventTrace, process: str
+) -> Dict[str, List[Tuple[float, int, frozenset]]]:
+    """Per group, the timeline of views installed at ``process``.
+
+    Shared by the MD1 and MD5' checkers (and mirrored live by the online
+    checkers' view tracking).
+    """
+    view_timeline: Dict[str, List[Tuple[float, int, frozenset]]] = {}
+    for event in trace.events(kind=VIEW_INSTALL, process=process):
+        view_timeline.setdefault(event.group, []).append(
+            (event.time, event.seq, frozenset(event.detail("members", ())))
+        )
+    return view_timeline
+
+
+def _view_at(
+    timeline: Iterable[Tuple[float, int, frozenset]], time: float, seq: int
+) -> Optional[frozenset]:
+    """The view in force at ``(time, seq)``: the last install not after it."""
+    current: Optional[frozenset] = None
+    for install_time, install_seq, members in timeline:
+        if (install_time, install_seq) <= (time, seq):
+            current = members
+        else:
+            break
+    return current
+
+
 def check_sender_in_view(trace: EventTrace) -> CheckResult:
     """MD1: each delivery's sender belongs to the view in force at that
     process for the message's group at delivery time."""
     violations: List[str] = []
     for process in trace.processes():
-        # Build, per group, the timeline of installed views at this process.
-        view_timeline: Dict[str, List[Tuple[float, int, frozenset]]] = {}
-        for event in trace.events(kind=VIEW_INSTALL, process=process):
-            view_timeline.setdefault(event.group, []).append(
-                (event.time, event.seq, frozenset(event.detail("members", ())))
-            )
+        view_timeline = _view_timelines(trace, process)
         for event in trace.events(kind=DELIVER, process=process):
             timeline = view_timeline.get(event.group)
             if not timeline:
                 continue
-            current: Optional[frozenset] = None
-            for time, seq, members in timeline:
-                if (time, seq) <= (event.time, event.seq):
-                    current = members
-                else:
-                    break
+            current = _view_at(timeline, event.time, event.seq)
             if current is not None and event.sender not in current:
                 violations.append(
                     f"{process} delivered {event.message_id} from {event.sender} "
@@ -247,11 +273,7 @@ def check_causal_prefix(trace: EventTrace) -> CheckResult:
         delivered_order = trace.delivered_ids(process)
         delivered_set = set(delivered_order)
         position = {msg_id: index for index, msg_id in enumerate(delivered_order)}
-        view_timeline: Dict[str, List[Tuple[float, int, frozenset]]] = {}
-        for event in trace.events(kind=VIEW_INSTALL, process=process):
-            view_timeline.setdefault(event.group, []).append(
-                (event.time, event.seq, frozenset(event.detail("members", ())))
-            )
+        view_timeline = _view_timelines(trace, process)
         # A voluntary departure ends the process's membership: afterwards it
         # keeps no view of the group, so causal predecessors from that group
         # are exempt (same clause of MD5' that covers excluded senders).
@@ -277,13 +299,11 @@ def check_causal_prefix(trace: EventTrace) -> CheckResult:
                 # The process had departed earlier's group by then.
                 continue
             # View of earlier's group in force when `later` was delivered.
-            timeline = view_timeline.get(earlier_group, [])
-            current: Optional[frozenset] = None
-            for time, seq, members in timeline:
-                if (time, seq) <= (later_event.time, later_event.seq):
-                    current = members
-                else:
-                    break
+            current = _view_at(
+                view_timeline.get(earlier_group, []),
+                later_event.time,
+                later_event.seq,
+            )
             if current is None or earlier_sender not in current:
                 # MD5' explicitly allows the causal predecessor to be
                 # missing when its sender has been excluded from the view.
@@ -307,6 +327,12 @@ def check_all(
     ``view_agreement_sets`` optionally maps group id to the processes
     expected to agree on view sequences (use it in partition scenarios,
     where only same-side processes must agree).
+
+    The happened-before relation and the per-kind event indexes are
+    memoized inside :class:`~repro.net.trace.EventTrace`, so the global and
+    per-group passes here share one computation per variant instead of
+    re-deriving them.  For runs too large to materialize a trace at all,
+    use :class:`repro.analysis.online.OnlineCheckSuite` instead.
     """
     result = check_total_order(trace)
     result = result.merge(check_sender_in_view(trace))

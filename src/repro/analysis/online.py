@@ -1,0 +1,555 @@
+"""Online (streaming) checkers for the paper's guarantees.
+
+The post-hoc checkers in :mod:`repro.analysis.checkers` are quadratic in
+processes and messages: total order compares every process pair's delivery
+sequences, and the causal checkers build an explicit transitive closure of
+the happened-before relation.  That is fine at paper scale but is the
+ceiling that kept the churn benchmark at 100 processes.  This module checks
+the same predicates *incrementally*, consuming :class:`~repro.net.trace.TraceEvent`
+objects as they are recorded (each checker is a
+:class:`~repro.net.trace.TraceSink`), with amortized O(1)-O(k) work per
+event where k is bounded by group size -- never by the process count or the
+run length:
+
+* :class:`OnlineTotalOrder` (MD4/MD4') -- a shared global-position arbiter
+  assigns each message a position at its first delivery anywhere; every
+  later delivery is validated against per-pair delivery watermarks
+  (conflict detection), O(deliverers-of-message) per delivery instead of
+  O(P^2) sequence comparisons at the end.
+* :class:`OnlineCausalOrder` (MD5/MD5' and causal delivery consistency) --
+  vector-clock summaries: each send is stamped with the sender's causal
+  context, so a message's causal past is exactly the per-sender prefixes
+  below its vector.  A per-(process, sender) frontier advances over those
+  prefixes once, giving amortized O(1) work per causal predecessor instead
+  of a transitive closure over all message pairs.
+* :class:`OnlineSenderInView` (MD1) -- the live view timeline: the current
+  view per (process, group) is updated on each install and each delivery is
+  an O(1) membership test.
+* :class:`OnlineVirtualSynchrony` (MD3/VC3) -- per-(process, group,
+  view_index) delivery-set fingerprints (order-independent hash + count);
+  processes that installed the same consecutive views must have equal
+  fingerprints for the enclosed interval.
+* :class:`OnlineViewAgreement` (VC1) -- per-(process, group) view
+  sequences; installs are rare, so they are stored and compared at
+  :meth:`result` time within the expected agreement sets, exactly like the
+  post-hoc checker.
+
+:class:`OnlineCheckSuite` bundles all five behind one sink, dispatching
+each event kind only to the checkers that consume it.  Attach it to a
+:class:`~repro.net.trace.TraceRecorder` (optionally with
+``keep_events=False`` so the full trace is never materialized) and call
+:meth:`~OnlineCheckSuite.result` at the end of the run; the verdict mirrors
+:func:`repro.analysis.checkers.check_all`.
+
+Equivalence with the post-hoc checkers: on any trace both suites agree on
+the overall verdict (violations may be attributed to differently named
+sub-checkers: e.g. a delivery from an already-excluded sender inverting a
+causal pair is reported by the online suite under MD1 rather than under
+the causal checker, because exclusion exempts it from MD5' by the paper's
+own clause).  The equivalence and mutation-sensitivity tests in
+``tests/test_online_checkers.py`` pin this down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.checkers import CheckResult
+from repro.net.trace import (
+    CRASH,
+    DELIVER,
+    DEPART,
+    SEND,
+    TraceEvent,
+    TraceSink,
+    VIEW_INSTALL,
+)
+
+
+class OnlineChecker(TraceSink):
+    """Base class: a trace sink that accumulates a :class:`CheckResult`.
+
+    Subclasses set :attr:`name`, declare the event kinds they consume in
+    :attr:`KINDS` (the suite uses it to skip dispatch), implement
+    :meth:`on_event`, and either append to :attr:`violations` as violations
+    are detected or override :meth:`result` for end-of-run evaluation.
+    """
+
+    name = "online"
+    #: Event kinds this checker consumes; the suite dispatches only these.
+    KINDS: FrozenSet[str] = frozenset()
+
+    def __init__(self) -> None:
+        self.violations: List[str] = []
+        self.events_seen = 0
+
+    def result(self) -> CheckResult:
+        """The verdict over everything seen so far."""
+        return CheckResult(self.name, not self.violations, list(self.violations))
+
+
+class OnlineTotalOrder(OnlineChecker):
+    """MD4/MD4': pairwise-consistent delivery order, checked per delivery.
+
+    A shared arbiter assigns every message a global position the first time
+    any process delivers it, defining the reference total order.  Conflict
+    detection uses per-pair watermarks: ``watermark[(p, q)]`` holds the
+    highest position *in q's local sequence* of any message both p and q
+    have delivered (with the message id as witness).  When p delivers m
+    that q delivered at local position j, a violation exists iff
+    ``watermark[(p, q)] > j`` -- i.e. p previously delivered some m' that q
+    delivered *after* m, so p orders m' before m while q orders m before
+    m'.  Each delivery costs O(#processes that already delivered the same
+    message) -- bounded by group size -- and the common case (delivery in
+    arbiter order, first deliverer) is O(1).
+
+    This checks the cross-group relation (MD4'), which subsumes the
+    per-group one: a group's delivery sequence is a projection of the
+    process's full sequence, so any per-group inversion is a full-sequence
+    inversion.
+    """
+
+    name = "total_order"
+    KINDS = frozenset({DELIVER})
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: The arbiter's output: message id -> global position in the
+        #: reference delivery order (first-delivery rank).  Every process's
+        #: delivery sequence must embed into this order on its common
+        #: messages; exposed for observability and debugging.
+        self.arbiter_position: Dict[str, int] = {}
+        self._next_position = 0
+        #: message id -> {process: local delivery position}
+        self._deliverers: Dict[str, Dict[str, int]] = {}
+        #: process -> number of deliveries so far (its local position counter)
+        self._local_count: Dict[str, int] = {}
+        #: (p, q) -> (max local position in q of a message delivered by both,
+        #:            witness message id)
+        self._watermark: Dict[Tuple[str, str], Tuple[int, str]] = {}
+
+    def on_event(self, event: TraceEvent) -> None:
+        if event.kind != DELIVER or event.message_id is None:
+            return
+        self.events_seen += 1
+        process, message = event.process, event.message_id
+        local_pos = self._local_count.get(process, 0)
+        self._local_count[process] = local_pos + 1
+        deliverers = self._deliverers.get(message)
+        if deliverers is None:
+            # First delivery anywhere: the arbiter assigns the global slot.
+            self.arbiter_position[message] = self._next_position
+            self._next_position += 1
+            self._deliverers[message] = {process: local_pos}
+            return
+        for other, other_pos in deliverers.items():
+            mark = self._watermark.get((process, other))
+            if mark is not None and mark[0] > other_pos:
+                self.violations.append(
+                    f"total order violated between {process} and {other}: "
+                    f"{process} delivered {mark[1]} before {message}, "
+                    f"{other} delivered {message} before {mark[1]} "
+                    f"(arbiter order: {message}="
+                    f"{self.arbiter_position.get(message)}, {mark[1]}="
+                    f"{self.arbiter_position.get(mark[1])})"
+                )
+            # Update both directions' watermarks with this common message.
+            if mark is None or other_pos > mark[0]:
+                self._watermark[(process, other)] = (other_pos, message)
+            reverse = self._watermark.get((other, process))
+            if reverse is None or local_pos > reverse[0]:
+                self._watermark[(other, process)] = (local_pos, message)
+        deliverers[process] = local_pos
+
+
+class _ViewTimeline:
+    """Shared live-view bookkeeping: current members per (process, group)."""
+
+    def __init__(self) -> None:
+        self.current: Dict[Tuple[str, str], FrozenSet[str]] = {}
+        self.departed: Set[Tuple[str, str]] = set()
+
+    def on_event(self, event: TraceEvent) -> None:
+        if event.kind == VIEW_INSTALL and event.group is not None:
+            self.current[(event.process, event.group)] = frozenset(
+                event.detail("members", ())
+            )
+        elif event.kind == DEPART and event.group is not None:
+            self.departed.add((event.process, event.group))
+
+
+class OnlineSenderInView(OnlineChecker):
+    """MD1: each delivery's sender is in the live view of the message's
+    group at the delivering process -- an O(1) membership test against the
+    view timeline maintained from install events."""
+
+    name = "sender_in_view"
+    KINDS = frozenset({DELIVER, VIEW_INSTALL})
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._timeline = _ViewTimeline()
+
+    def on_event(self, event: TraceEvent) -> None:
+        self.events_seen += 1
+        if event.kind == VIEW_INSTALL:
+            self._timeline.on_event(event)
+            return
+        if event.group is None:
+            return
+        members = self._timeline.current.get((event.process, event.group))
+        # No view installed yet: same exemption as the post-hoc checker
+        # (deliveries before the first install are not constrained).
+        if members is not None and event.sender not in members:
+            self.violations.append(
+                f"{event.process} delivered {event.message_id} from "
+                f"{event.sender} outside its view {sorted(members)} of "
+                f"{event.group}"
+            )
+
+
+class OnlineCausalOrder(OnlineChecker):
+    """MD5/MD5' and causal delivery consistency, via vector clocks.
+
+    Every send is stamped with the sender's causal context (a sparse vector
+    of per-sender send counts): sender s's n-th message m has
+    ``vector[s] == n`` and ``vector[x] == k`` for every other sender x with
+    k messages in m's causal past.  Because a sender's own messages are
+    totally ordered by its send sequence, m's causal past is *exactly* the
+    union of per-sender prefixes below its vector -- no transitive closure
+    needed.
+
+    On delivery of m at p, a per-(p, sender) frontier advances over each
+    newly covered prefix index once: each predecessor must already be
+    delivered at p, or be exempt because p currently has no view of the
+    predecessor's group, has departed it, or has excluded the predecessor's
+    sender from it (MD5''s own clause; views only shrink, so the exemption
+    is permanent -- a later delivery of such a message is an MD1 violation
+    and is reported there).  Total work is one visit per (process,
+    causal-predecessor) pair: amortized O(1) per delivered predecessor.
+
+    The advance-once frontier relies on exemptions being permanent.  The
+    "no view yet" exemption is safe even with dynamic group formation
+    (§5.3): a formed group's members install the initial view *before*
+    multicasting their start-group message, and every member may send
+    application traffic only after collecting start-group from its whole
+    view -- so no message of the group can causally precede any member's
+    install, and a process that never joins keeps no view forever.
+    Hand-mutated event streams that violate this protocol invariant may
+    trade a causal report for an MD1 one, but never a FAIL for a PASS of
+    the suite as a whole.
+    """
+
+    name = "causal_prefix"
+    KINDS = frozenset({SEND, DELIVER, VIEW_INSTALL, DEPART})
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._timeline = _ViewTimeline()
+        #: sender -> number of sends so far
+        self._send_count: Dict[str, int] = {}
+        #: (sender, index) -> (message id, group)
+        self._sent_at: Dict[Tuple[str, int], Tuple[str, Optional[str]]] = {}
+        #: message id -> its vector summary
+        self._vector: Dict[str, Dict[str, int]] = {}
+        #: process -> causal context vector
+        self._context: Dict[str, Dict[str, int]] = {}
+        #: process -> delivered message ids
+        self._delivered: Dict[str, Set[str]] = {}
+        #: (process, sender) -> verified prefix length
+        self._frontier: Dict[Tuple[str, str], int] = {}
+
+    def on_event(self, event: TraceEvent) -> None:
+        self.events_seen += 1
+        if event.kind in (VIEW_INSTALL, DEPART):
+            self._timeline.on_event(event)
+            return
+        if event.message_id is None:
+            return
+        if event.kind == SEND:
+            self._on_send(event)
+        else:
+            self._on_deliver(event)
+
+    def _on_send(self, event: TraceEvent) -> None:
+        sender = event.process
+        index = self._send_count.get(sender, 0) + 1
+        self._send_count[sender] = index
+        context = self._context.setdefault(sender, {})
+        context[sender] = index
+        if event.message_id in self._vector:
+            # Re-send under the original id (asymmetric failover): the
+            # message's causal past is fixed by its first send.
+            return
+        self._vector[event.message_id] = dict(context)
+        self._sent_at[(sender, index)] = (event.message_id, event.group)
+
+    def _exempt(self, process: str, group: Optional[str], sender: str) -> bool:
+        if group is None:
+            return False
+        if (process, group) in self._timeline.departed:
+            return True
+        members = self._timeline.current.get((process, group))
+        return members is None or sender not in members
+
+    def _on_deliver(self, event: TraceEvent) -> None:
+        process, message = event.process, event.message_id
+        delivered = self._delivered.setdefault(process, set())
+        delivered.add(message)
+        vector = self._vector.get(message)
+        if vector is None:
+            return  # Delivery without a recorded send: nothing to infer.
+        context = self._context.setdefault(process, {})
+        for sender, count in vector.items():
+            if context.get(sender, 0) < count:
+                context[sender] = count
+            frontier = self._frontier.get((process, sender), 0)
+            if frontier >= count:
+                continue
+            for index in range(frontier + 1, count + 1):
+                sent = self._sent_at.get((sender, index))
+                if sent is None:
+                    continue
+                predecessor, predecessor_group = sent
+                if predecessor in delivered:
+                    continue
+                if self._exempt(process, predecessor_group, sender):
+                    continue
+                self.violations.append(
+                    f"{process} delivered {message} without causally "
+                    f"preceding {predecessor} whose sender {sender} is "
+                    f"still in its view of {predecessor_group}"
+                )
+            self._frontier[(process, sender)] = count
+
+
+class OnlineVirtualSynchrony(OnlineChecker):
+    """MD3/VC3: per-(process, group, view_index) delivery-set fingerprints.
+
+    Deliveries accumulate into an order-independent fingerprint (XOR and
+    sum of message-id hashes, plus a count) keyed by the ``view_index``
+    the protocol stamped on the delivery; view installs append to the
+    process's per-group view sequence.  At :meth:`result` time, processes
+    (crashed ones exempt, as in the paper) that installed the same view at
+    the same position *and* the same successor view must have identical
+    fingerprints for the enclosed interval.  Per event this is O(1); memory
+    is O(views), not O(deliveries).
+
+    ``view_agreement_sets`` scopes the comparison per group exactly like
+    the post-hoc :func:`~repro.analysis.checkers.check_all` does: groups
+    named in the mapping compare only the listed processes (the scenario's
+    stable core -- e.g. drop-window targets are excluded because lost
+    messages may never trigger suspicion); unnamed groups fall back to
+    every process seen for the group.
+    """
+
+    name = "same_view_delivery_sets"
+    KINDS = frozenset({DELIVER, VIEW_INSTALL, CRASH})
+
+    def __init__(
+        self, view_agreement_sets: Optional[Dict[str, Iterable[str]]] = None
+    ) -> None:
+        super().__init__()
+        self.view_agreement_sets = view_agreement_sets
+        #: (process, group) -> installed view compositions, in order
+        self._installs: Dict[Tuple[str, str], List[FrozenSet[str]]] = {}
+        #: (process, group) -> view_index -> (xor, sum, count)
+        self._fingerprints: Dict[
+            Tuple[str, str], Dict[int, Tuple[int, int, int]]
+        ] = {}
+        self._crashed: Set[str] = set()
+
+    def on_event(self, event: TraceEvent) -> None:
+        self.events_seen += 1
+        if event.kind == CRASH:
+            self._crashed.add(event.process)
+            return
+        if event.group is None:
+            return
+        key = (event.process, event.group)
+        if event.kind == VIEW_INSTALL:
+            self._installs.setdefault(key, []).append(
+                frozenset(event.detail("members", ()))
+            )
+            return
+        view_index = event.detail("view_index")
+        if view_index is None or event.message_id is None:
+            return
+        digest = hash(event.message_id)
+        buckets = self._fingerprints.setdefault(key, {})
+        xor, total, count = buckets.get(int(view_index), (0, 0, 0))
+        buckets[int(view_index)] = (xor ^ digest, total + digest, count + 1)
+
+    def _in_scope(self, process: str, group: str) -> bool:
+        """Mirror check_all's scoping: listed groups compare only their
+        agreement set; unlisted groups compare everyone."""
+        if self.view_agreement_sets is None:
+            return True
+        expected = self.view_agreement_sets.get(group)
+        return expected is None or process in set(expected)
+
+    def result(self) -> CheckResult:
+        violations = list(self.violations)
+        # Group closed intervals by (group, position, view, successor view):
+        # everyone in a bucket agreed on both installs, so their interval
+        # fingerprints must match (the premise of MD3).
+        buckets: Dict[
+            Tuple[str, int, FrozenSet[str], FrozenSet[str]],
+            List[Tuple[str, Tuple[int, int, int]]],
+        ] = {}
+        for (process, group), views in self._installs.items():
+            if process in self._crashed or not self._in_scope(process, group):
+                continue
+            fingerprints = self._fingerprints.get((process, group), {})
+            for position in range(len(views) - 1):
+                key = (group, position, views[position], views[position + 1])
+                buckets.setdefault(key, []).append(
+                    (process, fingerprints.get(position, (0, 0, 0)))
+                )
+        for (group, position, _view, _next_view), members in buckets.items():
+            reference_process, reference = members[0]
+            for process, fingerprint in members[1:]:
+                if fingerprint != reference:
+                    violations.append(
+                        f"virtual synchrony violated in {group} view "
+                        f"{position}: {reference_process} and {process} "
+                        f"delivered different message sets "
+                        f"(counts {reference[2]} vs {fingerprint[2]})"
+                    )
+        return CheckResult(self.name, not violations, violations)
+
+
+class OnlineViewAgreement(OnlineChecker):
+    """VC1: processes expected to agree install identical view sequences.
+
+    View installs are rare (O(membership changes), never O(messages)), so
+    the sequences are simply stored per (process, group) and compared at
+    :meth:`result` time within the expected agreement sets -- the same
+    scoping as the post-hoc checker (only the scenario's stable core must
+    agree after partitions; crashed processes are exempt).
+    """
+
+    name = "view_sequences"
+    KINDS = frozenset({VIEW_INSTALL, CRASH})
+
+    def __init__(
+        self, view_agreement_sets: Optional[Dict[str, Iterable[str]]] = None
+    ) -> None:
+        super().__init__()
+        self.view_agreement_sets = view_agreement_sets
+        self._sequences: Dict[Tuple[str, str], List[FrozenSet[str]]] = {}
+        self._groups: Set[str] = set()
+        self._crashed: Set[str] = set()
+
+    def on_event(self, event: TraceEvent) -> None:
+        self.events_seen += 1
+        if event.kind == CRASH:
+            self._crashed.add(event.process)
+            return
+        if event.group is None:
+            return
+        self._groups.add(event.group)
+        self._sequences.setdefault((event.process, event.group), []).append(
+            frozenset(event.detail("members", ()))
+        )
+
+    def result(self) -> CheckResult:
+        violations = list(self.violations)
+        for group in sorted(self._groups):
+            expected = (
+                self.view_agreement_sets.get(group)
+                if self.view_agreement_sets is not None
+                else None
+            )
+            if expected is not None:
+                candidates = [
+                    process
+                    for process in expected
+                    if process not in self._crashed
+                ]
+            else:
+                # No agreement set for this group: fall back to every
+                # process that installed a view of it, exactly like the
+                # post-hoc checker (appropriate for partition-free groups).
+                candidates = sorted(
+                    process
+                    for (process, seq_group) in self._sequences
+                    if seq_group == group and process not in self._crashed
+                )
+            if len(candidates) < 2:
+                continue
+            reference_process = candidates[0]
+            reference = self._sequences.get((reference_process, group), [])
+            for process in candidates[1:]:
+                sequence = self._sequences.get((process, group), [])
+                if sequence != reference:
+                    violations.append(
+                        f"view sequences differ for {group}: "
+                        f"{reference_process}={[sorted(v) for v in reference]} "
+                        f"vs {process}={[sorted(v) for v in sequence]}"
+                    )
+        return CheckResult(self.name, not violations, violations)
+
+
+class OnlineCheckSuite(TraceSink):
+    """All streaming checkers behind a single trace sink.
+
+    Construct (optionally with the per-group view agreement sets, as for
+    :func:`repro.analysis.checkers.check_all`), register on a
+    :class:`~repro.net.trace.TraceRecorder` -- typically one created with
+    ``keep_events=False`` so nothing is materialized -- and read
+    :meth:`result` once the run settles.  Events are dispatched only to the
+    checkers whose :attr:`~OnlineChecker.KINDS` include their kind, so the
+    dominant null-message traffic costs one dictionary lookup each.
+    """
+
+    def __init__(
+        self, view_agreement_sets: Optional[Dict[str, Iterable[str]]] = None
+    ) -> None:
+        self.total_order = OnlineTotalOrder()
+        self.sender_in_view = OnlineSenderInView()
+        self.causal_order = OnlineCausalOrder()
+        self.view_agreement = OnlineViewAgreement(view_agreement_sets)
+        self.virtual_synchrony = OnlineVirtualSynchrony(view_agreement_sets)
+        self.checkers: Tuple[OnlineChecker, ...] = (
+            self.total_order,
+            self.sender_in_view,
+            self.causal_order,
+            self.view_agreement,
+            self.virtual_synchrony,
+        )
+        self._dispatch: Dict[str, List[OnlineChecker]] = {}
+        for checker in self.checkers:
+            for kind in checker.KINDS:
+                self._dispatch.setdefault(kind, []).append(checker)
+        self.events_seen = 0
+
+    def on_event(self, event: TraceEvent) -> None:
+        self.events_seen += 1
+        for checker in self._dispatch.get(event.kind, ()):
+            checker.on_event(event)
+
+    def result(self) -> CheckResult:
+        """Merge every checker's verdict (AND of passes)."""
+        merged: Optional[CheckResult] = None
+        for checker in self.checkers:
+            verdict = checker.result()
+            merged = verdict if merged is None else merged.merge(verdict)
+        assert merged is not None
+        return merged
+
+
+def check_events(
+    events: Iterable[TraceEvent],
+    view_agreement_sets: Optional[Dict[str, Iterable[str]]] = None,
+) -> CheckResult:
+    """Replay an event stream through a fresh suite and return the verdict.
+
+    Events are fed in ``(time, seq)`` order -- the order the recorder
+    produced them -- so a stored/parsed trace checks identically to a live
+    run.
+    """
+    suite = OnlineCheckSuite(view_agreement_sets)
+    for event in sorted(events, key=lambda event: (event.time, event.seq)):
+        suite.on_event(event)
+    return suite.result()

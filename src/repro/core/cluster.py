@@ -30,6 +30,7 @@ class NewtopCluster:
         config: Optional[NewtopConfig] = None,
         latency_model: Optional[LatencyModel] = None,
         seed: int = 0,
+        recorder: Optional[TraceRecorder] = None,
     ) -> None:
         self.sim = Simulator(seed=seed)
         network_config = NetworkConfig()
@@ -37,7 +38,10 @@ class NewtopCluster:
             network_config.latency_model = latency_model
         self.network = Network(self.sim, network_config)
         self.transport = Transport(self.network)
-        self.recorder = TraceRecorder()
+        # Callers may supply their own recorder, e.g. a streaming one with
+        # ``keep_events=False`` plus online-checker sinks (scenario engine's
+        # ``analysis="online"`` mode).
+        self.recorder = recorder if recorder is not None else TraceRecorder()
         self.config = (config or NewtopConfig()).validate()
         self.injector = FaultInjector(self.sim, self.network)
         self.processes: Dict[str, NewtopProcess] = {}

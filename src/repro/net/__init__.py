@@ -19,8 +19,10 @@ deterministic, seedable discrete-event simulation:
   by protocol processes.
 * :mod:`repro.net.failures` -- declarative fault-injection schedules
   (crashes, crash-during-multicast, partitions, heals).
-* :mod:`repro.net.trace` -- an event trace recorder consumed by the
-  property checkers and the benchmark harness.
+* :mod:`repro.net.trace` -- the event trace recorder and its pluggable
+  sink architecture (in-memory trace, JSONL file writer, rolling metrics
+  aggregator, null sink), consumed by the post-hoc and streaming property
+  checkers and the benchmark harness.
 """
 
 from repro.net.failures import FailureSchedule, FaultInjector
@@ -35,7 +37,16 @@ from repro.net.latency import (
 from repro.net.network import Network, NetworkConfig, NetworkStats
 from repro.net.partitions import PartitionManager
 from repro.net.simulator import EventHandle, Simulator, SimulatorError
-from repro.net.trace import EventTrace, TraceEvent, TraceRecorder
+from repro.net.trace import (
+    EventTrace,
+    JsonlSink,
+    MemorySink,
+    MetricsSink,
+    NullSink,
+    TraceEvent,
+    TraceRecorder,
+    TraceSink,
+)
 from repro.net.transport import Endpoint, Transport, TransportMessage
 
 __all__ = [
@@ -47,16 +58,21 @@ __all__ = [
     "FailureSchedule",
     "FaultInjector",
     "JitteredLatency",
+    "JsonlSink",
     "LatencyModel",
     "LogNormalLatency",
+    "MemorySink",
+    "MetricsSink",
     "Network",
     "NetworkConfig",
     "NetworkStats",
+    "NullSink",
     "PartitionManager",
     "Simulator",
     "SimulatorError",
     "TraceEvent",
     "TraceRecorder",
+    "TraceSink",
     "Transport",
     "TransportMessage",
     "UniformLatency",

@@ -1,23 +1,55 @@
-"""Event trace recording.
+"""Event trace recording and the pluggable trace-sink architecture.
 
 Every protocol implementation in this repository (Newtop and the baselines)
 reports its externally observable events -- sends, receives, deliveries,
 view installations, suspicions -- to a :class:`TraceRecorder`.  The trace is
 the single source of truth used by:
 
-* the property checkers in :mod:`repro.analysis.checkers`, which assert the
-  paper's guarantees (MD1-MD5', VC1-VC3) over whole executions, and
+* the property checkers in :mod:`repro.analysis.checkers` (post-hoc) and
+  :mod:`repro.analysis.online` (streaming), which assert the paper's
+  guarantees (MD1-MD5', VC1-VC3) over executions, and
 * the benchmark harness, which derives latency, message-count and overhead
   series from it.
 
 Keeping verification outside the protocol code means the checks cannot be
 accidentally weakened by the implementation they are checking.
+
+Sink API
+--------
+The recorder is an observer hub: every recorded event is pushed, in record
+order, to any number of :class:`TraceSink` objects.  A sink implements two
+methods::
+
+    class TraceSink:
+        def on_event(self, event: TraceEvent) -> None: ...  # one event
+        def close(self) -> None: ...                        # end of run
+
+Provided sinks:
+
+* :class:`MemorySink` -- keeps the full event list and materializes an
+  :class:`EventTrace` on demand (the recorder installs one by default so
+  :meth:`TraceRecorder.trace` keeps working);
+* :class:`JsonlSink` -- writes one JSON object per event to a file
+  (truncating any existing content), for offline tooling and cross-run
+  diffing;
+* :class:`MetricsSink` -- a rolling aggregator (event/kind counts, per-group
+  delivery counts, streaming latency stats) that never stores events;
+* :class:`NullSink` -- discards everything (useful to measure recording
+  overhead in isolation);
+* :class:`repro.analysis.online.OnlineCheckSuite` -- streaming property
+  checkers with amortized O(1)-O(log n) work per event.
+
+Passing ``keep_events=False`` to :class:`TraceRecorder` drops the default
+memory sink: events are only streamed to the registered sinks and the full
+trace is never materialized, which is what lets the scenario engine verify
+1000-process runs online (``analysis="online"``).
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, IO, Iterable, Iterator, List, Optional, Tuple, Union
 
 #: Event kinds recorded by protocol implementations.
 SEND = "send"
@@ -102,12 +134,190 @@ class TraceEvent:
         return default
 
 
-class TraceRecorder:
-    """Collects :class:`TraceEvent` objects during a simulation."""
+class TraceSink:
+    """Observer interface for streaming trace consumption.
+
+    Subclasses override :meth:`on_event`; :meth:`close` is called when the
+    producer is done (end of a scenario run, recorder shutdown).  Sinks must
+    not mutate the events they receive.
+    """
+
+    def on_event(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/teardown hook; the default is a no-op."""
+
+
+class NullSink(TraceSink):
+    """Discards every event (measures bare recording overhead)."""
+
+    def on_event(self, event: TraceEvent) -> None:
+        pass
+
+
+class MemorySink(TraceSink):
+    """Keeps every event in memory; the traditional full-trace mode."""
 
     def __init__(self) -> None:
-        self._events: List[TraceEvent] = []
+        self.events: List[TraceEvent] = []
+
+    def on_event(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def trace(self) -> "EventTrace":
+        """Materialize an immutable queryable view over the stored events."""
+        return EventTrace(list(self.events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def _json_default(value: Any) -> Any:
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    return str(value)
+
+
+class JsonlSink(TraceSink):
+    """Writes one JSON object per event to a file (JSON Lines).
+
+    Accepts either a path (opened for writing -- truncating any existing
+    file -- and closed by the sink) or an open text file-like object (left
+    open on :meth:`close`, only flushed).
+    """
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            self._file: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = target
+            self._owns_file = False
+        self.events_written = 0
+
+    def on_event(self, event: TraceEvent) -> None:
+        payload = {
+            "time": event.time,
+            "kind": event.kind,
+            "process": event.process,
+            "seq": event.seq,
+        }
+        if event.group is not None:
+            payload["group"] = event.group
+        if event.message_id is not None:
+            payload["message_id"] = event.message_id
+        if event.sender is not None:
+            payload["sender"] = event.sender
+        if event.clock is not None:
+            payload["clock"] = event.clock
+        if event.details:
+            payload["details"] = dict(event.details)
+        self._file.write(
+            json.dumps(payload, separators=(",", ":"), default=_json_default) + "\n"
+        )
+        self.events_written += 1
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+
+class MetricsSink(TraceSink):
+    """Rolling aggregator: never stores events, only summaries.
+
+    Tracks event counts by kind, per-group application delivery counts, and
+    streaming delivery-latency statistics (count/mean/min/max via Welford's
+    online algorithm).  Latency samples pair each delivery with the *first*
+    send of its message id -- re-sends under the original id (asymmetric
+    failover) must not reset the clock.  Memory is O(kinds + groups +
+    distinct message ids): the send-time table is what pairs deliveries
+    with sends and cannot be evicted (a multicast delivers many times),
+    but it never grows with deliveries, nulls or run length.
+    """
+
+    def __init__(self) -> None:
+        self.events_total = 0
+        self.by_kind: Dict[str, int] = {}
+        self.deliveries_by_group: Dict[str, int] = {}
+        self._first_send_time: Dict[str, float] = {}
+        self.latency_count = 0
+        self.latency_mean = 0.0
+        self._latency_m2 = 0.0
+        self.latency_min = float("inf")
+        self.latency_max = float("-inf")
+
+    def on_event(self, event: TraceEvent) -> None:
+        self.events_total += 1
+        self.by_kind[event.kind] = self.by_kind.get(event.kind, 0) + 1
+        if event.kind == SEND and event.message_id is not None:
+            self._first_send_time.setdefault(event.message_id, event.time)
+        elif event.kind == DELIVER:
+            if event.group is not None:
+                self.deliveries_by_group[event.group] = (
+                    self.deliveries_by_group.get(event.group, 0) + 1
+                )
+            send_time = self._first_send_time.get(event.message_id)
+            if send_time is not None:
+                sample = event.time - send_time
+                self.latency_count += 1
+                delta = sample - self.latency_mean
+                self.latency_mean += delta / self.latency_count
+                self._latency_m2 += delta * (sample - self.latency_mean)
+                self.latency_min = min(self.latency_min, sample)
+                self.latency_max = max(self.latency_max, sample)
+
+    @property
+    def latency_variance(self) -> float:
+        """Population variance of the latency samples seen so far."""
+        if self.latency_count < 2:
+            return 0.0
+        return self._latency_m2 / self.latency_count
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-shaped summary of everything aggregated so far."""
+        return {
+            "events_total": self.events_total,
+            "by_kind": dict(self.by_kind),
+            "deliveries_by_group": dict(self.deliveries_by_group),
+            "latency": {
+                "count": self.latency_count,
+                "mean": self.latency_mean if self.latency_count else None,
+                "min": self.latency_min if self.latency_count else None,
+                "max": self.latency_max if self.latency_count else None,
+                "variance": self.latency_variance,
+            },
+        }
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` objects and streams them to sinks.
+
+    By default a :class:`MemorySink` is installed so :meth:`trace` returns
+    the full execution trace (the historical behaviour).  With
+    ``keep_events=False`` no event is retained: everything is pushed to the
+    registered sinks only, and :meth:`trace` raises -- this is the
+    streaming/online mode used for runs too large to materialize.
+    """
+
+    def __init__(
+        self,
+        sinks: Optional[Iterable[TraceSink]] = None,
+        keep_events: bool = True,
+    ) -> None:
+        self._memory: Optional[MemorySink] = MemorySink() if keep_events else None
+        self._sinks: List[TraceSink] = list(sinks or ())
         self._seq = 0
+
+    def add_sink(self, sink: TraceSink) -> TraceSink:
+        """Register a sink; returns it for chaining."""
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: TraceSink) -> None:
+        """Unregister a previously added sink."""
+        self._sinks.remove(sink)
 
     def record(
         self,
@@ -120,7 +330,7 @@ class TraceRecorder:
         clock: Optional[int] = None,
         **details: Any,
     ) -> TraceEvent:
-        """Record one event and return it."""
+        """Record one event, fan it out to every sink, and return it."""
         if kind not in EVENT_KINDS:
             raise ValueError(f"unknown trace event kind {kind!r}")
         event = TraceEvent(
@@ -135,22 +345,57 @@ class TraceRecorder:
             seq=self._seq,
         )
         self._seq += 1
-        self._events.append(event)
+        if self._memory is not None:
+            self._memory.on_event(event)
+        for sink in self._sinks:
+            sink.on_event(event)
         return event
 
+    @property
+    def events_recorded(self) -> int:
+        """Total number of events seen (stored or streamed)."""
+        return self._seq
+
+    @property
+    def stored_events(self) -> int:
+        """Events currently held in memory (0 in streaming mode)."""
+        return len(self._memory) if self._memory is not None else 0
+
     def trace(self) -> "EventTrace":
-        """Return an immutable queryable view over the recorded events."""
-        return EventTrace(list(self._events))
+        """Return an immutable queryable view over the recorded events.
+
+        Raises :class:`RuntimeError` in streaming mode (``keep_events=False``):
+        there is no materialized trace by design -- query the sinks instead.
+        """
+        if self._memory is None:
+            raise RuntimeError(
+                "this recorder streams to sinks only (keep_events=False); "
+                "no materialized trace is available"
+            )
+        return self._memory.trace()
+
+    def close(self) -> None:
+        """Close every registered sink."""
+        for sink in self._sinks:
+            sink.close()
 
     def __len__(self) -> int:
-        return len(self._events)
+        return self._seq
 
 
 class EventTrace:
-    """Queryable, immutable view over a list of trace events."""
+    """Queryable, immutable view over a list of trace events.
+
+    Filter results by kind (and kind+process) are indexed lazily, and the
+    happened-before relation is memoized per group argument, so repeated
+    checker queries cost one scan instead of one scan each.
+    """
 
     def __init__(self, events: List[TraceEvent]) -> None:
         self._events = sorted(events, key=lambda event: (event.time, event.seq))
+        self._kind_index: Optional[Dict[str, List[TraceEvent]]] = None
+        self._kind_process_index: Dict[str, Dict[str, List[TraceEvent]]] = {}
+        self._hb_cache: Dict[Optional[str], List[Tuple[str, str]]] = {}
 
     # ------------------------------------------------------------------
     # Basic access
@@ -161,6 +406,23 @@ class EventTrace:
     def __len__(self) -> int:
         return len(self._events)
 
+    def _by_kind(self, kind: str) -> List[TraceEvent]:
+        if self._kind_index is None:
+            index: Dict[str, List[TraceEvent]] = {}
+            for event in self._events:
+                index.setdefault(event.kind, []).append(event)
+            self._kind_index = index
+        return self._kind_index.get(kind, [])
+
+    def _by_kind_and_process(self, kind: str, process: str) -> List[TraceEvent]:
+        per_process = self._kind_process_index.get(kind)
+        if per_process is None:
+            per_process = {}
+            for event in self._by_kind(kind):
+                per_process.setdefault(event.process, []).append(event)
+            self._kind_process_index[kind] = per_process
+        return per_process.get(process, [])
+
     def events(
         self,
         kind: Optional[str] = None,
@@ -168,10 +430,17 @@ class EventTrace:
         group: Optional[str] = None,
     ) -> List[TraceEvent]:
         """Events filtered by any combination of kind, process and group."""
+        if kind is not None:
+            base = (
+                self._by_kind_and_process(kind, process)
+                if process is not None
+                else self._by_kind(kind)
+            )
+            if group is None:
+                return list(base)
+            return [event for event in base if event.group == group]
         result = []
         for event in self._events:
-            if kind is not None and event.kind != kind:
-                continue
             if process is not None and event.process != process:
                 continue
             if group is not None and event.group != group:
@@ -199,17 +468,15 @@ class EventTrace:
         is still the process-local delivery order (which, for multi-group
         processes, interleaves groups).
         """
-        kinds = {DELIVER}
+        base = self._by_kind_and_process(DELIVER, process)
         if include_nulls:
-            kinds.add(NULL_DELIVER)
-        result = []
-        for event in self._events:
-            if event.process != process or event.kind not in kinds:
-                continue
-            if group is not None and event.group != group:
-                continue
-            result.append(event)
-        return result
+            base = sorted(
+                base + self._by_kind_and_process(NULL_DELIVER, process),
+                key=lambda event: (event.time, event.seq),
+            )
+        if group is None:
+            return list(base)
+        return [event for event in base if event.group == group]
 
     def delivered_ids(self, process: str, group: Optional[str] = None) -> List[str]:
         """Message ids delivered at ``process`` in delivery order."""
@@ -243,12 +510,15 @@ class EventTrace:
 
         Only application messages are considered; every delivery of a
         message contributes one sample (so a multicast to `n` members
-        contributes up to `n` samples).
+        contributes up to `n` samples).  A message re-sent under its
+        original id (asymmetric failover) keeps its *first* send time --
+        the latency is measured from the application's initial send, not
+        from the retry.
         """
         send_times: Dict[str, float] = {}
         for event in self.events(kind=SEND, group=group):
             if event.message_id is not None:
-                send_times[event.message_id] = event.time
+                send_times.setdefault(event.message_id, event.time)
         latencies = []
         for event in self.events(kind=DELIVER, group=group):
             if event.message_id in send_times:
@@ -260,9 +530,16 @@ class EventTrace:
 
         The happened-before relation is reconstructed per the paper: m -> m'
         if the same process sent m before m', or if some process delivered m
-        before sending m', closed transitively.  Used by the causal-order
-        checkers; quadratic in the number of messages, fine at test scale.
+        before sending m', closed transitively.  Used by the post-hoc
+        causal-order checkers; quadratic in the number of messages, so the
+        result is memoized per ``group`` argument (``check_all`` evaluates
+        it globally and per group -- each variant is now computed once).
+        The streaming checkers in :mod:`repro.analysis.online` avoid the
+        closure entirely via vector-clock summaries.
         """
+        cached = self._hb_cache.get(group)
+        if cached is not None:
+            return cached
         per_process: Dict[str, List[TraceEvent]] = {}
         for event in self._events:
             if event.kind in (SEND, DELIVER):
@@ -300,6 +577,7 @@ class EventTrace:
         for earlier, laters in closed.items():
             for later in laters:
                 pairs.append((earlier, later))
+        self._hb_cache[group] = pairs
         return pairs
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -37,6 +37,7 @@ from repro.scenarios.library import (
     ring_overlap_groups,
 )
 from repro.scenarios.spec import (
+    FORMATION_WORKLOAD_GRACE,
     GroupSpec,
     ScenarioConfigError,
     ScenarioEvent,
@@ -46,6 +47,7 @@ from repro.scenarios.spec import (
 )
 
 __all__ = [
+    "FORMATION_WORKLOAD_GRACE",
     "SCENARIO_PROTOCOL_DEFAULTS",
     "RuntimeSample",
     "ScenarioEngine",

@@ -2,9 +2,24 @@
 
 The engine turns a :class:`~repro.scenarios.spec.ScenarioSpec` into a
 running :class:`~repro.core.cluster.NewtopCluster`: it installs the groups,
-drives the background workload, applies the timed fault/membership events,
-samples the simulator's health (heap occupancy) while running, and finally
-evaluates the paper's correctness predicates over the recorded trace.
+drives the background workload, applies the timed fault/membership events
+(including dynamic ``form_group`` formations), samples the simulator's
+health (heap occupancy) while running, and finally evaluates the paper's
+correctness predicates.
+
+Two analysis modes select how the predicates are evaluated:
+
+``analysis="offline"`` (default)
+    The full trace is materialized and the post-hoc checkers of
+    :mod:`repro.analysis.checkers` run at the end -- exact but quadratic,
+    right for paper-sized runs and debugging.
+``analysis="online"``
+    The recorder streams into an
+    :class:`~repro.analysis.online.OnlineCheckSuite` and a rolling
+    :class:`~repro.net.trace.MetricsSink`; **no event is retained**
+    (``keep_events=False``), so memory stays flat and 1000-process churn
+    runs verify in one pass.  Extra sinks (e.g. a
+    :class:`~repro.net.trace.JsonlSink`) can be attached in either mode.
 
 Checking under churn needs care: after partitions (real or induced by drop
 windows) only processes that were never separated -- the scenario's *stable
@@ -18,13 +33,20 @@ checked over every process unconditionally, exactly as the paper states it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.analysis.checkers import CheckResult, check_all
+from repro.analysis.online import OnlineCheckSuite
 from repro.core.cluster import NewtopCluster
 from repro.core.config import NewtopConfig
 from repro.net.latency import LatencyModel
-from repro.scenarios.spec import ScenarioEvent, ScenarioSpec, from_config
+from repro.net.trace import MetricsSink, TraceRecorder, TraceSink
+from repro.scenarios.spec import (
+    FORMATION_WORKLOAD_GRACE,
+    ScenarioEvent,
+    ScenarioSpec,
+    from_config,
+)
 
 #: Protocol defaults for scenario runs: fast time-silence and suspicion so
 #: membership events settle within short simulated horizons, with enough
@@ -65,6 +87,14 @@ class ScenarioResult:
     peak_pending_events: int
     peak_live_pending_events: int
     samples: List[RuntimeSample] = field(default_factory=list)
+    #: Which verification pipeline produced :attr:`checks`.
+    analysis: str = "offline"
+    #: Total trace events recorded (streamed or stored).
+    trace_events: int = 0
+    #: Trace events still held in memory at the end (0 in online mode).
+    trace_events_stored: int = 0
+    #: Rolling aggregates from the online MetricsSink (online mode only).
+    metrics: Optional[Dict[str, object]] = None
 
     @property
     def passed(self) -> bool:
@@ -79,7 +109,9 @@ class ScenarioResult:
             else "n/a"
         )
         return [
-            f"checks: {'PASS' if self.passed else 'FAIL ' + '; '.join(self.checks.violations[:2])}",
+            f"checks: {'PASS' if self.passed else 'FAIL ' + '; '.join(self.checks.violations[:2])}"
+            f" ({self.analysis}; {self.trace_events} trace events, "
+            f"{self.trace_events_stored} stored)",
             f"simulated time {self.sim_time:.1f}, events processed {self.events_processed}",
             f"messages sent {self.messages_sent}, app deliveries {self.deliveries}, "
             f"delivery batching {batching}",
@@ -95,8 +127,28 @@ class ScenarioEngine:
         self,
         spec: ScenarioSpec,
         latency_model: Optional[LatencyModel] = None,
+        analysis: str = "offline",
+        sinks: Optional[List[TraceSink]] = None,
     ) -> None:
+        if analysis not in ("offline", "online"):
+            raise ValueError(f"unknown analysis mode {analysis!r}")
         self.spec = spec
+        self.analysis = analysis
+        self._agreement_sets = self.expected_agreement_sets()
+        extra_sinks = list(sinks or ())
+        self.suite: Optional[OnlineCheckSuite] = None
+        self.metrics_sink: Optional[MetricsSink] = None
+        if analysis == "online":
+            # Streaming verification: checkers and metrics consume events as
+            # they are recorded; the full trace is never materialized.
+            self.suite = OnlineCheckSuite(view_agreement_sets=self._agreement_sets)
+            self.metrics_sink = MetricsSink()
+            recorder = TraceRecorder(
+                sinks=[self.suite, self.metrics_sink, *extra_sinks],
+                keep_events=False,
+            )
+        else:
+            recorder = TraceRecorder(sinks=extra_sinks)
         overrides = dict(SCENARIO_PROTOCOL_DEFAULTS)
         overrides.update(spec.protocol)
         self.cluster = NewtopCluster(
@@ -104,6 +156,7 @@ class ScenarioEngine:
             config=NewtopConfig(**overrides),
             latency_model=latency_model,
             seed=spec.seed,
+            recorder=recorder,
         )
         self.cluster.network.config.batch_window = spec.batch_window
         self.samples: List[RuntimeSample] = []
@@ -131,22 +184,41 @@ class ScenarioEngine:
     def _schedule_workload(self) -> None:
         workload = self.spec.workload
         for group in self.spec.groups:
-            senders = (
-                group.members[: workload.senders_per_group]
-                if workload.senders_per_group > 0
-                else group.members
+            self._schedule_group_sends(
+                group.group_id, group.members, start=workload.start
             )
-            for round_index in range(workload.messages_per_sender):
-                send_time = workload.start + round_index * workload.gap
-                for sender in senders:
-                    self.cluster.sim.schedule_at(
-                        send_time,
-                        self._send,
-                        sender,
-                        group.group_id,
-                        f"{group.group_id}:{sender}:{round_index}",
-                        label="scenario:send",
-                    )
+        # Dynamically formed groups get the same workload shape, starting a
+        # grace period after formation so the §5.3 voting and start-number
+        # agreement can complete first (early sends are skipped harmlessly
+        # by the membership guard in :meth:`_send`).
+        for event in self.spec.events:
+            if event.kind == "form_group":
+                self._schedule_group_sends(
+                    event.group,
+                    event.targets,
+                    start=event.time + FORMATION_WORKLOAD_GRACE,
+                )
+
+    def _schedule_group_sends(
+        self, group_id: str, members: Sequence[str], start: float
+    ) -> None:
+        workload = self.spec.workload
+        senders = (
+            members[: workload.senders_per_group]
+            if workload.senders_per_group > 0
+            else members
+        )
+        for round_index in range(workload.messages_per_sender):
+            send_time = start + round_index * workload.gap
+            for sender in senders:
+                self.cluster.sim.schedule_at(
+                    send_time,
+                    self._send,
+                    sender,
+                    group_id,
+                    f"{group_id}:{sender}:{round_index}",
+                    label="scenario:send",
+                )
 
     def _send(self, sender: str, group_id: str, payload: str) -> None:
         process = self.cluster.processes[sender]
@@ -174,6 +246,18 @@ class ScenarioEngine:
             cluster.network.partitions.partition(
                 [[target] for target in event.targets], at_time=cluster.sim.now
             )
+        elif event.kind == "form_group":
+            # §5.3: the first listed (live) target initiates formation with
+            # every live target as an intended member.  Crashed targets are
+            # dropped up front -- inviting one can only veto the formation
+            # by timeout, which is scenario noise, not a protocol exercise.
+            members = [
+                target
+                for target in event.targets
+                if not cluster.processes[target].crashed
+            ]
+            if len(members) >= 2:
+                cluster.processes[members[0]].form_group(event.group, members)
         elif event.kind == "drop":
             src_nodes, dst_nodes = set(event.src), set(event.dst)
 
@@ -214,13 +298,20 @@ class ScenarioEngine:
         most of the current core (ties break deterministically towards the
         lexicographically smallest component), and drop windows remove the
         affected endpoints conservatively.  Group leavers are additionally
-        excluded from that group's agreement set.
+        excluded from that group's agreement set.  Dynamically formed
+        groups (``form_group`` events) are held to the same agreement as
+        static ones, over their intended members.
         """
         core: Set[str] = set(self.spec.processes)
         leavers: Dict[str, Set[str]] = {}
+        memberships: List[Tuple[str, Tuple[str, ...]]] = [
+            (group.group_id, group.members) for group in self.spec.groups
+        ]
         for event in self.spec.events:
             if event.kind in ("crash", "isolate"):
                 core -= set(event.targets)
+            elif event.kind == "form_group":
+                memberships.append((event.group, event.targets))
             elif event.kind == "leave":
                 leavers.setdefault(event.group, set()).update(event.targets)
             elif event.kind == "partition":
@@ -240,24 +331,40 @@ class ScenarioEngine:
                 # suspicion; be conservative about who must still agree.
                 core -= set(event.src) | set(event.dst)
         return {
-            group.group_id: sorted(
+            group_id: sorted(
                 member
-                for member in group.members
-                if member in core and member not in leavers.get(group.group_id, set())
+                for member in members
+                if member in core and member not in leavers.get(group_id, set())
             )
-            for group in self.spec.groups
+            for group_id, members in memberships
         }
 
     # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
     def run(self) -> ScenarioResult:
-        """Install, run to the horizon, and evaluate the trace checkers."""
-        self._install()
-        sim = self.cluster.sim
-        sim.run(until=self.spec.horizon())
-        agreement_sets = self.expected_agreement_sets()
-        checks = check_all(self.cluster.trace(), view_agreement_sets=agreement_sets)
+        """Install, run to the horizon, and evaluate the checkers.
+
+        In offline mode the post-hoc checkers run over the materialized
+        trace; in online mode the verdict is read from the streaming suite
+        that consumed every event as it was recorded.
+        """
+        agreement_sets = self._agreement_sets
+        recorder = self.cluster.recorder
+        try:
+            self._install()
+            sim = self.cluster.sim
+            sim.run(until=self.spec.horizon())
+            if self.suite is not None:
+                checks = self.suite.result()
+            else:
+                checks = check_all(
+                    self.cluster.trace(), view_agreement_sets=agreement_sets
+                )
+        finally:
+            # Sinks (e.g. a JsonlSink) must be flushed even when the run or
+            # a checker raises -- that is exactly when the dump matters.
+            recorder.close()
         deliveries = sum(
             len(process.delivered) for process in self.cluster.processes.values()
         )
@@ -277,13 +384,23 @@ class ScenarioEngine:
                 sample.live_pending_events for sample in self.samples
             ),
             samples=list(self.samples),
+            analysis=self.analysis,
+            trace_events=recorder.events_recorded,
+            trace_events_stored=recorder.stored_events,
+            metrics=(
+                self.metrics_sink.snapshot() if self.metrics_sink is not None else None
+            ),
         )
 
 
 def run_scenario(
     config: Mapping,
     latency_model: Optional[LatencyModel] = None,
+    analysis: str = "offline",
+    sinks: Optional[List[TraceSink]] = None,
 ) -> ScenarioResult:
     """Parse a scenario config dict, run it, and return the result."""
     spec = config if isinstance(config, ScenarioSpec) else from_config(config)
-    return ScenarioEngine(spec, latency_model=latency_model).run()
+    return ScenarioEngine(
+        spec, latency_model=latency_model, analysis=analysis, sinks=sinks
+    ).run()

@@ -6,7 +6,8 @@ deterministically from its ``seed``.  They encode the workload shapes the
 ROADMAP asks for beyond the paper's hand-sized examples:
 
 * :func:`churn_scenario` -- many overlapping groups under continuous
-  join-era traffic while members crash and voluntarily leave;
+  join-era traffic while members crash, voluntarily leave, and (optionally)
+  dynamically form fresh groups mid-run (§5.3 ``form_group`` events);
 * :func:`cascading_partitions_scenario` -- successive partitions that each
   split another slice off the main component, then heal;
 * :func:`merge_storm_scenario` -- rapid partition/heal cycles stressing
@@ -56,6 +57,7 @@ def churn_scenario(
     group_size: int = 12,
     crashes: int = 3,
     leaves: int = 3,
+    formations: int = 0,
     messages_per_sender: int = 2,
     seed: int = 7,
     batch_window: float = 0.25,
@@ -64,7 +66,11 @@ def churn_scenario(
 
     Crash and leave targets are picked deterministically from ``seed``,
     spread over distinct groups so several view agreements run
-    concurrently; the workload keeps flowing throughout.
+    concurrently; the workload keeps flowing throughout.  With
+    ``formations > 0``, that many fresh groups are dynamically formed
+    mid-run (§5.3 ``form_group`` events) from processes untouched by the
+    churn, so formation voting and start-number agreement run concurrently
+    with crash/leave view agreements.
     """
     rng = random.Random(seed)
     processes = list(default_process_names(n_processes))
@@ -83,6 +89,7 @@ def churn_scenario(
         crashed.append(target)
         events.append({"time": 6.0 + 2.0 * offset, "kind": "crash", "targets": [target]})
     # Voluntary departures from further distinct groups.
+    leavers: List[str] = []
     leave_groups = [i for i in range(len(groups)) if i not in crash_groups]
     rng.shuffle(leave_groups)
     for offset, group_index in enumerate(leave_groups[:leaves]):
@@ -91,12 +98,36 @@ def churn_scenario(
         if not candidates:
             continue
         target = rng.choice(candidates)
+        leavers.append(target)
         events.append(
             {
                 "time": 8.0 + 2.0 * offset,
                 "kind": "leave",
                 "targets": [target],
                 "group": group["id"],
+            }
+        )
+
+    # Dynamic formations: fresh groups over processes the churn leaves
+    # alone, initiated while crash/leave agreements are still in flight.
+    touched = set(crashed) | set(leavers)
+    quiet = [process for process in processes if process not in touched]
+    formation_size = max(2, min(group_size // 2, 5))
+    for index in range(formations):
+        if len(quiet) < formation_size:
+            break
+        members = [
+            quiet[(index * formation_size + offset) % len(quiet)]
+            for offset in range(formation_size)
+        ]
+        if len(set(members)) < 2:
+            break
+        events.append(
+            {
+                "time": 9.0 + 2.0 * index,
+                "kind": "form_group",
+                "group": f"fg{index:02d}",
+                "targets": sorted(set(members)),
             }
         )
 

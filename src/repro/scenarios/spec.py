@@ -42,6 +42,13 @@ Supported event kinds (matching the fault model of :mod:`repro.net.failures`):
 ``drop``
     Drop messages from ``src`` processes to ``dst`` processes for
     ``duration`` time units (one-directional lossy window).
+``form_group``
+    Dynamic group formation mid-run (§5.3): the first process in
+    ``targets`` initiates formation of the new group ``group`` with the
+    listed ``targets`` as its intended members (Newtop has no join -- a
+    "join" is the formation of a fresh group).  The engine drives the
+    scenario workload through the group once it is formed, and the new
+    group participates in every correctness check like a static one.
 """
 
 from __future__ import annotations
@@ -57,7 +64,12 @@ class ScenarioConfigError(ValueError):
 
 
 #: Event kinds accepted by the engine.
-EVENT_KINDS = ("crash", "leave", "partition", "heal", "isolate", "drop")
+EVENT_KINDS = ("crash", "leave", "partition", "heal", "isolate", "drop", "form_group")
+
+#: Delay after a ``form_group`` event before the engine starts driving the
+#: scenario workload through the new group (covers the §5.3 voting rounds
+#: and the start-number agreement under the default latency model).
+FORMATION_WORKLOAD_GRACE = 4.0
 
 
 @dataclass(frozen=True)
@@ -117,10 +129,16 @@ class ScenarioSpec:
 
     def horizon(self) -> float:
         """Simulated time at which the scenario is considered settled."""
-        last_send = self.workload.start + max(
-            0, self.workload.messages_per_sender - 1
-        ) * self.workload.gap
-        last_event = max((event.time + event.duration for event in self.events), default=0.0)
+        workload_span = max(0, self.workload.messages_per_sender - 1) * self.workload.gap
+        last_send = self.workload.start + workload_span
+        last_event = 0.0
+        for event in self.events:
+            end = event.time + event.duration
+            if event.kind == "form_group":
+                # The engine drives the workload through formed groups
+                # starting FORMATION_WORKLOAD_GRACE after the event.
+                end = event.time + FORMATION_WORKLOAD_GRACE + workload_span
+            last_event = max(last_event, end)
         return max(last_send, last_event) + self.drain
 
 
@@ -144,7 +162,12 @@ def _parse_mode(raw: object) -> OrderingMode:
     raise ScenarioConfigError(f"unparseable ordering mode: {raw!r}")
 
 
-def _parse_event(raw: Mapping, processes: Sequence[str], groups: Dict[str, GroupSpec]) -> ScenarioEvent:
+def _parse_event(
+    raw: Mapping,
+    processes: Sequence[str],
+    groups: Dict[str, GroupSpec],
+    formed: Mapping[str, Tuple[str, ...]],
+) -> ScenarioEvent:
     kind = raw.get("kind")
     if kind not in EVENT_KINDS:
         raise ScenarioConfigError(f"unknown event kind {kind!r}; expected one of {EVENT_KINDS}")
@@ -173,13 +196,22 @@ def _parse_event(raw: Mapping, processes: Sequence[str], groups: Dict[str, Group
     if kind == "leave":
         if not targets or group is None:
             raise ScenarioConfigError(f"'leave' event at t={time} needs 'targets' and 'group'")
-        if group not in groups:
+        if group in groups:
+            membership = groups[group].members
+        elif group in formed:
+            membership = formed[group]
+        else:
             raise ScenarioConfigError(f"'leave' event at t={time} names unknown group {group!r}")
         for target in targets:
-            if target not in groups[group].members:
+            if target not in membership:
                 raise ScenarioConfigError(
                     f"'leave' event at t={time}: {target!r} is not a member of {group!r}"
                 )
+    if kind == "form_group":
+        if group is None or len(targets) < 2:
+            raise ScenarioConfigError(
+                f"'form_group' event at t={time} needs 'group' and at least two 'targets'"
+            )
     if kind == "partition" and not components:
         raise ScenarioConfigError(f"'partition' event at t={time} needs 'components'")
     if kind == "drop" and (not src or not dst):
@@ -244,9 +276,27 @@ def from_config(config: Mapping) -> ScenarioSpec:
     if workload.messages_per_sender < 0 or workload.gap <= 0:
         raise ScenarioConfigError("workload needs messages_per_sender >= 0 and gap > 0")
 
+    # Pre-scan dynamically formed groups so later events (e.g. 'leave') can
+    # reference them and their ids are checked for clashes up front.
+    formed: Dict[str, Tuple[str, ...]] = {}
+    for raw_event in config.get("events", ()):
+        if raw_event.get("kind") != "form_group":
+            continue
+        formed_id = raw_event.get("group")
+        if not formed_id:
+            raise ScenarioConfigError("'form_group' event is missing its 'group'")
+        if formed_id in groups or formed_id in formed:
+            raise ScenarioConfigError(
+                f"'form_group' event reuses group id {formed_id!r}"
+            )
+        formed[formed_id] = tuple(raw_event.get("targets", ()))
+
     events = tuple(
         sorted(
-            (_parse_event(raw, processes, groups) for raw in config.get("events", ())),
+            (
+                _parse_event(raw, processes, groups, formed)
+                for raw in config.get("events", ())
+            ),
             key=lambda event: event.time,
         )
     )

@@ -1,0 +1,435 @@
+"""Tests for the streaming verification & observability subsystem.
+
+Covers the ISSUE-2 surface: the trace-sink architecture (memory, JSONL,
+metrics, null sinks; streaming recorders that never materialize a trace),
+online/offline checker equivalence on seeded scenario traces, mutation
+sensitivity (both suites must catch seeded violations), the scenario
+engine's ``analysis="online"`` mode, and the satellite fixes (first-send
+latency samples, happened-before memoization, per-kind event indexes).
+"""
+
+import dataclasses
+import io
+import json
+
+import pytest
+
+from repro.analysis import check_all, check_events
+from repro.analysis.online import OnlineCheckSuite
+from repro.net.trace import (
+    DELIVER,
+    JsonlSink,
+    MemorySink,
+    MetricsSink,
+    NullSink,
+    SEND,
+    TraceRecorder,
+    VIEW_INSTALL,
+)
+from repro.scenarios import (
+    ScenarioEngine,
+    cascading_partitions_scenario,
+    churn_scenario,
+    from_config,
+    merge_storm_scenario,
+    migration_under_load_scenario,
+    mixed_modes_scenario,
+    run_scenario,
+)
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def run_offline(config):
+    """Run a scenario offline; return (engine, result, event list)."""
+    engine = ScenarioEngine(from_config(config))
+    result = engine.run()
+    return engine, result, list(engine.cluster.trace())
+
+
+def replay_online(events, agreement_sets=None):
+    """Feed a (possibly mutated) event list through a fresh online suite."""
+    return check_events(events, view_agreement_sets=agreement_sets)
+
+
+SMALL_CHURN = dict(
+    n_processes=10, n_groups=3, group_size=5, crashes=1, leaves=1, seed=5
+)
+
+#: A one-directional lossy window: the engine conservatively drops the
+#: affected endpoints from the agreement sets, so online checkers must
+#: scope view agreement AND virtual synchrony the same way check_all does.
+DROP_WINDOW = {
+    "name": "drop window",
+    "processes": 6,
+    "groups": [
+        {"id": "g0", "members": ["P001", "P002", "P003", "P004"]},
+        {"id": "g1", "members": ["P003", "P004", "P005", "P006"]},
+    ],
+    "workload": {"messages_per_sender": 3, "senders_per_group": 2, "gap": 3.0},
+    "events": [
+        {"time": 5.0, "kind": "drop", "src": ["P004"], "dst": ["P001"], "duration": 4.0}
+    ],
+    "drain": 40.0,
+}
+
+
+# ---------------------------------------------------------------------------
+# Sinks
+# ---------------------------------------------------------------------------
+
+
+def test_memory_sink_matches_recorder_trace():
+    extra = MemorySink()
+    recorder = TraceRecorder(sinks=[extra])
+    recorder.record(1.0, SEND, "P1", group="g", message_id="m1", sender="P1")
+    recorder.record(2.0, DELIVER, "P2", group="g", message_id="m1", sender="P1")
+    assert [event.seq for event in extra.trace()] == [
+        event.seq for event in recorder.trace()
+    ]
+    assert recorder.events_recorded == 2
+    assert recorder.stored_events == 2
+
+
+def test_streaming_recorder_never_materializes():
+    sink = NullSink()
+    recorder = TraceRecorder(sinks=[sink], keep_events=False)
+    for index in range(100):
+        recorder.record(float(index), SEND, "P1", message_id=f"m{index}")
+    assert recorder.events_recorded == 100
+    assert recorder.stored_events == 0
+    with pytest.raises(RuntimeError):
+        recorder.trace()
+
+
+def test_jsonl_sink_writes_parseable_lines():
+    buffer = io.StringIO()
+    recorder = TraceRecorder(sinks=[JsonlSink(buffer)], keep_events=False)
+    recorder.record(1.0, SEND, "P1", group="g", message_id="m1", sender="P1")
+    recorder.record(
+        2.5, VIEW_INSTALL, "P2", group="g", members=("P1", "P2"), index=0
+    )
+    recorder.close()
+    lines = [json.loads(line) for line in buffer.getvalue().splitlines()]
+    assert len(lines) == 2
+    assert lines[0]["kind"] == "send" and lines[0]["message_id"] == "m1"
+    assert lines[1]["details"]["members"] == ["P1", "P2"]
+    assert lines[1]["seq"] == 1
+
+
+def test_metrics_sink_uses_first_send_time():
+    metrics = MetricsSink()
+    recorder = TraceRecorder(sinks=[metrics], keep_events=False)
+    recorder.record(1.0, SEND, "P1", group="g", message_id="m1", sender="P1")
+    # Re-send under the original id (asymmetric failover) must not reset
+    # the latency clock.
+    recorder.record(5.0, SEND, "P1", group="g", message_id="m1", sender="P1")
+    recorder.record(6.0, DELIVER, "P2", group="g", message_id="m1", sender="P1")
+    assert metrics.latency_count == 1
+    assert metrics.latency_mean == pytest.approx(5.0)
+    assert metrics.by_kind["send"] == 2
+    assert metrics.deliveries_by_group == {"g": 1}
+
+
+def test_event_trace_delivery_latencies_keep_first_send_time():
+    recorder = TraceRecorder()
+    recorder.record(1.0, SEND, "P1", group="g", message_id="m1", sender="P1")
+    recorder.record(5.0, SEND, "P1", group="g", message_id="m1", sender="P1")
+    recorder.record(6.0, DELIVER, "P2", group="g", message_id="m1", sender="P1")
+    assert recorder.trace().delivery_latencies() == [pytest.approx(5.0)]
+
+
+def test_event_trace_kind_indexes_match_full_scan():
+    _, _, events = run_offline(churn_scenario(**SMALL_CHURN))
+    from repro.net.trace import EventTrace
+
+    trace = EventTrace(events)
+    for kind in (SEND, DELIVER, VIEW_INSTALL):
+        indexed = trace.events(kind=kind)
+        scanned = [event for event in trace if event.kind == kind]
+        assert indexed == scanned
+        process = scanned[0].process
+        assert trace.events(kind=kind, process=process) == [
+            event for event in scanned if event.process == process
+        ]
+
+
+def test_happened_before_pairs_memoized():
+    _, _, events = run_offline(churn_scenario(**SMALL_CHURN))
+    from repro.net.trace import EventTrace
+
+    trace = EventTrace(events)
+    first = trace.happened_before_pairs()
+    assert trace.happened_before_pairs() is first  # cached, not recomputed
+
+
+# ---------------------------------------------------------------------------
+# Online/offline equivalence on seeded scenario traces
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        churn_scenario(**SMALL_CHURN),
+        churn_scenario(
+            n_processes=12, n_groups=3, group_size=6,
+            crashes=1, leaves=1, formations=2, seed=5,
+        ),
+        merge_storm_scenario(n_processes=6, n_groups=2, group_size=4, cycles=2),
+        cascading_partitions_scenario(n_processes=9, n_groups=2, group_size=5, slices=1),
+        migration_under_load_scenario(n_processes=5),
+        mixed_modes_scenario(n_processes=6),
+        DROP_WINDOW,
+    ],
+    ids=[
+        "churn", "churn+formations", "merge-storm", "cascade", "migration",
+        "mixed", "drop-window",
+    ],
+)
+def test_online_and_offline_checkers_agree(config):
+    engine, result, events = run_offline(config)
+    agreement = engine.expected_agreement_sets()
+    offline = check_all(engine.cluster.trace(), view_agreement_sets=agreement)
+    online = replay_online(events, agreement)
+    assert offline.passed and online.passed, (
+        offline.violations[:3],
+        online.violations[:3],
+    )
+    assert result.passed
+
+
+# ---------------------------------------------------------------------------
+# Mutation sensitivity: seeded violations must be caught by BOTH suites
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def churn_run():
+    engine, result, events = run_offline(churn_scenario(**SMALL_CHURN))
+    assert result.passed
+    return engine, events
+
+
+def _swap_events(events, first, second):
+    swapped = {
+        first.seq: dataclasses.replace(first, time=second.time, seq=second.seq),
+        second.seq: dataclasses.replace(second, time=first.time, seq=first.seq),
+    }
+    return [swapped.get(event.seq, event) for event in events]
+
+
+def test_swapped_deliveries_caught_by_both(churn_run):
+    engine, events = churn_run
+    agreement = engine.expected_agreement_sets()
+    # Two app deliveries at one process whose messages were both delivered
+    # by some other process: swapping them inverts the pairwise order.
+    by_process = {}
+    for event in events:
+        if event.kind == DELIVER and event.message_id is not None:
+            by_process.setdefault(event.process, []).append(event)
+    candidate = None
+    for process, deliveries in by_process.items():
+        for i, first in enumerate(deliveries):
+            for second in deliveries[i + 1 :]:
+                for other, other_deliveries in by_process.items():
+                    if other == process:
+                        continue
+                    ids = [e.message_id for e in other_deliveries]
+                    if first.message_id in ids and second.message_id in ids:
+                        candidate = (first, second)
+                        break
+                if candidate:
+                    break
+            if candidate:
+                break
+        if candidate:
+            break
+    assert candidate is not None, "scenario produced no shared delivery pair"
+    mutated = _swap_events(events, *candidate)
+
+    from repro.net.trace import EventTrace
+
+    offline = check_all(EventTrace(mutated), view_agreement_sets=agreement)
+    online = replay_online(mutated, agreement)
+    assert not offline.passed
+    assert not online.passed
+    assert not online and not offline  # __bool__ mirrors .passed
+
+
+def test_dropped_view_install_caught_by_both(churn_run):
+    engine, events = churn_run
+    agreement = engine.expected_agreement_sets()
+    # Drop the final view install of a process that shares its group's
+    # agreement set with at least one peer.
+    target = None
+    for group, members in agreement.items():
+        if len(members) < 2:
+            continue
+        installs = [
+            event
+            for event in events
+            if event.kind == VIEW_INSTALL
+            and event.group == group
+            and event.process == members[0]
+        ]
+        if len(installs) >= 2:
+            target = installs[-1]
+            break
+    assert target is not None, "scenario produced no multi-install agreement group"
+    mutated = [event for event in events if event.seq != target.seq]
+
+    from repro.net.trace import EventTrace
+
+    offline = check_all(EventTrace(mutated), view_agreement_sets=agreement)
+    online = replay_online(mutated, agreement)
+    assert not offline.passed
+    assert not online.passed
+
+
+def test_delivery_from_excluded_sender_caught_by_both(churn_run):
+    engine, events = churn_run
+    agreement = engine.expected_agreement_sets()
+    crashed = next(
+        event.targets[0] for event in engine.spec.events if event.kind == "crash"
+    )
+    # A survivor that shares a group with the crashed process and installed
+    # a view excluding it.
+    target = None
+    for event in reversed(events):
+        if (
+            event.kind == VIEW_INSTALL
+            and crashed not in event.detail("members", ())
+            and event.process != crashed
+            and any(
+                crashed in e.detail("members", ())
+                for e in events
+                if e.kind == VIEW_INSTALL
+                and e.process == event.process
+                and e.group == event.group
+            )
+        ):
+            target = event
+            break
+    assert target is not None
+    last = events[-1]
+    forged = dataclasses.replace(
+        last,
+        time=last.time + 1.0,
+        seq=last.seq + 1,
+        kind=DELIVER,
+        process=target.process,
+        group=target.group,
+        message_id="forged-message",
+        sender=crashed,
+        clock=None,
+        details=(),
+    )
+    mutated = events + [forged]
+
+    from repro.net.trace import EventTrace
+
+    offline = check_all(EventTrace(mutated), view_agreement_sets=agreement)
+    online = replay_online(mutated, agreement)
+    assert not offline.passed
+    assert not online.passed
+    assert any("outside its view" in violation for violation in online.violations)
+
+
+# ---------------------------------------------------------------------------
+# Engine online mode
+# ---------------------------------------------------------------------------
+
+
+def test_engine_online_mode_passes_without_materializing():
+    config = churn_scenario(**SMALL_CHURN)
+    engine = ScenarioEngine(from_config(config), analysis="online")
+    result = engine.run()
+    assert result.passed, result.checks.violations[:3]
+    assert result.analysis == "online"
+    assert result.trace_events > 0
+    assert result.trace_events_stored == 0
+    assert engine.cluster.recorder.stored_events == 0
+    with pytest.raises(RuntimeError):
+        engine.cluster.trace()
+    # The rolling metrics sink saw every delivery the processes report.
+    assert result.metrics["by_kind"]["deliver"] == result.deliveries
+    assert result.metrics["latency"]["count"] > 0
+
+
+def test_engine_online_and_offline_verdicts_match_end_to_end():
+    config = merge_storm_scenario(n_processes=6, n_groups=2, group_size=4, cycles=2)
+    offline = run_scenario(config)
+    online = run_scenario(config, analysis="online")
+    assert offline.passed == online.passed == True  # noqa: E712
+    assert offline.deliveries == online.deliveries
+
+
+def test_engine_rejects_unknown_analysis_mode():
+    with pytest.raises(ValueError):
+        ScenarioEngine(from_config(churn_scenario(**SMALL_CHURN)), analysis="psychic")
+
+
+def test_engine_extra_jsonl_sink_in_online_mode(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    config = mixed_modes_scenario(n_processes=6)
+    result = run_scenario(config, analysis="online", sinks=[JsonlSink(path)])
+    assert result.passed
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    assert len(lines) == result.trace_events
+    kinds = {json.loads(line)["kind"] for line in lines}
+    assert "deliver" in kinds and "view_install" in kinds
+
+
+# ---------------------------------------------------------------------------
+# Suite ergonomics
+# ---------------------------------------------------------------------------
+
+
+def test_suite_dispatches_only_relevant_kinds(churn_run):
+    _, events = churn_run
+    suite = OnlineCheckSuite()
+    for event in events:
+        suite.on_event(event)
+    assert suite.events_seen == len(events)
+    # Null sends dominate the trace but no checker consumes them.
+    null_sends = sum(1 for event in events if event.kind == "null_send")
+    assert null_sends > 0
+    assert suite.total_order.events_seen == sum(
+        1 for event in events if event.kind == DELIVER
+    )
+    # The arbiter assigned every delivered message one reference position.
+    delivered_ids = {
+        event.message_id for event in events if event.kind == DELIVER
+    }
+    positions = suite.total_order.arbiter_position
+    assert set(positions) == delivered_ids
+    assert sorted(positions.values()) == list(range(len(delivered_ids)))
+
+
+def test_view_agreement_falls_back_when_group_unlisted(churn_run):
+    """A group missing from view_agreement_sets is still checked (against
+    every installer), mirroring check_all's fallback -- not skipped."""
+    engine, events = churn_run
+    agreement = engine.expected_agreement_sets()
+    group, members = next(
+        (group, members)
+        for group, members in agreement.items()
+        if len(members) >= 2
+    )
+    installs = [
+        event
+        for event in events
+        if event.kind == VIEW_INSTALL
+        and event.group == group
+        and event.process == members[0]
+    ]
+    assert len(installs) >= 2
+    mutated = [event for event in events if event.seq != installs[-1].seq]
+    # Empty mapping: every group takes the all-installers fallback.
+    online = replay_online(mutated, {})
+    assert not online.passed
+    assert any("view sequences differ" in v for v in online.violations)

@@ -76,11 +76,50 @@ def test_from_config_infers_processes_from_groups():
             "processes": 3,
             "events": [{"time": 1.0, "kind": "leave", "targets": ["P003"], "group": "g"}],
         },
+        {  # form_group reusing a static group id
+            "groups": [{"id": "g", "members": ["P001", "P002"]}],
+            "processes": 3,
+            "events": [
+                {"time": 1.0, "kind": "form_group", "group": "g", "targets": ["P001", "P003"]}
+            ],
+        },
+        {  # form_group with fewer than two members
+            "groups": [{"id": "g", "members": ["P001", "P002"]}],
+            "processes": 3,
+            "events": [
+                {"time": 1.0, "kind": "form_group", "group": "g2", "targets": ["P003"]}
+            ],
+        },
+        {  # form_group naming an unknown process
+            "groups": [{"id": "g", "members": ["P001", "P002"]}],
+            "processes": 3,
+            "events": [
+                {"time": 1.0, "kind": "form_group", "group": "g2", "targets": ["P001", "NOPE"]}
+            ],
+        },
     ],
 )
 def test_from_config_rejects_malformed_specs(config):
     with pytest.raises(ScenarioConfigError):
         from_config(config)
+
+
+def test_from_config_accepts_form_group_and_leave_from_formed_group():
+    spec = from_config(
+        {
+            "groups": [{"id": "g", "members": ["P001", "P002"]}],
+            "processes": 4,
+            "events": [
+                {"time": 2.0, "kind": "form_group", "group": "fg", "targets": ["P003", "P004"]},
+                {"time": 9.0, "kind": "leave", "targets": ["P004"], "group": "fg"},
+            ],
+        }
+    )
+    kinds = [event.kind for event in spec.events]
+    assert kinds == ["form_group", "leave"]
+    # The horizon covers the workload the engine drives through the formed
+    # group after the formation grace period.
+    assert spec.horizon() > 2.0 + spec.drain
 
 
 # ---------------------------------------------------------------------------
@@ -106,6 +145,31 @@ def test_churn_scenario_passes_checkers_and_installs_views():
         for member in members:
             view = engine.cluster.processes[member].view(group)
             assert crashed not in view.members
+
+
+def test_dynamic_group_formation_under_churn():
+    """`form_group` events create live groups mid-run that pass all checks."""
+    config = churn_scenario(
+        n_processes=12, n_groups=3, group_size=6, crashes=1, leaves=1,
+        formations=2, seed=5,
+    )
+    formed_ids = [
+        event["group"] for event in config["events"] if event["kind"] == "form_group"
+    ]
+    assert len(formed_ids) == 2
+    engine = ScenarioEngine(from_config(config))
+    result = engine.run()
+    assert result.passed, result.checks.violations[:3]
+    for group_id in formed_ids:
+        members = result.agreement_sets[group_id]
+        assert len(members) >= 2
+        for member in members:
+            process = engine.cluster.processes[member]
+            assert process.is_member(group_id)
+            # The formed group carried application traffic.
+            assert any(
+                record.group == group_id for record in process.delivered
+            ), f"{member} delivered nothing in formed group {group_id}"
 
 
 def test_partition_merge_scenario_passes_checkers():
@@ -200,3 +264,21 @@ def test_benchmark_smoke_mode():
     result = bench_scenario_churn.run_churn(bench_scenario_churn.SMOKE_SCALE)
     assert result.passed
     assert result.deliveries > 0
+
+
+def test_benchmark_smoke_mode_online_json(tmp_path):
+    """The CI hook: smoke-scale E19 online run recorded to JSON."""
+    benchmarks_dir = os.path.join(os.path.dirname(__file__), "..", "benchmarks")
+    if benchmarks_dir not in sys.path:
+        sys.path.insert(0, benchmarks_dir)
+    import json
+
+    import bench_scenario_churn
+
+    json_path = str(tmp_path / "BENCH_scenario_churn.json")
+    payload = bench_scenario_churn.record_results("smoke", json_path)
+    assert payload["passed"]
+    assert payload["analysis"] == "online"
+    assert payload["trace_events_stored"] == 0
+    with open(json_path, encoding="utf-8") as handle:
+        assert json.load(handle) == payload
