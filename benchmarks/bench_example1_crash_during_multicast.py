@@ -6,58 +6,84 @@ refute the suspicion of Pr, then the survivors detect Pr and Ps *together*
 and never deliver the orphan m' without m (the discard-above-lnmn safety
 measure preserving MD5).  Measured: survivor delivery sets, joint
 detection, and the time to re-establish a stable view.
+
+This benchmark runs through ``repro.api.Session`` with ``analysis="online"``:
+the guarantees are verified by the streaming checkers and the two
+quantities the assertions need (joint detections, the stable-view install
+time) are observed by a small custom :class:`~repro.net.trace.TraceSink`
+-- no full trace is ever materialized.
 """
 
-from common import RESULTS, assert_trace_correct, fmt, make_cluster
+from common import RESULTS, assert_session_correct, fmt, run_session
 
-from repro.net.trace import CONFIRM, VIEW_INSTALL
+from repro.net.trace import CONFIRM, TraceSink, VIEW_INSTALL
+
+SURVIVORS = ("Pi", "Pj")
+
+
+class SurvivorViewWatcher(TraceSink):
+    """Streams the joint-detection and stable-view observations E4 needs."""
+
+    def __init__(self, process: str, group: str) -> None:
+        self.process = process
+        self.group = group
+        self.confirm_target_sets = []
+        self.stable_view_time = None
+
+    def on_event(self, event) -> None:
+        if event.process != self.process or event.group != self.group:
+            return
+        if event.kind == CONFIRM:
+            self.confirm_target_sets.append(frozenset(event.detail("targets", ())))
+        elif event.kind == VIEW_INSTALL and self.stable_view_time is None:
+            if set(event.detail("members", ())) == set(SURVIVORS):
+                self.stable_view_time = event.time
 
 
 def run_example1():
-    cluster = make_cluster(["Pi", "Pj", "Pr", "Ps"], seed=7)
-    cluster.create_group("g")
-    cluster.run(3)
-    cluster.network.add_filter(
-        lambda src, dst, payload: not (src == "Pr" and dst in ("Pi", "Pj"))
+    watcher = SurvivorViewWatcher("Pi", "g")
+    session = run_session(
+        ["Pi", "Pj", "Pr", "Ps"],
+        groups=[("g", None)],
+        seed=7,
+        analysis="online",
+        sinks=[watcher],
+        view_agreement_sets={"g": list(SURVIVORS)},
     )
-    crash_time = cluster.sim.now
-    cluster["Pr"].multicast("g", "m")
-    cluster.run(0.1)
-    cluster.crash("Pr")
+    session.run(3)
+    session.network.add_filter(
+        lambda src, dst, payload: not (src == "Pr" and dst in SURVIVORS)
+    )
+    crash_time = session.sim.now
+    session.multicast("Pr", "g", "m")
+    session.run(0.1)
+    session.crash("Pr")
 
     def react(group, sender, payload, msg_id):
         if payload == "m":
-            cluster["Ps"].multicast(group, "m-prime")
+            session.multicast("Ps", group, "m-prime")
 
-    cluster["Ps"].add_delivery_callback(react)
-    cluster.sim.schedule(12.0, cluster.crash, "Ps")
-    cluster.run(250)
-    return cluster, crash_time
+    session["Ps"].add_delivery_callback(react)
+    session.sim.schedule(12.0, session.crash, "Ps")
+    session.run(250)
+    return session, watcher, crash_time
 
 
 def test_example1_orphan_suppression(benchmark):
-    cluster, crash_time = benchmark.pedantic(run_example1, rounds=1, iterations=1)
-    survivors = ("Pi", "Pj")
+    session, watcher, crash_time = benchmark.pedantic(run_example1, rounds=1, iterations=1)
     orphan_delivered = any(
-        "m-prime" in cluster[name].delivered_payloads("g")
-        and "m" not in cluster[name].delivered_payloads("g")
-        for name in survivors
+        "m-prime" in session[name].delivered_payloads("g")
+        and "m" not in session[name].delivered_payloads("g")
+        for name in SURVIVORS
     )
     views_ok = all(
-        cluster[name].view("g").sorted_members() == ("Pi", "Pj") for name in survivors
+        session[name].view("g").sorted_members() == SURVIVORS for name in SURVIVORS
     )
-    trace = cluster.trace()
     joint_detections = [
-        event
-        for event in trace.events(kind=CONFIRM, process="Pi", group="g")
-        if set(event.detail("targets", ())) == {"Pr", "Ps"}
+        targets for targets in watcher.confirm_target_sets if targets == {"Pr", "Ps"}
     ]
-    stable_view_time = None
-    for event in trace.events(kind=VIEW_INSTALL, process="Pi", group="g"):
-        if set(event.detail("members", ())) == {"Pi", "Pj"}:
-            stable_view_time = event.time
-            break
-    assert_trace_correct(cluster, view_agreement_sets={"g": list(survivors)})
+    stable_view_time = watcher.stable_view_time
+    result = assert_session_correct(session)
     RESULTS.add_table(
         "E4 (Example 1) crash during multicast + dependent crash",
         [
@@ -66,6 +92,8 @@ def test_example1_orphan_suppression(benchmark):
             f"survivor views stabilised to {{Pi, Pj}}: {views_ok}",
             f"time from the crash to the stable survivor view: "
             f"{fmt((stable_view_time - crash_time) if stable_view_time else float('nan'))} time units",
+            f"verified online: {result.trace_events} trace events streamed, "
+            f"{result.trace_events_stored} stored",
             "paper: messages of failed processes above lnmn are discarded so the "
             "orphan is erased -> reproduced",
         ],
@@ -73,3 +101,6 @@ def test_example1_orphan_suppression(benchmark):
     assert not orphan_delivered
     assert views_ok
     assert stable_view_time is not None
+    # The whole run was verified without materializing a trace.
+    assert result.analysis == "online"
+    assert result.trace_events_stored == 0

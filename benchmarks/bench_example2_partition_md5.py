@@ -8,19 +8,25 @@ Measured: exclusion-before-delivery ordering and the latency from the lost
 multicast to delivery of the dependent message.
 """
 
-from common import RESULTS, assert_trace_correct, fmt, make_cluster
+from common import RESULTS, assert_session_correct, fmt, run_session
 
 from repro.net.trace import VIEW_INSTALL
 
 
 def run_example2():
-    cluster = make_cluster(["Pi", "Pj", "Pk", "Pq"], seed=11)
-    cluster.create_group("g1", ["Pi", "Pj", "Pk"])
-    cluster.create_group("g2", ["Pk", "Pq"])
-    cluster.create_group("g3", ["Pq", "Pi", "Pj"])
-    cluster.run(5)
+    session = run_session(
+        ["Pi", "Pj", "Pk", "Pq"],
+        groups=[
+            ("g1", ["Pi", "Pj", "Pk"]),
+            ("g2", ["Pk", "Pq"]),
+            ("g3", ["Pq", "Pi", "Pj"]),
+        ],
+        seed=11,
+        view_agreement_sets={"g1": ["Pi", "Pj"], "g2": ["Pq"], "g3": ["Pi", "Pj", "Pq"]},
+    )
+    session.run(5)
     # Permanent partition: Pk can no longer reach Pi or Pj (but still Pq).
-    cluster.network.add_filter(
+    session.network.add_filter(
         lambda src, dst, payload: not (src == "Pk" and dst in ("Pi", "Pj"))
     )
     state = {"m2": False, "m4": False}
@@ -28,19 +34,19 @@ def run_example2():
     def pk_reacts(group, sender, payload, msg_id):
         if payload == "m1" and not state["m2"]:
             state["m2"] = True
-            cluster["Pk"].multicast("g2", "m2")
+            session.multicast("Pk", "g2", "m2")
 
     def pq_reacts(group, sender, payload, msg_id):
         if payload == "m2" and not state["m4"]:
             state["m4"] = True
-            cluster["Pq"].multicast("g3", "m4")
+            session.multicast("Pq", "g3", "m4")
 
-    cluster["Pk"].add_delivery_callback(pk_reacts)
-    cluster["Pq"].add_delivery_callback(pq_reacts)
-    m1_time = cluster.sim.now
-    cluster["Pk"].multicast("g1", "m1")
-    cluster.run(250)
-    return cluster, m1_time
+    session["Pk"].add_delivery_callback(pk_reacts)
+    session["Pq"].add_delivery_callback(pq_reacts)
+    m1_time = session.sim.now
+    session.multicast("Pk", "g1", "m1")
+    session.run(250)
+    return session, m1_time
 
 
 def test_example2_md5_prime_under_partition(benchmark):
@@ -55,10 +61,7 @@ def test_example2_md5_prime_under_partition(benchmark):
         if "Pk" not in event.detail("members", ()):
             exclusion_time = event.time
             break
-    assert_trace_correct(
-        cluster,
-        view_agreement_sets={"g1": ["Pi", "Pj"], "g2": ["Pq"], "g3": ["Pi", "Pj", "Pq"]},
-    )
+    assert_session_correct(cluster)
     RESULTS.add_table(
         "E5 (Example 2) MD5' under a permanent partition",
         [

@@ -9,7 +9,7 @@ Measured: analytic per-message overhead across group sizes plus the
 actually transmitted protocol bytes of the running implementations.
 """
 
-from common import RESULTS
+from common import RESULTS, run_session
 
 from repro.analysis.overhead import (
     isis_overhead_bytes,
@@ -17,7 +17,6 @@ from repro.analysis.overhead import (
     piggyback_overhead_bytes,
     psync_overhead_bytes,
 )
-from repro.baselines import BaselineCluster, IsisProcess, PsyncProcess
 
 GROUP_SIZES = [3, 5, 10, 20, 50, 100]
 
@@ -39,16 +38,19 @@ def run_overhead_sweep():
 
 def test_overhead_vs_baselines(benchmark):
     rows = benchmark.pedantic(run_overhead_sweep, rounds=1, iterations=1)
-    # Cross-check the analytic models against running implementations at n=5.
-    isis_cluster = BaselineCluster(IsisProcess, [f"P{i}" for i in range(5)], seed=2)
-    psync_cluster = BaselineCluster(PsyncProcess, [f"P{i}" for i in range(5)], seed=2)
-    for cluster in (isis_cluster, psync_cluster):
+    # Cross-check the analytic models against running implementations at
+    # n=5, through the same session front door every stack shares.
+    names = [f"P{i}" for i in range(5)]
+    isis_session = run_session(names, groups=[("g", None)], stack="isis", seed=2)
+    psync_session = run_session(names, groups=[("g", None)], stack="psync", seed=2)
+    for session in (isis_session, psync_session):
         for i in range(3):
-            cluster["P0"].multicast(i)
-            cluster["P2"].multicast(i + 100)
-        cluster.run(100)
-    measured_isis = isis_cluster["P0"].per_message_overhead_bytes()
-    measured_psync = psync_cluster["P0"].per_message_overhead_bytes()
+            session.multicast("P0", "g", i)
+            session.multicast("P2", "g", i + 100)
+        session.run(100)
+        assert session.result().passed
+    measured_isis = isis_session["P0"]["g"].per_message_overhead_bytes()
+    measured_psync = psync_session["P0"]["g"].per_message_overhead_bytes()
 
     table = [
         "group size |  Newtop  |  ISIS vector clock  |  Psync graph  |  piggybacking",

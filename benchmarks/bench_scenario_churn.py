@@ -74,16 +74,22 @@ SMOKE_SCALE = dict(
 SCALES = {"smoke": SMOKE_SCALE, "full": FULL_SCALE, "thousand": THOUSAND_SCALE}
 
 
-def run_churn(scale=None, batch_window=0.25, analysis="offline"):
+def run_churn(scale=None, batch_window=0.25, analysis="offline", stack="newtop"):
     """Run one churn scenario and assert its guarantees held.
 
     Returns the :class:`~repro.scenarios.engine.ScenarioResult` so callers
     (benchmark tables below, smoke test in tier-1, the CI JSON recorder)
-    can inspect the runtime metrics.
+    can inspect the runtime metrics.  ``stack`` selects the protocol; see
+    ``bench_protocol_comparison.py`` (E20) for the six-stack comparison.
     """
     overrides = dict(FULL_SCALE if scale is None else scale)
     config = churn_scenario(batch_window=batch_window, **overrides)
-    result = run_scenario(config, analysis=analysis)
+    result = run_scenario(
+        config,
+        analysis=analysis,
+        stack=stack,
+        on_unsupported="raise" if stack == "newtop" else "skip",
+    )
     assert result.passed, f"scenario guarantees violated: {result.checks.violations[:3]}"
     if analysis == "online":
         assert result.trace_events_stored == 0, "online mode materialized a trace"

@@ -19,46 +19,49 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro import NewtopCluster, NewtopConfig, OrderingMode
-from repro.analysis import check_all
+from repro import OrderingMode, Session
 from repro.analysis.metrics import blocking_times
 
 
 def main() -> None:
-    config = NewtopConfig(omega=2.0, suspicion_timeout=10.0)
-    cluster = NewtopCluster(["P1", "P2", "P3", "P4"], config=config, seed=3)
+    session = Session(
+        stack="newtop",
+        config={"omega": 2.0, "suspicion_timeout": 10.0},
+        seed=3,
+    )
+    session.spawn(["P1", "P2", "P3", "P4"])
 
     # P2 and P3 belong to both groups; "control" uses a sequencer (P1),
     # "telemetry" is fully symmetric.
-    cluster.create_group("control", ["P1", "P2", "P3"], mode=OrderingMode.ASYMMETRIC)
-    cluster.create_group("telemetry", ["P2", "P3", "P4"], mode=OrderingMode.SYMMETRIC)
+    session.group("control", ["P1", "P2", "P3"], mode=OrderingMode.ASYMMETRIC)
+    session.group("telemetry", ["P2", "P3", "P4"], mode=OrderingMode.SYMMETRIC)
 
     # P2 disseminates in the asymmetric group (unicast to the sequencer) and
     # immediately afterwards in the symmetric group: the second send must
     # wait until the first comes back from the sequencer.
-    cluster["P2"].multicast("control", "control: set-point 42")
-    deferred = cluster["P2"].multicast("telemetry", "telemetry: reading 17.3")
+    session.multicast("P2", "control", "control: set-point 42")
+    deferred = session.multicast("P2", "telemetry", "telemetry: reading 17.3")
     print(f"telemetry send deferred by the blocking rule: {deferred is None}")
 
-    cluster["P3"].multicast("telemetry", "telemetry: reading 18.1")
-    cluster["P1"].multicast("control", "control: ack")
-    cluster.run(80)
+    session.multicast("P3", "telemetry", "telemetry: reading 18.1")
+    session.multicast("P1", "control", "control: ack")
+    session.run(80)
 
     print("\nDeliveries at the multi-group members (interleaved across groups):")
     for name in ("P2", "P3"):
         print(f"  {name}:")
-        for record in cluster[name].delivered:
+        for record in session[name].delivered:
             print(f"    [{record.group:9s}] {record.payload}")
 
-    waits = blocking_times(cluster.trace(), group="telemetry")
+    waits = blocking_times(session.trace(), group="telemetry")
     if waits:
         print(f"\nBlocking-rule wait before the deferred telemetry send: "
               f"{waits[0]:.2f} simulated time units")
 
     orders = {
-        tuple(record.msg_id for record in cluster[name].delivered) for name in ("P2", "P3")
+        tuple(record.msg_id for record in session[name].delivered) for name in ("P2", "P3")
     }
-    result = check_all(cluster.trace())
+    result = session.result()
     print(f"\ncross-group delivery orders identical at P2 and P3: {len(orders) == 1}")
     print(f"all paper guarantees (MD1-MD5', VC1-VC3) hold on the trace: {result.passed}")
 

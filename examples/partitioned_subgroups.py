@@ -19,33 +19,38 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.api import Session
 from repro.apps import ReplicatedStore
 from repro.baselines import PrimaryPartitionMembership
-from repro.core import NewtopCluster, NewtopConfig
 
 
 def main() -> None:
     members = ["P1", "P2", "P3", "P4", "P5"]
-    config = NewtopConfig(omega=1.5, suspicion_timeout=6.0, suspector_check_interval=0.5)
-    cluster = NewtopCluster(members, config=config, seed=7)
-    cluster.create_group("kv")
-    stores = {name: ReplicatedStore(cluster[name], "kv") for name in members}
+    session = Session(
+        stack="newtop",
+        config={"omega": 1.5, "suspicion_timeout": 6.0,
+                "suspector_check_interval": 0.5},
+        seed=7,
+    )
+    session.spawn(members)
+    session.group("kv")
+    stores = {name: ReplicatedStore(session[name], "kv") for name in members}
 
     stores["P1"].set("shared", "written before the partition")
-    cluster.run(20)
+    session.run(20)
 
     print("Installing partition: {P1,P2} | {P3,P4,P5}")
-    cluster.partition([["P1", "P2"], ["P3", "P4", "P5"]])
-    cluster.run(120)
+    session.partition([["P1", "P2"], ["P3", "P4", "P5"]])
+    session.run(120)
 
     print("\nViews after the membership service stabilises:")
     for name in members:
-        print(f"  {name}: {cluster[name].view('kv').sorted_members()}")
+        print(f"  {name}: {session[name].view('kv').sorted_members()}")
 
     # Both sides keep writing -- their stores now evolve independently.
     stores["P1"].set("minority", "still serving")
     stores["P4"].set("majority", "still serving too")
-    cluster.run(60)
+    session.run(60)
 
     print("\nState on the minority side (P2):", stores["P2"].snapshot())
     print("State on the majority side (P5):", stores["P5"].snapshot())

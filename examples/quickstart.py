@@ -4,10 +4,15 @@ Run with::
 
     python examples/quickstart.py
 
-The example builds a three-member group, has two members multicast
-concurrently, and shows that every member (including the senders) delivers
-the same messages in the same order -- the core guarantee of Newtop's
-symmetric protocol (§4.1 of the paper).
+The example drives the unified session API (:class:`repro.api.Session`):
+spawn processes, install a group, multicast, run, read the verdict.  Two
+members multicast concurrently and every member (including the senders)
+delivers the same messages in the same order -- the core guarantee of
+Newtop's symmetric protocol (§4.1 of the paper), checked here by the same
+verification pipeline every benchmark uses.  Swap ``stack="newtop"`` for
+``"fixed_sequencer"``, ``"isis"``, ``"lamport_ack"`` or ``"psync"`` to run
+the identical workload on a §6 baseline (see
+``examples/compare_protocols.py``).
 """
 
 from __future__ import annotations
@@ -17,35 +22,40 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro import NewtopCluster, NewtopConfig
+from repro import Session
 
 
 def main() -> None:
-    config = NewtopConfig(omega=2.0, suspicion_timeout=8.0)
-    cluster = NewtopCluster(["P1", "P2", "P3"], config=config, seed=42)
-    cluster.create_group("chat")
+    session = Session(
+        stack="newtop",
+        config={"omega": 2.0, "suspicion_timeout": 8.0},
+        seed=42,
+    )
+    session.spawn(["P1", "P2", "P3"])
+    session.group("chat")
 
     # Two members multicast concurrently; nobody coordinates.
-    cluster["P1"].multicast("chat", "P1: hello everyone")
-    cluster["P2"].multicast("chat", "P2: hi! (sent concurrently)")
-    cluster["P1"].multicast("chat", "P1: how is the migration going?")
+    session.multicast("P1", "chat", "P1: hello everyone")
+    session.multicast("P2", "chat", "P2: hi! (sent concurrently)")
+    session.multicast("P1", "chat", "P1: how is the migration going?")
 
     # Let the simulated network and the time-silence mechanism do their job.
-    cluster.run(30)
+    session.run(30)
 
     print("Delivered sequences (identical at every member):\n")
-    for process in cluster:
-        print(f"  {process.process_id}:")
-        for line in process.delivered_payloads("chat"):
+    for name in ("P1", "P2", "P3"):
+        print(f"  {name}:")
+        for line in session[name].delivered_payloads("chat"):
             print(f"    {line}")
         print()
 
-    orders = {tuple(process.delivered_payloads("chat")) for process in cluster}
-    assert len(orders) == 1, "total order violated -- this should never happen"
+    result = session.result()
+    assert result.passed, "total order violated -- this should never happen"
     print("All members delivered the messages in the same total order.")
-    print(f"Logical clock at P1: {cluster['P1'].clock.value}")
+    print(f"Guarantees checked on the trace: {result.checks.name}")
+    print(f"Logical clock at P1: {session['P1'].clock.value}")
     print(f"Null messages sent by the time-silence mechanism: "
-          f"{len(cluster.trace().events(kind='null_send'))}")
+          f"{len(session.trace().events(kind='null_send'))}")
 
 
 if __name__ == "__main__":

@@ -3,6 +3,12 @@ Protocol" (Ezhilchelvan, Macedo, Shrivastava -- ICDCS 1995).
 
 The package is organised as the paper's system is layered (its Fig. 3):
 
+* :mod:`repro.api` -- the unified session layer: one
+  :class:`~repro.api.Session` lifecycle
+  (``spawn / group / multicast / run / result``) over pluggable
+  :class:`~repro.api.ProtocolStack` implementations -- Newtop in both
+  ordering modes and every §6 baseline -- with trace sinks and streaming
+  verification wired through per-stack check selection.
 * :mod:`repro.net` -- the simulated asynchronous network substrate
   (discrete-event kernel, reliable FIFO transport, partitions, crashes).
 * :mod:`repro.core` -- the Newtop protocol suite itself: logical-clock
@@ -34,15 +40,21 @@ The package is organised as the paper's system is layered (its Fig. 3):
 
 Quick start::
 
-    from repro import NewtopCluster
+    from repro import Session
 
-    cluster = NewtopCluster(["P1", "P2", "P3"], seed=7)
-    cluster.create_group("g1")
-    cluster["P1"].multicast("g1", "hello")
-    cluster.run(20)
-    print(cluster["P3"].delivered_payloads("g1"))
+    session = Session(stack="newtop", seed=7)
+    session.spawn(["P1", "P2", "P3"])
+    session.group("g1")
+    session.multicast("P1", "g1", "hello")
+    session.run(20)
+    print(session["P3"].delivered_payloads("g1"))
+    assert session.result().passed
+
+(change ``stack=`` to ``"fixed_sequencer"``, ``"isis"``, ``"lamport_ack"``
+or ``"psync"`` to run the same workload on a §6 baseline.)
 """
 
+from repro.api import ProtocolStack, Session, SessionResult, available_stacks
 from repro.core import (
     NewtopCluster,
     NewtopConfig,
@@ -57,5 +69,9 @@ __all__ = [
     "NewtopConfig",
     "NewtopProcess",
     "OrderingMode",
+    "ProtocolStack",
+    "Session",
+    "SessionResult",
+    "available_stacks",
     "__version__",
 ]

@@ -25,6 +25,8 @@ from repro.analysis.checkers import (
 )
 from repro.analysis.metrics import LatencySummary, MetricsReport, summarize_latencies
 from repro.analysis.online import (
+    ALL_CHECKS,
+    GroupScopedCheckSuite,
     OnlineCausalOrder,
     OnlineCheckSuite,
     OnlineChecker,
@@ -43,8 +45,10 @@ from repro.analysis.overhead import (
 from repro.analysis.workloads import UniformWorkload, BurstyWorkload, WorkloadRunner
 
 __all__ = [
+    "ALL_CHECKS",
     "BurstyWorkload",
     "CheckResult",
+    "GroupScopedCheckSuite",
     "LatencySummary",
     "MetricsReport",
     "OnlineCausalOrder",

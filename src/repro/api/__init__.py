@@ -1,0 +1,66 @@
+"""repro.api: the unified session layer.
+
+Every protocol in this repository -- Newtop in both ordering modes and
+each §6 baseline -- plugs into one lifecycle behind the
+:class:`~repro.api.stack.ProtocolStack` interface, and one
+:class:`~repro.api.session.Session` front door runs any of them::
+
+    from repro.api import Session
+
+    session = Session(stack="fixed_sequencer", seed=2)
+    session.spawn(["A", "B", "C"])
+    session.group("g")
+    session.multicast("A", "g", "hello")
+    session.run(50)
+    assert session.result().passed   # total order, checked per the stack
+
+Stacks declare capability flags (crash / partition / leave / form_group)
+that the scenario engine maps timed events onto, and the online checks
+their guarantees claim -- so a scenario, trace sink, or benchmark written
+once runs against all of them (see
+:func:`repro.scenarios.run_scenario`'s ``stack=`` argument and benchmark
+E20, ``bench_protocol_comparison.py``).
+"""
+
+from repro.api.session import Session, SessionResult
+from repro.api.stack import (
+    CAP_CRASH,
+    CAP_FORM_GROUP,
+    CAP_LEAVE,
+    CAP_PARTITION,
+    EVENT_CAPABILITIES,
+    ProtocolStack,
+    StackContext,
+    StackError,
+    UnsupportedScenarioEvent,
+    UnsupportedStackOperation,
+)
+from repro.api.stacks import (
+    BaselineStack,
+    COMPARISON_STACKS,
+    NewtopStack,
+    PrimaryPartitionStack,
+    available_stacks,
+    get_stack,
+)
+
+__all__ = [
+    "BaselineStack",
+    "CAP_CRASH",
+    "CAP_FORM_GROUP",
+    "CAP_LEAVE",
+    "CAP_PARTITION",
+    "COMPARISON_STACKS",
+    "EVENT_CAPABILITIES",
+    "NewtopStack",
+    "PrimaryPartitionStack",
+    "ProtocolStack",
+    "Session",
+    "SessionResult",
+    "StackContext",
+    "StackError",
+    "UnsupportedScenarioEvent",
+    "UnsupportedStackOperation",
+    "available_stacks",
+    "get_stack",
+]

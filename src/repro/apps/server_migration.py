@@ -28,8 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.session import Session
 from repro.apps.replicated_store import ReplicatedStore
-from repro.core.cluster import NewtopCluster
 from repro.core.config import NewtopConfig, OrderingMode
 
 
@@ -68,7 +68,7 @@ class MigrationReport:
 
 
 class ServerMigrationScenario:
-    """Scripted Fig.-1 migration on a :class:`NewtopCluster`."""
+    """Scripted Fig.-1 migration on a :class:`repro.api.Session`."""
 
     def __init__(
         self,
@@ -81,7 +81,8 @@ class ServerMigrationScenario:
         self.seed = seed
         self.requests_per_phase = requests_per_phase
         self.mode = mode
-        self.cluster = NewtopCluster(["P1", "P2", "P3"], config=self.config, seed=seed)
+        self.cluster = Session(stack="newtop", config=self.config, seed=seed)
+        self.cluster.spawn(["P1", "P2", "P3"])
         self.stores: Dict[Tuple[str, str], ReplicatedStore] = {}
         self._request_counter = 0
 
@@ -112,7 +113,7 @@ class ServerMigrationScenario:
         """Execute the migration and return the report."""
         cluster = self.cluster
         # Phase 0: the original server group g1 = {P1, P2} serves requests.
-        cluster.create_group("g1", ["P1", "P2"], mode=self.mode)
+        cluster.group("g1", ["P1", "P2"], mode=self.mode)
         store_p1_g1 = self._store("P1", "g1")
         store_p2_g1 = self._store("P2", "g1")
         requests_before = self._issue_requests("g1", "P1", self.requests_per_phase)

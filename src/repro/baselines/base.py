@@ -16,12 +16,14 @@ one simulated network, mirroring :class:`repro.core.cluster.NewtopCluster`.
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Type
 
 from repro.net.latency import LatencyModel
 from repro.net.network import Network, NetworkConfig
 from repro.net.simulator import Simulator
+from repro.net.trace import DELIVER, SEND, TraceRecorder
 from repro.net.transport import Endpoint, Transport, TransportMessage
 
 _baseline_message_counter = itertools.count(1)
@@ -54,12 +56,25 @@ class BaselineProcess:
         sim: Simulator,
         transport: Transport,
         members: Sequence[str],
+        *,
+        group_id: str = "g",
+        channel: str = "baseline",
+        recorder: Optional[TraceRecorder] = None,
     ) -> None:
         self.process_id = process_id
         self.sim = sim
         self.members = tuple(sorted(members))
+        #: Logical group this instance orders messages for.  One transport
+        #: endpoint can host several instances (one per group) as long as
+        #: each uses a distinct ``channel`` -- how :class:`repro.api`'s
+        #: baseline stacks lift these single-group protocols to the
+        #: multi-group scenarios they are compared under.
+        self.group_id = group_id
+        self.channel = channel
+        self.recorder = recorder
+        self.crashed = False
         self.endpoint: Endpoint = transport.endpoint(process_id)
-        self.endpoint.register_handler("baseline", self._on_transport_message)
+        self.endpoint.register_handler(channel, self._on_transport_message)
         self.delivered: List[BaselineDelivery] = []
         self.sent_count = 0
         self.protocol_bytes_sent = 0
@@ -90,22 +105,59 @@ class BaselineProcess:
         self.protocol_bytes_sent += overhead_bytes
         self.payload_bytes_sent += payload_bytes
         self.endpoint.send(
-            dst, payload, channel="baseline", size_bytes=overhead_bytes + payload_bytes
+            dst, payload, channel=self.channel, size_bytes=overhead_bytes + payload_bytes
         )
 
     def _broadcast(self, payload: object, overhead_bytes: int, payload_bytes: int = 0) -> None:
         for member in self._other_members():
             self._send(member, payload, overhead_bytes, payload_bytes)
 
+    def _record_send(self, msg_id: str) -> None:
+        """Record the application-level send.
+
+        Subclasses call this as soon as the message id exists, *before*
+        disseminating or self-delivering, so the trace stream stays
+        causally coherent (a protocol that synchronously delivers its own
+        multicast must not record that delivery ahead of the send).
+        """
+        if self.recorder is not None:
+            self.recorder.record(
+                self.sim.now,
+                SEND,
+                self.process_id,
+                group=self.group_id,
+                message_id=msg_id,
+                sender=self.process_id,
+            )
+
     def _deliver(self, msg_id: str, sender: str, payload: object) -> None:
         self.delivered.append(
             BaselineDelivery(msg_id=msg_id, sender=sender, payload=payload, time=self.sim.now)
         )
+        if self.recorder is not None:
+            self.recorder.record(
+                self.sim.now,
+                DELIVER,
+                self.process_id,
+                group=self.group_id,
+                message_id=msg_id,
+                sender=sender,
+            )
+
+    # ------------------------------------------------------------------
+    # Crash handling
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Crash-stop this instance (and the whole node's endpoint)."""
+        self.crashed = True
+        self.endpoint.crash()
 
     # ------------------------------------------------------------------
     # Transport ingress
     # ------------------------------------------------------------------
     def _on_transport_message(self, tmsg: TransportMessage) -> None:
+        if self.crashed:
+            return
         self.on_message(tmsg.src, tmsg.payload)
 
     def on_message(self, src: str, payload: object) -> None:
@@ -114,7 +166,14 @@ class BaselineProcess:
 
 
 class BaselineCluster:
-    """A group of identical baseline processes on one simulated network."""
+    """A group of identical baseline processes on one simulated network.
+
+    .. deprecated::
+        Construct a :class:`repro.api.Session` with the matching baseline
+        stack instead (``Session(stack="isis", ...)``); it provides the
+        same processes plus trace wiring, streaming verification and the
+        scenario engine's fault events behind one lifecycle.
+    """
 
     def __init__(
         self,
@@ -124,6 +183,12 @@ class BaselineCluster:
         seed: int = 0,
         **process_kwargs,
     ) -> None:
+        warnings.warn(
+            "BaselineCluster is deprecated; use repro.api.Session with the "
+            "matching baseline stack (e.g. Session(stack='isis'))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.sim = Simulator(seed=seed)
         network_config = NetworkConfig()
         if latency_model is not None:

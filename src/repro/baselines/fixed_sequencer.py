@@ -49,8 +49,8 @@ class FixedSequencerProcess(BaselineProcess):
 
     protocol_name = "fixed_sequencer"
 
-    def __init__(self, process_id, sim, transport, members) -> None:
-        super().__init__(process_id, sim, transport, members)
+    def __init__(self, process_id, sim, transport, members, **kwargs) -> None:
+        super().__init__(process_id, sim, transport, members, **kwargs)
         self._sequence_counter = 0
         self._next_expected = 1
         self._out_of_order: Dict[int, _SequencedBroadcast] = {}
@@ -71,6 +71,7 @@ class FixedSequencerProcess(BaselineProcess):
     def multicast(self, payload: object) -> str:
         """Submit to the sequencer (or sequence directly if we are it)."""
         msg_id = next_baseline_message_id(self.process_id)
+        self._record_send(msg_id)
         self.sent_count += 1
         if self.is_sequencer:
             self._sequence_and_broadcast(msg_id, self.process_id, payload)

@@ -56,8 +56,8 @@ class IsisProcess(BaselineProcess):
 
     protocol_name = "isis"
 
-    def __init__(self, process_id, sim, transport, members) -> None:
-        super().__init__(process_id, sim, transport, members)
+    def __init__(self, process_id, sim, transport, members, **kwargs) -> None:
+        super().__init__(process_id, sim, transport, members, **kwargs)
         self._index = {member: position for position, member in enumerate(self.members)}
         self._vector = [0] * len(self.members)
         #: Messages causally delivered but awaiting their ABCAST sequence.
@@ -88,6 +88,7 @@ class IsisProcess(BaselineProcess):
             vector=tuple(self._vector),
             payload=payload,
         )
+        self._record_send(message.msg_id)
         self.sent_count += 1
         self._broadcast(
             message,

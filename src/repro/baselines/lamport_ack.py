@@ -52,8 +52,8 @@ class LamportAckProcess(BaselineProcess):
 
     protocol_name = "lamport_ack"
 
-    def __init__(self, process_id, sim, transport, members) -> None:
-        super().__init__(process_id, sim, transport, members)
+    def __init__(self, process_id, sim, transport, members, **kwargs) -> None:
+        super().__init__(process_id, sim, transport, members, **kwargs)
         self._clock = 0
         #: Undelivered messages by id.
         self._queue: Dict[str, _TimestampedMessage] = {}
@@ -75,6 +75,7 @@ class LamportAckProcess(BaselineProcess):
             timestamp=self._clock,
             payload=payload,
         )
+        self._record_send(message.msg_id)
         self.sent_count += 1
         self._broadcast(
             message,

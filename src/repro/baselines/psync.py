@@ -50,8 +50,8 @@ class PsyncProcess(BaselineProcess):
 
     protocol_name = "psync"
 
-    def __init__(self, process_id, sim, transport, members) -> None:
-        super().__init__(process_id, sim, transport, members)
+    def __init__(self, process_id, sim, transport, members, **kwargs) -> None:
+        super().__init__(process_id, sim, transport, members, **kwargs)
         #: All messages seen (delivered or pending), by id.
         self._known: Dict[str, _ContextMessage] = {}
         #: Messages received but whose predecessors are not all delivered.
@@ -80,6 +80,7 @@ class PsyncProcess(BaselineProcess):
             predecessors=predecessors,
             payload=payload,
         )
+        self._record_send(message.msg_id)
         self.max_predecessor_list = max(self.max_predecessor_list, len(predecessors))
         self.sent_count += 1
         self._broadcast(

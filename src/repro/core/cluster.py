@@ -9,6 +9,7 @@ all as attributes.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.config import NewtopConfig, OrderingMode
@@ -22,7 +23,14 @@ from repro.net.transport import Transport
 
 
 class NewtopCluster:
-    """A set of Newtop processes sharing one simulated network."""
+    """A set of Newtop processes sharing one simulated network.
+
+    .. deprecated::
+        Construct a :class:`repro.api.Session` instead
+        (``Session(stack="newtop", ...)``); it provides the same processes
+        behind the one lifecycle every protocol stack shares, with trace
+        sinks and streaming verification wired through.
+    """
 
     def __init__(
         self,
@@ -32,6 +40,12 @@ class NewtopCluster:
         seed: int = 0,
         recorder: Optional[TraceRecorder] = None,
     ) -> None:
+        warnings.warn(
+            "NewtopCluster is deprecated; use repro.api.Session("
+            "stack='newtop') for the unified session lifecycle",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.sim = Simulator(seed=seed)
         network_config = NetworkConfig()
         if latency_model is not None:

@@ -4,11 +4,14 @@ This package turns config dicts into verified simulation runs: a scenario
 names its processes, its (possibly overlapping, possibly mixed-mode)
 groups, a background workload, and a timed list of fault and membership
 events -- churn, cascading partitions, merge storms, lossy windows,
-sequencer migration.  The engine runs the scenario on a fresh simulated
-cluster, samples the runtime's health while it runs, and evaluates the
-paper's correctness predicates (total order, view agreement, virtual
-synchrony) over the recorded trace, deriving the per-group agreement sets
-from the event list automatically.
+sequencer migration.  The engine runs the scenario on a fresh
+:class:`repro.api.Session` over any protocol stack, samples the runtime's
+health while it runs, and evaluates the correctness predicates the stack's
+guarantees claim (for Newtop: total order, view agreement, virtual
+synchrony), deriving the per-group agreement sets from the event list
+automatically.  Events the stack has no capability for raise
+:class:`repro.api.UnsupportedScenarioEvent` (or are skipped with a
+recorded warning under ``on_unsupported="skip"``).
 
 Quick start::
 
@@ -16,6 +19,12 @@ Quick start::
 
     result = run_scenario(churn_scenario(n_processes=100, n_groups=10))
     assert result.passed, result.checks.violations
+
+    # The same scenario on a §6 baseline, verified per its own guarantees:
+    result = run_scenario(
+        churn_scenario(n_processes=100, n_groups=10),
+        stack="fixed_sequencer", analysis="online", on_unsupported="skip",
+    )
 
 See :mod:`repro.scenarios.spec` for the config-dict format and
 :mod:`repro.scenarios.library` for the ready-made scenario generators.

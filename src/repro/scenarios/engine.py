@@ -1,21 +1,36 @@
-"""The scenario engine: run a declarative spec, verify the guarantees.
+"""The scenario engine: run a declarative spec on any protocol stack.
 
 The engine turns a :class:`~repro.scenarios.spec.ScenarioSpec` into a
-running :class:`~repro.core.cluster.NewtopCluster`: it installs the groups,
-drives the background workload, applies the timed fault/membership events
-(including dynamic ``form_group`` formations), samples the simulator's
-health (heap occupancy) while running, and finally evaluates the paper's
-correctness predicates.
+running :class:`~repro.api.Session`: it installs the groups, drives the
+background workload, applies the timed fault/membership events (including
+dynamic ``form_group`` formations), samples the simulator's health (heap
+occupancy) while running, and finally evaluates the correctness predicates
+the selected stack's guarantees claim.
+
+``stack`` selects the protocol (default ``"newtop"`` -- the paper's
+protocol with each group's spec-declared ordering mode); any registry name
+or :class:`~repro.api.ProtocolStack` instance from :mod:`repro.api` works,
+which is how one churn scenario compares Newtop against the fixed
+sequencer, ISIS, Lamport all-ack and Psync under identical conditions
+(benchmark E20).  Scenario events are mapped onto the stack's declared
+capability flags: an event the stack has no capability for (e.g.
+``form_group`` on a single-group baseline) raises a clear
+:class:`~repro.api.UnsupportedScenarioEvent` up front, or -- with
+``on_unsupported="skip"`` -- is dropped with a recorded warning in
+:attr:`ScenarioResult.skipped_events`, never an ``AttributeError``
+mid-run.
 
 Two analysis modes select how the predicates are evaluated:
 
 ``analysis="offline"`` (default)
-    The full trace is materialized and the post-hoc checkers of
-    :mod:`repro.analysis.checkers` run at the end -- exact but quadratic,
-    right for paper-sized runs and debugging.
+    The full trace is materialized and the stack's post-hoc checkers run
+    at the end (for Newtop, the exact MD/VC checkers of
+    :mod:`repro.analysis.checkers`) -- right for paper-sized runs and
+    debugging.
 ``analysis="online"``
-    The recorder streams into an
-    :class:`~repro.analysis.online.OnlineCheckSuite` and a rolling
+    The recorder streams into the stack's
+    :class:`~repro.analysis.online.OnlineCheckSuite` (scoped per group for
+    single-group baselines) and a rolling
     :class:`~repro.net.trace.MetricsSink`; **no event is retained**
     (``keep_events=False``), so memory stays flat and 1000-process churn
     runs verify in one pass.  Extra sinks (e.g. a
@@ -33,14 +48,17 @@ checked over every process unconditionally, exactly as the paper states it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
-from repro.analysis.checkers import CheckResult, check_all
-from repro.analysis.online import OnlineCheckSuite
-from repro.core.cluster import NewtopCluster
-from repro.core.config import NewtopConfig
+from repro.analysis.checkers import CheckResult
+from repro.api import (
+    EVENT_CAPABILITIES,
+    ProtocolStack,
+    Session,
+    UnsupportedScenarioEvent,
+)
 from repro.net.latency import LatencyModel
-from repro.net.trace import MetricsSink, TraceRecorder, TraceSink
+from repro.net.trace import TraceSink
 from repro.scenarios.spec import (
     FORMATION_WORKLOAD_GRACE,
     ScenarioEvent,
@@ -51,7 +69,7 @@ from repro.scenarios.spec import (
 #: Protocol defaults for scenario runs: fast time-silence and suspicion so
 #: membership events settle within short simulated horizons, with enough
 #: slack over the default latency model that healthy, connected processes
-#: never suspect each other.
+#: never suspect each other.  (Stacks without these knobs ignore them.)
 SCENARIO_PROTOCOL_DEFAULTS: Mapping[str, object] = {
     "omega": 1.5,
     "suspicion_timeout": 6.0,
@@ -95,6 +113,10 @@ class ScenarioResult:
     trace_events_stored: int = 0
     #: Rolling aggregates from the online MetricsSink (online mode only).
     metrics: Optional[Dict[str, object]] = None
+    #: Name of the protocol stack the scenario ran on.
+    stack: str = "newtop"
+    #: Warnings for events dropped under ``on_unsupported="skip"``.
+    skipped_events: List[str] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
@@ -108,7 +130,8 @@ class ScenarioResult:
             if self.delivery_events
             else "n/a"
         )
-        return [
+        rows = [
+            f"stack: {self.stack}",
             f"checks: {'PASS' if self.passed else 'FAIL ' + '; '.join(self.checks.violations[:2])}"
             f" ({self.analysis}; {self.trace_events} trace events, "
             f"{self.trace_events_stored} stored)",
@@ -118,10 +141,15 @@ class ScenarioResult:
             f"heap: peak pending {self.peak_pending_events} "
             f"(live {self.peak_live_pending_events}), compactions {self.compactions}",
         ]
+        if self.skipped_events:
+            rows.append(
+                f"skipped {len(self.skipped_events)} event(s) unsupported by the stack"
+            )
+        return rows
 
 
 class ScenarioEngine:
-    """Runs one scenario spec on a fresh simulated cluster."""
+    """Runs one scenario spec on a fresh session over the chosen stack."""
 
     def __init__(
         self,
@@ -129,38 +157,72 @@ class ScenarioEngine:
         latency_model: Optional[LatencyModel] = None,
         analysis: str = "offline",
         sinks: Optional[List[TraceSink]] = None,
+        stack: Union[str, ProtocolStack] = "newtop",
+        on_unsupported: str = "raise",
     ) -> None:
         if analysis not in ("offline", "online"):
             raise ValueError(f"unknown analysis mode {analysis!r}")
+        if on_unsupported not in ("raise", "skip"):
+            raise ValueError(f"unknown on_unsupported policy {on_unsupported!r}")
         self.spec = spec
         self.analysis = analysis
         self._agreement_sets = self.expected_agreement_sets()
-        extra_sinks = list(sinks or ())
-        self.suite: Optional[OnlineCheckSuite] = None
-        self.metrics_sink: Optional[MetricsSink] = None
-        if analysis == "online":
-            # Streaming verification: checkers and metrics consume events as
-            # they are recorded; the full trace is never materialized.
-            self.suite = OnlineCheckSuite(view_agreement_sets=self._agreement_sets)
-            self.metrics_sink = MetricsSink()
-            recorder = TraceRecorder(
-                sinks=[self.suite, self.metrics_sink, *extra_sinks],
-                keep_events=False,
-            )
-        else:
-            recorder = TraceRecorder(sinks=extra_sinks)
         overrides = dict(SCENARIO_PROTOCOL_DEFAULTS)
         overrides.update(spec.protocol)
-        self.cluster = NewtopCluster(
-            list(spec.processes),
-            config=NewtopConfig(**overrides),
-            latency_model=latency_model,
+        self.session = Session(
+            stack,
+            config=overrides,
             seed=spec.seed,
-            recorder=recorder,
+            latency_model=latency_model,
+            batch_window=spec.batch_window,
+            sinks=sinks,
+            analysis=analysis,
+            view_agreement_sets=self._agreement_sets,
         )
-        self.cluster.network.config.batch_window = spec.batch_window
+        self.stack = self.session.stack
+        self.skipped_events: List[str] = []
+        self._events = self._supported_events(on_unsupported)
+        self.session.spawn(spec.processes)
         self.samples: List[RuntimeSample] = []
         self._installed = False
+
+    @property
+    def cluster(self) -> Session:
+        """The running session (kept under the historical attribute name)."""
+        return self.session
+
+    @property
+    def suite(self):
+        """The streaming check suite (online mode only)."""
+        return self.session.suite
+
+    @property
+    def metrics_sink(self):
+        """The rolling metrics sink (online mode only)."""
+        return self.session.metrics_sink
+
+    # ------------------------------------------------------------------
+    # Capability mapping
+    # ------------------------------------------------------------------
+    def _supported_events(self, on_unsupported: str) -> Tuple[ScenarioEvent, ...]:
+        """Events the stack can apply; the rest raise or are recorded."""
+        supported: List[ScenarioEvent] = []
+        for event in self.spec.events:
+            capability = EVENT_CAPABILITIES.get(event.kind)
+            if capability is None:
+                raise ValueError(f"unknown scenario event kind {event.kind!r}")
+            if self.stack.supports(capability):
+                supported.append(event)
+                continue
+            message = (
+                f"scenario {self.spec.name!r} event {event.kind!r} at "
+                f"t={event.time} needs capability {capability!r} which stack "
+                f"{self.stack.name!r} does not declare"
+            )
+            if on_unsupported == "raise":
+                raise UnsupportedScenarioEvent(message)
+            self.skipped_events.append(message + " -- skipped")
+        return tuple(supported)
 
     # ------------------------------------------------------------------
     # Setup
@@ -170,13 +232,10 @@ class ScenarioEngine:
             return
         self._installed = True
         for group in self.spec.groups:
-            for member in group.members:
-                self.cluster.processes[member].create_group(
-                    group.group_id, group.members, mode=group.mode
-                )
+            self.session.group(group.group_id, group.members, mode=group.mode)
         self._schedule_workload()
-        for event in self.spec.events:
-            self.cluster.sim.schedule_at(
+        for event in self._events:
+            self.session.sim.schedule_at(
                 event.time, self._apply_event, event, label=f"scenario:{event.kind}"
             )
         self._schedule_sample()
@@ -190,8 +249,9 @@ class ScenarioEngine:
         # Dynamically formed groups get the same workload shape, starting a
         # grace period after formation so the §5.3 voting and start-number
         # agreement can complete first (early sends are skipped harmlessly
-        # by the membership guard in :meth:`_send`).
-        for event in self.spec.events:
+        # by the membership guard in :meth:`_send`).  Formations the stack
+        # cannot perform were filtered with their events.
+        for event in self._events:
             if event.kind == "form_group":
                 self._schedule_group_sends(
                     event.group,
@@ -211,7 +271,7 @@ class ScenarioEngine:
         for round_index in range(workload.messages_per_sender):
             send_time = start + round_index * workload.gap
             for sender in senders:
-                self.cluster.sim.schedule_at(
+                self.session.sim.schedule_at(
                     send_time,
                     self._send,
                     sender,
@@ -221,31 +281,29 @@ class ScenarioEngine:
                 )
 
     def _send(self, sender: str, group_id: str, payload: str) -> None:
-        process = self.cluster.processes[sender]
         # Senders drop out of the workload when the scenario crashed or
         # departed them; that is scenario-intended, not an error.
-        if process.crashed or not process.is_member(group_id):
+        if self.stack.is_crashed(sender) or not self.stack.is_member(sender, group_id):
             return
-        process.multicast(group_id, payload)
+        self.session.multicast(sender, group_id, payload)
 
     def _apply_event(self, event: ScenarioEvent) -> None:
-        cluster = self.cluster
+        session = self.session
         if event.kind == "crash":
             for target in event.targets:
-                cluster.processes[target].crash()
+                session.crash(target)
         elif event.kind == "leave":
             for target in event.targets:
-                process = cluster.processes[target]
-                if not process.crashed and process.is_member(event.group):
-                    process.leave_group(event.group)
+                if not self.stack.is_crashed(target) and self.stack.is_member(
+                    target, event.group
+                ):
+                    session.leave(target, event.group)
         elif event.kind == "partition":
-            cluster.injector.partition_now([list(side) for side in event.components])
+            session.partition([list(side) for side in event.components])
         elif event.kind == "heal":
-            cluster.injector.heal_now()
+            session.heal()
         elif event.kind == "isolate":
-            cluster.network.partitions.partition(
-                [[target] for target in event.targets], at_time=cluster.sim.now
-            )
+            session.isolate(event.targets)
         elif event.kind == "form_group":
             # §5.3: the first listed (live) target initiates formation with
             # every live target as an intended member.  Crashed targets are
@@ -254,20 +312,20 @@ class ScenarioEngine:
             members = [
                 target
                 for target in event.targets
-                if not cluster.processes[target].crashed
+                if not self.stack.is_crashed(target)
             ]
             if len(members) >= 2:
-                cluster.processes[members[0]].form_group(event.group, members)
+                session.form_group(event.group, members)
         elif event.kind == "drop":
             src_nodes, dst_nodes = set(event.src), set(event.dst)
 
             def drop_filter(src: str, dst: str, payload: object) -> bool:
                 return not (src in src_nodes and dst in dst_nodes)
 
-            cluster.network.add_filter(drop_filter)
-            cluster.sim.schedule(
+            session.network.add_filter(drop_filter)
+            session.sim.schedule(
                 event.duration,
-                cluster.network.remove_filter,
+                session.network.remove_filter,
                 drop_filter,
                 label="scenario:drop-end",
             )
@@ -275,7 +333,7 @@ class ScenarioEngine:
             raise ValueError(f"unknown scenario event kind {event.kind!r}")
 
     def _schedule_sample(self) -> None:
-        sim = self.cluster.sim
+        sim = self.session.sim
         self.samples.append(
             RuntimeSample(
                 time=sim.now,
@@ -345,51 +403,41 @@ class ScenarioEngine:
     def run(self) -> ScenarioResult:
         """Install, run to the horizon, and evaluate the checkers.
 
-        In offline mode the post-hoc checkers run over the materialized
-        trace; in online mode the verdict is read from the streaming suite
-        that consumed every event as it was recorded.
+        In offline mode the stack's post-hoc checkers run over the
+        materialized trace; in online mode the verdict is read from the
+        streaming suite that consumed every event as it was recorded.
         """
-        agreement_sets = self._agreement_sets
-        recorder = self.cluster.recorder
+        session = self.session
         try:
             self._install()
-            sim = self.cluster.sim
+            sim = session.sim
             sim.run(until=self.spec.horizon())
-            if self.suite is not None:
-                checks = self.suite.result()
-            else:
-                checks = check_all(
-                    self.cluster.trace(), view_agreement_sets=agreement_sets
-                )
+            session_result = session.result()
         finally:
             # Sinks (e.g. a JsonlSink) must be flushed even when the run or
             # a checker raises -- that is exactly when the dump matters.
-            recorder.close()
-        deliveries = sum(
-            len(process.delivered) for process in self.cluster.processes.values()
-        )
-        stats = self.cluster.network.stats
+            session.close()
         return ScenarioResult(
             name=self.spec.name,
-            checks=checks,
-            agreement_sets=agreement_sets,
-            sim_time=sim.now,
-            events_processed=sim.events_processed,
-            deliveries=deliveries,
-            messages_sent=stats.messages_sent,
-            delivery_events=stats.delivery_events,
-            compactions=sim.compactions,
+            checks=session_result.checks,
+            agreement_sets=self._agreement_sets,
+            sim_time=session_result.sim_time,
+            events_processed=session.sim.events_processed,
+            deliveries=session_result.deliveries,
+            messages_sent=session_result.messages_sent,
+            delivery_events=session_result.delivery_events,
+            compactions=session.sim.compactions,
             peak_pending_events=max(sample.pending_events for sample in self.samples),
             peak_live_pending_events=max(
                 sample.live_pending_events for sample in self.samples
             ),
             samples=list(self.samples),
             analysis=self.analysis,
-            trace_events=recorder.events_recorded,
-            trace_events_stored=recorder.stored_events,
-            metrics=(
-                self.metrics_sink.snapshot() if self.metrics_sink is not None else None
-            ),
+            trace_events=session_result.trace_events,
+            trace_events_stored=session_result.trace_events_stored,
+            metrics=session_result.metrics,
+            stack=self.stack.name,
+            skipped_events=list(self.skipped_events),
         )
 
 
@@ -398,9 +446,17 @@ def run_scenario(
     latency_model: Optional[LatencyModel] = None,
     analysis: str = "offline",
     sinks: Optional[List[TraceSink]] = None,
+    stack: Union[str, ProtocolStack] = "newtop",
+    on_unsupported: str = "raise",
 ) -> ScenarioResult:
-    """Parse a scenario config dict, run it, and return the result."""
+    """Parse a scenario config dict, run it on ``stack``, and return the
+    result.  See :class:`ScenarioEngine` for the knobs."""
     spec = config if isinstance(config, ScenarioSpec) else from_config(config)
     return ScenarioEngine(
-        spec, latency_model=latency_model, analysis=analysis, sinks=sinks
+        spec,
+        latency_model=latency_model,
+        analysis=analysis,
+        sinks=sinks,
+        stack=stack,
+        on_unsupported=on_unsupported,
     ).run()
