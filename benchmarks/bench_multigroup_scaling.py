@@ -6,11 +6,14 @@ and the shared clock -- no common sequencer, no coordination between
 sequencers (unlike the propagation-graph approach of [9]).  Measured:
 delivery latency as the number of groups per process grows, and the extra
 hops a propagation-graph construction pays for the same overlap structure.
+
+Runs as a ``repro.api`` session with ``analysis="online"``: the MD/VC
+checkers stream over the trace and the latency statistics come from the
+rolling :class:`~repro.net.trace.MetricsSink` -- no materialized trace.
 """
 
-from common import RESULTS, assert_trace_correct, fmt, make_cluster
+from common import RESULTS, assert_session_correct, fmt, run_session
 
-from repro.analysis.metrics import summarize_latencies
 from repro.baselines import PropagationGraphNetwork
 
 GROUPS_PER_PROCESS = [1, 2, 4, 6]
@@ -19,20 +22,18 @@ GROUPS_PER_PROCESS = [1, 2, 4, 6]
 def run_newtop_overlap(group_count: int, seed: int) -> float:
     """A ring of overlapping two-member groups over four processes."""
     names = ["P1", "P2", "P3", "P4"]
-    cluster = make_cluster(names, seed=seed)
-    groups = []
-    for index in range(group_count):
-        members = [names[index % 4], names[(index + 1) % 4]]
-        group_id = f"g{index}"
-        cluster.create_group(group_id, members)
-        groups.append((group_id, members))
-    for index, (group_id, members) in enumerate(groups):
-        cluster[members[0]].multicast(group_id, f"{group_id}-a")
-        cluster[members[1]].multicast(group_id, f"{group_id}-b")
-        cluster.run(1.0)
-    cluster.run(100)
-    assert_trace_correct(cluster)
-    return summarize_latencies(cluster.trace().delivery_latencies()).mean
+    groups = [
+        (f"g{index}", [names[index % 4], names[(index + 1) % 4]])
+        for index in range(group_count)
+    ]
+    session = run_session(names, groups=groups, seed=seed, analysis="online")
+    for group_id, members in groups:
+        session.multicast(members[0], group_id, f"{group_id}-a")
+        session.multicast(members[1], group_id, f"{group_id}-b")
+        session.run(1.0)
+    session.run(100)
+    result = assert_session_correct(session)
+    return result.metrics["latency"]["mean"]
 
 
 def run_sweep():

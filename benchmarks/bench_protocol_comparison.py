@@ -26,10 +26,9 @@ Run as a script to record the per-stack JSON for CI::
 """
 
 import argparse
-import json
 import time
 
-from common import RESULTS, fmt
+from common import RESULTS, fmt, write_bench_json
 
 from repro.api import COMPARISON_STACKS
 from repro.scenarios import churn_scenario, run_scenario
@@ -138,17 +137,15 @@ def record_results(scale_name, json_path):
     """Run the named scale on all six stacks and write the JSON (CI hook)."""
     start = time.time()
     comparison = run_comparison(scale=SCALES[scale_name])
-    payload = {
-        "benchmark": "protocol_comparison",
-        "scale": scale_name,
-        "config": SCALES[scale_name],
-        "analysis": "online",
-        "wall_seconds": round(time.time() - start, 3),
-        "stacks": comparison,
-    }
-    with open(json_path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-    return payload
+    return write_bench_json(
+        json_path,
+        "protocol_comparison",
+        scale_name,
+        {"analysis": "online", "stacks": comparison},
+        config=SCALES[scale_name],
+        seed=SCALES[scale_name]["seed"],
+        wall_seconds=time.time() - start,
+    )
 
 
 def main():

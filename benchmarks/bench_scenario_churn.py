@@ -29,10 +29,9 @@ full-scale cost.  Run as a script to record results to JSON for CI::
 """
 
 import argparse
-import json
 import time
 
-from common import RESULTS, fmt
+from common import RESULTS, fmt, write_bench_json
 
 from repro.scenarios import churn_scenario, run_scenario
 
@@ -163,28 +162,28 @@ def record_results(scale_name, json_path):
     """Run the named scale online and write a JSON result file (CI hook)."""
     start = time.time()
     result = run_churn(scale=SCALES[scale_name], analysis="online")
-    wall = time.time() - start
-    payload = {
-        "benchmark": "scenario_churn",
-        "scale": scale_name,
-        "config": SCALES[scale_name],
-        "passed": result.passed,
-        "analysis": result.analysis,
-        "wall_seconds": round(wall, 3),
-        "sim_time": result.sim_time,
-        "events_processed": result.events_processed,
-        "messages_sent": result.messages_sent,
-        "deliveries": result.deliveries,
-        "delivery_events": result.delivery_events,
-        "trace_events": result.trace_events,
-        "trace_events_stored": result.trace_events_stored,
-        "peak_pending_events": result.peak_pending_events,
-        "compactions": result.compactions,
-        "metrics": result.metrics,
-    }
-    with open(json_path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-    return payload
+    return write_bench_json(
+        json_path,
+        "scenario_churn",
+        scale_name,
+        {
+            "passed": result.passed,
+            "analysis": result.analysis,
+            "sim_time": result.sim_time,
+            "events_processed": result.events_processed,
+            "messages_sent": result.messages_sent,
+            "deliveries": result.deliveries,
+            "delivery_events": result.delivery_events,
+            "trace_events": result.trace_events,
+            "trace_events_stored": result.trace_events_stored,
+            "peak_pending_events": result.peak_pending_events,
+            "compactions": result.compactions,
+            "metrics": result.metrics,
+        },
+        config=SCALES[scale_name],
+        seed=SCALES[scale_name]["seed"],
+        wall_seconds=time.time() - start,
+    )
 
 
 def main():

@@ -6,81 +6,70 @@ The paper makes no absolute performance claims, so the comparison is about
 network messages per multicast (plus amortised nulls), the asymmetric one
 about n, ISIS adds ordering announcements, and the Lamport all-ack baseline
 pays n*(n-1) acknowledgements.  Every protocol must still deliver the whole
-workload in the same total order (except Psync, which is causal-only).
+workload, verified ONLINE against the stack's claimed ordering guarantees
+(total order for the sequenced stacks, causal for Psync) -- the run is a
+``repro.api`` session end to end, with no materialized trace.
 """
 
-from common import RESULTS, assert_trace_correct, fmt, make_cluster, run_uniform_traffic
-
-from repro.baselines import (
-    BaselineCluster,
-    FixedSequencerProcess,
-    IsisProcess,
-    LamportAckProcess,
+from common import (
+    RESULTS,
+    assert_session_correct,
+    fmt,
+    run_session,
+    run_session_traffic,
 )
+
 from repro.core import OrderingMode
 
 NAMES = [f"P{i}" for i in range(5)]
 MESSAGES_PER_SENDER = 4
 SENDERS = NAMES[:3]
 
+#: (label, stack registry name, per-group mode override)
+PROTOCOLS = [
+    ("Newtop symmetric", "newtop", OrderingMode.SYMMETRIC, 91),
+    ("Newtop asymmetric", "newtop", OrderingMode.ASYMMETRIC, 92),
+    ("ISIS (vector clock)", "isis", None, 93),
+    ("fixed sequencer", "fixed_sequencer", None, 94),
+    ("Lamport all-ack", "lamport_ack", None, 95),
+]
 
-def run_newtop(mode: OrderingMode, seed: int):
-    cluster = make_cluster(NAMES, seed=seed)
-    cluster.create_group("g", NAMES, mode=mode)
-    start = cluster.sim.now
+
+def run_protocol(stack, mode, seed):
+    session = run_session(
+        NAMES, groups=[("g", None, mode)], stack=stack, seed=seed, analysis="online"
+    )
+    start = session.sim.now
     sends = MESSAGES_PER_SENDER * len(SENDERS)
     # Message cost is measured over the active window plus a short settle,
     # so a long idle drain full of time-silence nulls does not get charged
     # to the application multicasts.
-    run_uniform_traffic(cluster, "g", SENDERS, MESSAGES_PER_SENDER, drain=5.0)
-    messages_during_active = cluster.network.stats.messages_sent
-    cluster.run(100)
-    duration = cluster.sim.now - start
-    assert_trace_correct(cluster)
-    deliveries = sum(len(cluster[name].delivered_payloads("g")) for name in NAMES)
+    run_session_traffic(session, "g", SENDERS, MESSAGES_PER_SENDER, drain=5.0)
+    messages_during_active = session.network.stats.messages_sent
+    session.run(115)
+    duration = session.sim.now - start
+    result = assert_session_correct(session)
     return {
-        "deliveries": deliveries,
-        "throughput": deliveries / duration,
+        "deliveries": result.deliveries,
+        "throughput": result.deliveries / duration,
         "network_msgs_per_multicast": messages_during_active / sends,
-        "agreed": len({tuple(cluster[name].delivered_payloads("g")) for name in NAMES}) == 1,
-    }
-
-
-def run_baseline(process_class, seed: int):
-    cluster = BaselineCluster(process_class, NAMES, seed=seed)
-    start = cluster.sim.now
-    for index in range(MESSAGES_PER_SENDER):
-        for sender in SENDERS:
-            cluster[sender].multicast(f"{sender}-{index}")
-        cluster.run(1.0)
-    cluster.run(5.0)
-    messages_during_active = cluster.total_messages_sent()
-    cluster.run(120)
-    duration = cluster.sim.now - start
-    sends = MESSAGES_PER_SENDER * len(SENDERS)
-    deliveries = sum(len(process.delivered) for process in cluster)
-    return {
-        "deliveries": deliveries,
-        "throughput": deliveries / duration,
-        "network_msgs_per_multicast": messages_during_active / sends,
-        "agreed": cluster.delivery_orders_agree(),
+        # The streaming checker suite IS the order-agreement verdict: the
+        # per-stack total-order / causal checkers consumed every delivery.
+        "agreed": result.passed,
     }
 
 
 def run_all():
     return {
-        "Newtop symmetric": run_newtop(OrderingMode.SYMMETRIC, seed=91),
-        "Newtop asymmetric": run_newtop(OrderingMode.ASYMMETRIC, seed=92),
-        "ISIS (vector clock)": run_baseline(IsisProcess, seed=93),
-        "fixed sequencer": run_baseline(FixedSequencerProcess, seed=94),
-        "Lamport all-ack": run_baseline(LamportAckProcess, seed=95),
+        label: run_protocol(stack, mode, seed)
+        for label, stack, mode, seed in PROTOCOLS
     }
 
 
 def test_throughput_comparison(benchmark):
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
     expected = MESSAGES_PER_SENDER * len(SENDERS) * len(NAMES)
-    table = ["protocol            | deliveries | msgs/multicast | order agreed"]
+    table = ["protocol            | deliveries | msgs/multicast | checks (online)"]
     for name, row in results.items():
         table.append(
             f"{name:19s} | {row['deliveries']:10d} | {fmt(row['network_msgs_per_multicast']):>14} | {row['agreed']}"

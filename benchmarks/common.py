@@ -10,9 +10,10 @@ scale) rather than absolute numbers.
 
 from __future__ import annotations
 
+import json
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.analysis import check_all
 from repro.analysis.metrics import build_report
@@ -166,6 +167,40 @@ def newtop_run_metrics(
     flattened = report.as_dict()
     flattened["group_size"] = float(len(names))
     return flattened
+
+
+def write_bench_json(
+    json_path: str,
+    benchmark: str,
+    scale: str,
+    payload: Mapping[str, object],
+    *,
+    config: Optional[Mapping[str, object]] = None,
+    seed: Optional[int] = None,
+    wall_seconds: Optional[float] = None,
+) -> Dict[str, object]:
+    """Write one benchmark's CI result file with the shared schema.
+
+    Every emitter (E19 churn, E20 protocol comparison, E21 workload sweep)
+    goes through here so the artifacts stay diffable across benchmarks:
+    the header always carries ``benchmark``, ``scale``, ``config``,
+    ``seed`` and ``wall_seconds``, and the benchmark-specific rows ride in
+    ``payload``.  Returns the full document that was written.
+    """
+    document: Dict[str, object] = {
+        "benchmark": benchmark,
+        "scale": scale,
+        "config": dict(config) if config is not None else {},
+        "seed": seed,
+        "wall_seconds": round(wall_seconds, 3) if wall_seconds is not None else None,
+    }
+    overlap = set(document) & set(payload)
+    if overlap:
+        raise ValueError(f"payload keys {sorted(overlap)} collide with the header")
+    document.update(payload)
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+    return document
 
 
 def fmt(value: float) -> str:

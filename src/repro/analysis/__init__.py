@@ -10,8 +10,9 @@
 * :mod:`repro.analysis.overhead` -- per-message protocol overhead models
   for Newtop and the §6 comparison protocols (ISIS vector clocks, Psync
   context graphs, piggybacking).
-* :mod:`repro.analysis.workloads` -- deterministic workload generators used
-  by the benchmark harness and the integration tests.
+* :mod:`repro.analysis.workloads` -- legacy closed-loop schedule
+  generators, now thin wrappers over the open-loop :mod:`repro.workloads`
+  profiles (deprecated; new code should use that package directly).
 """
 
 from repro.analysis.checkers import (

@@ -1,28 +1,33 @@
-"""Deterministic workload generators for benchmarks and integration tests.
+"""Legacy closed-loop workload generators (thin wrappers, deprecated).
 
-A workload decides *who multicasts what, where and when*.  Workloads are
-deterministic given their seed so every benchmark row is reproducible, and
-they drive the cluster purely through the public
-:class:`~repro.core.process.NewtopProcess` API.
+This module predates :mod:`repro.workloads`; its generators pre-materialize
+a fixed send schedule, where the new subsystem drives *open-loop* traffic
+reactively inside simulation time (see
+:class:`repro.workloads.client.OpenLoopClient`).  The classes below are
+kept as thin wrappers over the new profiles so existing callers keep
+working, but new code should use :mod:`repro.workloads` directly --
+profiles compose with any protocol stack, the session layer and online
+verification, none of which a materialized schedule can reach.
+
+The :class:`WorkloadRunner` drives a schedule through a cluster-shaped
+object (the deprecated :class:`~repro.core.cluster.NewtopCluster` shim)
+and warns accordingly; nothing in this module imports the shim itself.
 """
 
 from __future__ import annotations
 
-import random
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from repro.core.cluster import NewtopCluster
+from repro.workloads.profiles import (
+    ScheduledSend,
+    WorkloadProfile,
+    get_profile,
+    materialize,
+)
 
-
-@dataclass
-class ScheduledSend:
-    """One application multicast a workload wants to happen."""
-
-    time: float
-    process: str
-    group: str
-    payload: object
+__all__ = ["ScheduledSend", "Workload", "UniformWorkload", "BurstyWorkload", "WorkloadRunner"]
 
 
 class Workload:
@@ -33,12 +38,51 @@ class Workload:
         raise NotImplementedError
 
 
+def _materialize_per_pair(
+    profile_name: str,
+    senders: Sequence[str],
+    groups: Sequence[str],
+    *,
+    start: float,
+    duration: float,
+    seed: int,
+    payload_factory=None,
+    **profile_options,
+) -> List[ScheduledSend]:
+    """One independent profile stream per (sender, group) pair, merged.
+
+    The historical generators ran one schedule per pair -- every listed
+    sender sends at the configured rate in every group, and bursts are
+    per-sender back-to-back runs -- so the wrappers materialize per pair
+    rather than one aggregate stream with random selection.
+    """
+    schedule: List[ScheduledSend] = []
+    for index, (sender, group) in enumerate(
+        (sender, group) for sender in senders for group in groups
+    ):
+        profile = get_profile(profile_name, **profile_options)
+        schedule.extend(
+            materialize(
+                profile,
+                [sender],
+                [group],
+                start=start,
+                duration=duration,
+                seed=seed * 10007 + index,
+                payload_factory=payload_factory,
+            )
+        )
+    schedule.sort(key=lambda send: send.time)
+    return schedule
+
+
 @dataclass
 class UniformWorkload(Workload):
-    """Every listed process multicasts at a steady rate in each group.
+    """Steady-rate sends: a wrapper over the ``"uniform"`` profile.
 
-    ``rate`` is multicasts per time unit per (process, group) pair; sends
-    are jittered deterministically so processes do not send in lock-step.
+    ``rate`` is multicasts per time unit per (process, group) pair, as it
+    always was: each pair gets its own profile stream, so every listed
+    sender sends ~``rate * duration`` times in every group.
     """
 
     senders: Sequence[str]
@@ -50,32 +94,30 @@ class UniformWorkload(Workload):
     payload_factory: Optional[object] = None
 
     def sends(self) -> List[ScheduledSend]:
-        rng = random.Random(self.seed)
-        schedule: List[ScheduledSend] = []
-        interval = 1.0 / self.rate if self.rate > 0 else self.duration
-        for process in self.senders:
-            for group in self.groups:
-                time = self.start_time + rng.uniform(0, interval)
-                sequence = 0
-                while time < self.start_time + self.duration:
-                    payload = (
-                        self.payload_factory(process, group, sequence)
-                        if callable(self.payload_factory)
-                        else f"{process}/{group}/{sequence}"
-                    )
-                    schedule.append(
-                        ScheduledSend(time=time, process=process, group=group, payload=payload)
-                    )
-                    sequence += 1
-                    time += rng.uniform(0.5 * interval, 1.5 * interval)
-        schedule.sort(key=lambda send: send.time)
-        return schedule
+        return _materialize_per_pair(
+            "uniform",
+            self.senders,
+            self.groups,
+            start=self.start_time,
+            duration=self.duration,
+            seed=self.seed,
+            payload_factory=(
+                self.payload_factory if callable(self.payload_factory) else None
+            ),
+            rate=self.rate,
+        )
 
 
 @dataclass
 class BurstyWorkload(Workload):
-    """Senders alternate between idle periods and bursts of back-to-back
-    multicasts -- the regime where time-silence matters most."""
+    """On/off bursts: a wrapper over the ``"bursty"`` profile.
+
+    Each (sender, group) pair runs its own bursty stream -- ``burst_size``
+    back-to-back sends from that one sender, one burst per
+    ``burst_interval``, with ``intra_burst_gap`` pacing the burst -- which
+    preserves the historical per-sender burst shape (the regime where
+    time-silence matters most).
+    """
 
     senders: Sequence[str]
     groups: Sequence[str]
@@ -87,40 +129,37 @@ class BurstyWorkload(Workload):
     seed: int = 0
 
     def sends(self) -> List[ScheduledSend]:
-        rng = random.Random(self.seed)
-        schedule: List[ScheduledSend] = []
-        for process in self.senders:
-            for group in self.groups:
-                time = self.start_time + rng.uniform(0, self.burst_interval)
-                sequence = 0
-                while time < self.start_time + self.duration:
-                    for burst_index in range(self.burst_size):
-                        send_time = time + burst_index * self.intra_burst_gap
-                        if send_time >= self.start_time + self.duration:
-                            break
-                        schedule.append(
-                            ScheduledSend(
-                                time=send_time,
-                                process=process,
-                                group=group,
-                                payload=f"{process}/{group}/burst{sequence}.{burst_index}",
-                            )
-                        )
-                    sequence += 1
-                    time += self.burst_interval * rng.uniform(0.8, 1.2)
-        schedule.sort(key=lambda send: send.time)
-        return schedule
+        rate = self.burst_size / self.burst_interval
+        peak = 1.0 / (self.intra_burst_gap * rate) if self.intra_burst_gap > 0 else 20.0
+        return _materialize_per_pair(
+            "bursty",
+            self.senders,
+            self.groups,
+            start=self.start_time,
+            duration=self.duration,
+            seed=self.seed,
+            rate=rate,
+            burst_size=self.burst_size,
+            peak_factor=max(peak, 1.01),
+        )
 
 
 class WorkloadRunner:
-    """Injects a workload into a cluster and runs the simulation.
+    """Injects a materialized workload into a cluster and runs it.
 
-    The runner schedules each send as a simulator event (so sends interleave
-    with protocol traffic exactly as a real application's would), then runs
-    long enough for the deliveries to drain.
+    Deprecated alongside the cluster constructors it drives: prefer
+    :meth:`repro.api.Session.attach_client` with an
+    :class:`~repro.workloads.client.OpenLoopClient`, which needs no
+    materialized schedule and works on every protocol stack.
     """
 
-    def __init__(self, cluster: NewtopCluster, workload: Workload) -> None:
+    def __init__(self, cluster, workload: Workload) -> None:
+        warnings.warn(
+            "WorkloadRunner is deprecated; attach a repro.workloads."
+            "OpenLoopClient to a repro.api.Session instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.cluster = cluster
         self.workload = workload
         self.sent_ids: List[str] = []

@@ -158,6 +158,19 @@ class Session:
         when the stack refused the send)."""
         return self.stack.multicast(sender, group_id, payload)
 
+    def attach_client(self, client):
+        """Attach a reactive traffic client (e.g. an
+        :class:`~repro.workloads.client.OpenLoopClient`).
+
+        The client is bound to this session -- giving it the simulator for
+        scheduling arrivals and the stack for membership guards -- and
+        registers itself on the trace recorder so it can watch its own
+        deliveries in either analysis mode.  Returns the client; call its
+        ``start()`` to begin offering load.
+        """
+        client.bind(self)
+        return client
+
     # ------------------------------------------------------------------
     # Faults
     # ------------------------------------------------------------------

@@ -349,11 +349,20 @@ class NewtopProcess:
         self._outstanding_unicasts.setdefault(group_id, set()).add(request_id)
 
     def note_unicast_sequenced(self, group_id: str, request_id: str) -> None:
-        """A previously unicast message came back from the sequencer."""
+        """A previously unicast message came back from the sequencer.
+
+        Deliberately does NOT flush deferred sends: this is called from
+        ``engine.on_data`` *before* the sequenced message has entered the
+        delivery queue, and a flush here can re-enter the delivery loop --
+        if the flushed send makes this process sequence a message in
+        another group, the loopback delivery runs under a deliverable
+        bound that already covers the not-yet-enqueued message, inverting
+        the total order (safe2).  The receive path flushes once the
+        message is enqueued and delivery has been attempted.
+        """
         outstanding = self._outstanding_unicasts.get(group_id)
         if outstanding is not None:
             outstanding.discard(request_id)
-        self.flush_deferred_sends()
 
     def outstanding_unicasts(self, group_id: Optional[str] = None) -> int:
         """Number of unsequenced unicasts (introspection for tests)."""

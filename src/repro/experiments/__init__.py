@@ -1,0 +1,45 @@
+"""repro.experiments: declarative load and availability sweeps.
+
+Where :mod:`repro.workloads` generates open-loop traffic and
+:mod:`repro.api` runs one protocol session, this package runs *grids* of
+sessions: a :class:`~repro.experiments.sweep.SweepSpec` crosses protocol
+stacks with workload profiles, offered-load points and fault patterns, and
+:func:`~repro.experiments.sweep.run_sweep` executes every cell online
+(streaming verification, zero stored trace events) and aggregates one
+JSON-shaped :class:`~repro.experiments.sweep.SweepReport`::
+
+    from repro.experiments import SweepSpec, run_sweep
+
+    report = run_sweep(SweepSpec(
+        stacks=("newtop-symmetric", "lamport_ack"),
+        profiles=("poisson", "bursty"),
+        loads=(0.5, 1.0, 2.0),
+        faults=("none", "crash"),
+    ))
+    assert report.passed
+    print(report.curves()["newtop-symmetric"]["poisson"])   # load vs goodput
+
+The report carries per-cell offered/admitted/delivered counts (the
+``offered >= admitted >= delivered_unique`` invariant), goodput, latency
+percentiles, per-phase deltas, availability during the fault window, and
+per-group stall detection -- the raw material of benchmark E21
+(``bench_workload_sweep.py``).
+"""
+
+from repro.experiments.sweep import (
+    FAULT_PATTERNS,
+    SWEEP_PROTOCOL_DEFAULTS,
+    SweepReport,
+    SweepSpec,
+    run_cell,
+    run_sweep,
+)
+
+__all__ = [
+    "FAULT_PATTERNS",
+    "SWEEP_PROTOCOL_DEFAULTS",
+    "SweepReport",
+    "SweepSpec",
+    "run_cell",
+    "run_sweep",
+]

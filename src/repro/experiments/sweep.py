@@ -1,0 +1,393 @@
+"""The sweep runner: grids of (stack x profile x load x fault) sessions.
+
+One :class:`SweepSpec` describes a family of load/availability experiments:
+a shared overlapping-group topology, a set of protocol stacks, a set of
+workload profiles, a set of offered-load points, and a set of fault
+patterns.  :func:`run_sweep` executes every cell of the grid as an
+independent online-verified :class:`~repro.api.Session` driven by
+:class:`~repro.workloads.client.OpenLoopClient` traffic, and aggregates
+the per-cell results into one JSON-shaped :class:`SweepReport` -- the
+offered-load vs goodput/latency curves and availability-under-partition
+tables of benchmark E21.
+
+Every cell runs in three equal *phases* of the client window:
+
+``pre``
+    Fault-free warm-up third; every stack should keep up here.
+``fault``
+    The middle third.  Under ``fault="crash"`` one non-leader member of
+    the first group crash-stops at the phase boundary (one victim total;
+    overlapping groups containing it are affected, the rest act as the
+    fault-free control); under ``fault="partition"`` the process set
+    splits into a majority and a minority component (healed at the phase
+    end).  Under ``fault="none"`` nothing happens.
+``recovery``
+    The final third, long enough past the fault that a membership-capable
+    protocol has excluded the crashed member (the sweep's protocol
+    defaults resolve suspicion well within one third).  *Stall detection*
+    lives here: a group whose client still offers load but sees zero
+    deliveries is stalled -- the all-ack baseline after a crash, never
+    Newtop.
+
+The *availability* of a fault cell is the fraction of offered sends that
+were admitted during the fault phase -- the E16 contrast: a
+primary-partition policy refuses the minority's sends, Newtop admits on
+both sides of the split.
+
+Per-cell consistency invariant (asserted by the test suite over every
+report): ``offered >= admitted >= delivered_unique``, where
+``delivered_unique`` counts distinct admitted messages delivered by at
+least one process.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api import Session
+from repro.scenarios.spec import default_process_names
+from repro.workloads.client import OpenLoopClient, aggregate_counters, percentile
+from repro.workloads.profiles import get_profile
+
+#: Protocol defaults: fast time-silence and suspicion, as in the scenario
+#: engine, so membership events resolve within one sweep phase.
+SWEEP_PROTOCOL_DEFAULTS: Mapping[str, object] = {
+    "omega": 1.5,
+    "suspicion_timeout": 6.0,
+    "suspector_check_interval": 0.5,
+}
+
+#: Fault patterns a sweep cell understands.
+FAULT_PATTERNS = ("none", "crash", "partition")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One grid of load/availability experiments."""
+
+    stacks: Tuple[str, ...] = ("newtop",)
+    profiles: Tuple[str, ...] = ("poisson",)
+    #: Aggregate offered load points (multicast attempts per time unit,
+    #: summed over all groups) -- one curve point per entry.
+    loads: Tuple[float, ...] = (1.0,)
+    faults: Tuple[str, ...] = ("none",)
+    processes: int = 8
+    groups: int = 2
+    group_size: int = 5
+    #: Senders per group (first k members); 0 means every member sends.
+    senders_per_group: int = 0
+    #: Client window; the three phases are equal thirds of it.
+    duration: float = 24.0
+    start: float = 1.0
+    #: Settling time after the client window before checking.
+    drain: float = 30.0
+    seed: int = 7
+    payload_bytes: int = 64
+    #: Overrides merged over :data:`SWEEP_PROTOCOL_DEFAULTS` (e.g.
+    #: ``{"flow_control_window": 4}`` to exercise backpressure).
+    protocol: Mapping[str, object] = field(default_factory=dict)
+    #: Extra options forwarded to :func:`repro.workloads.get_profile`.
+    profile_options: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        unknown = [fault for fault in self.faults if fault not in FAULT_PATTERNS]
+        if unknown:
+            raise ValueError(f"unknown fault patterns {unknown}; expected {FAULT_PATTERNS}")
+        if self.group_size > self.processes:
+            raise ValueError("group_size cannot exceed the process count")
+        if self.duration <= 0 or self.drain < 0:
+            raise ValueError("duration must be > 0 and drain >= 0")
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def topology(self) -> List[Tuple[str, Tuple[str, ...]]]:
+        """Ring-overlapping groups over the process set (same shape as the
+        scenario library's churn generator)."""
+        names = default_process_names(self.processes)
+        offset = max(1, self.processes // self.groups)
+        groups = []
+        for index in range(self.groups):
+            members = tuple(
+                names[(index * offset + position) % self.processes]
+                for position in range(self.group_size)
+            )
+            groups.append((f"g{index:02d}", members))
+        return groups
+
+    def partition_components(self) -> List[List[str]]:
+        """The majority/minority split used by ``fault="partition"``."""
+        names = list(default_process_names(self.processes))
+        minority = max(1, self.processes // 3)
+        return [names[: self.processes - minority], names[self.processes - minority :]]
+
+    def crash_targets(self) -> List[str]:
+        """The single crash victim: the last member of the first group that
+        leads no group.
+
+        A group's first member is its sequencer in the asymmetric / fixed-
+        sequencer stacks, so crashing a non-leader isolates the phenomenon
+        the crash cells measure -- membership-capable protocols exclude the
+        victim and keep delivering, an all-ack protocol can never complete
+        an acknowledgement round again -- from sequencer-failover dynamics
+        (covered by its own benchmarks).
+        """
+        topology = self.topology()
+        leaders = {members[0] for _, members in topology}
+        first_group = topology[0][1]
+        for member in reversed(first_group):
+            if member not in leaders:
+                return [member]
+        return [first_group[-1]]
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-shaped spec summary for the report header."""
+        return {
+            "stacks": list(self.stacks),
+            "profiles": list(self.profiles),
+            "loads": list(self.loads),
+            "faults": list(self.faults),
+            "processes": self.processes,
+            "groups": self.groups,
+            "group_size": self.group_size,
+            "senders_per_group": self.senders_per_group,
+            "duration": self.duration,
+            "drain": self.drain,
+            "seed": self.seed,
+            "payload_bytes": self.payload_bytes,
+            "protocol": dict(self.protocol),
+        }
+
+
+def _merged_latency(clients: Sequence[OpenLoopClient]) -> Dict[str, Optional[float]]:
+    """Exact count/mean/min/max plus percentiles over merged reservoirs."""
+    count = sum(client.latency_count for client in clients)
+    if not count:
+        return {"count": 0, "mean": None, "min": None, "max": None,
+                "p50": None, "p90": None, "p99": None}
+    mean = sum(client.latency_mean * client.latency_count for client in clients) / count
+    merged = sorted(
+        sample for client in clients for sample in client.latency_samples
+    )
+    return {
+        "count": count,
+        "mean": mean,
+        "min": min(client.latency_min for client in clients if client.latency_count),
+        "max": max(client.latency_max for client in clients if client.latency_count),
+        "p50": percentile(merged, 50),
+        "p90": percentile(merged, 90),
+        "p99": percentile(merged, 99),
+    }
+
+
+def _phase_delta(after: Dict[str, int], before: Dict[str, int]) -> Dict[str, int]:
+    return {key: after[key] - before[key] for key in after}
+
+
+def _agreement_sets(
+    spec: SweepSpec,
+    topology: Sequence[Tuple[str, Tuple[str, ...]]],
+    fault: str,
+) -> Dict[str, List[str]]:
+    """Per-group view-agreement sets for the cell's fault pattern.
+
+    Mirrors the scenario engine's *stable core* rule: crashed members drop
+    out, a partition keeps the majority component (processes never
+    separated from it are the only ones required to agree on view
+    sequences).
+    """
+    excluded: set = set()
+    if fault == "crash":
+        excluded = set(spec.crash_targets())
+    elif fault == "partition":
+        majority = set(spec.partition_components()[0])
+        excluded = set(default_process_names(spec.processes)) - majority
+    return {
+        group_id: [member for member in members if member not in excluded]
+        for group_id, members in topology
+    }
+
+
+def run_cell(
+    spec: SweepSpec,
+    stack: str,
+    profile_name: str,
+    load: float,
+    fault: str = "none",
+) -> Dict[str, object]:
+    """Run one (stack, profile, load, fault) cell and return its row."""
+    wall_start = _time.time()
+    topology = spec.topology()
+    agreement_sets = _agreement_sets(spec, topology, fault)
+    overrides = dict(SWEEP_PROTOCOL_DEFAULTS)
+    overrides.update(spec.protocol)
+    session = Session(
+        stack,
+        config=overrides,
+        seed=spec.seed,
+        analysis="online",
+        view_agreement_sets=agreement_sets,
+    )
+    session.spawn(default_process_names(spec.processes))
+    for group_id, members in topology:
+        session.group(group_id, members)
+
+    clients: List[OpenLoopClient] = []
+    per_group_rate = load / max(1, len(topology))
+    for index, (group_id, members) in enumerate(topology):
+        senders = (
+            list(members[: spec.senders_per_group])
+            if spec.senders_per_group > 0
+            else list(members)
+        )
+        profile = get_profile(
+            profile_name, rate=per_group_rate,
+            payload_bytes=spec.payload_bytes, **dict(spec.profile_options),
+        )
+        client = session.attach_client(
+            OpenLoopClient(
+                profile, senders, [group_id],
+                seed=spec.seed * 9973 + index,
+                start=spec.start, duration=spec.duration,
+                name=f"{group_id}-client",
+            )
+        )
+        client.start()
+        clients.append(client)
+
+    # Three equal phases: pre-fault, fault window, recovery.
+    third = spec.duration / 3.0
+    fault_time = spec.start + third
+    fault_end = spec.start + 2 * third
+    window_end = spec.start + spec.duration
+
+    session.sim.run(until=fault_time)
+    at_fault = aggregate_counters(clients)
+    if fault == "crash":
+        for victim in spec.crash_targets():
+            session.crash(victim)
+    elif fault == "partition":
+        session.partition(spec.partition_components())
+    session.sim.run(until=fault_end)
+    at_recovery = aggregate_counters(clients)
+    recovery_marks = {client.name: client.counters() for client in clients}
+    if fault == "partition":
+        session.heal()
+    session.sim.run(until=window_end)
+    at_end = aggregate_counters(clients)
+    session.run(spec.drain)
+    result = session.result()
+
+    totals = aggregate_counters(clients)
+    phases = {
+        "pre": at_fault,
+        "fault": _phase_delta(at_recovery, at_fault),
+        "recovery": _phase_delta(at_end, at_recovery),
+        "drain": _phase_delta(totals, at_end),
+    }
+    fault_phase = phases["fault"]
+    stalled_groups = 0
+    if fault != "none":
+        for client in clients:
+            # Per-group stall: load still offered after the fault settled
+            # (recovery phase onwards), but not a single delivery of this
+            # group's messages anywhere -- including the final drain, so a
+            # slow-but-live protocol is not misread as stalled.
+            delta = _phase_delta(client.counters(), recovery_marks[client.name])
+            stalled_groups += int(delta["offered"] > 0 and delta["delivered_events"] == 0)
+    availability = (
+        round(fault_phase["admitted"] / fault_phase["offered"], 4)
+        if fault != "none" and fault_phase["offered"]
+        else None
+    )
+    row: Dict[str, object] = {
+        "stack": session.stack.name,
+        "profile": profile_name,
+        "offered_load": load,
+        "fault": fault,
+        "passed": result.passed,
+        "violations": (
+            list(result.checks.violations[:3]) if result.checks is not None else []
+        ),
+        **totals,
+        "goodput": round(totals["delivered_unique"] / spec.duration, 4),
+        "delivery_ratio": (
+            round(totals["delivered_unique"] / totals["admitted"], 4)
+            if totals["admitted"] else None
+        ),
+        "latency": _merged_latency(clients),
+        "phases": phases,
+        "availability": availability,
+        "stalled_groups": stalled_groups if fault != "none" else 0,
+        "messages_sent": result.messages_sent,
+        "delivery_events": result.delivery_events,
+        "trace_events": result.trace_events,
+        "trace_events_stored": result.trace_events_stored,
+        "sim_time": round(result.sim_time, 3),
+        "wall_seconds": round(_time.time() - wall_start, 3),
+    }
+    return row
+
+
+@dataclass
+class SweepReport:
+    """Everything one sweep produced, JSON-shaped."""
+
+    spec: Dict[str, object]
+    cells: List[Dict[str, object]]
+
+    def curves(self) -> Dict[str, Dict[str, List[Dict[str, object]]]]:
+        """Per (stack, profile): offered load vs goodput/latency points
+        over the fault-free cells, sorted by load."""
+        table: Dict[str, Dict[str, List[Dict[str, object]]]] = {}
+        for cell in self.cells:
+            if cell["fault"] != "none":
+                continue
+            point = {
+                "offered_load": cell["offered_load"],
+                "goodput": cell["goodput"],
+                "admitted": cell["admitted"],
+                "offered": cell["offered"],
+                "latency_mean": cell["latency"]["mean"],
+                "latency_p50": cell["latency"]["p50"],
+                "latency_p99": cell["latency"]["p99"],
+            }
+            table.setdefault(cell["stack"], {}).setdefault(cell["profile"], []).append(point)
+        for stack_rows in table.values():
+            for points in stack_rows.values():
+                points.sort(key=lambda point: point["offered_load"])
+        return table
+
+    def cell(self, stack: str, profile: str, load: float, fault: str = "none") -> Dict[str, object]:
+        """Look up one cell row (raises ``KeyError`` when absent)."""
+        for row in self.cells:
+            if (row["stack"], row["profile"], row["offered_load"], row["fault"]) == (
+                stack, profile, load, fault,
+            ):
+                return row
+        raise KeyError((stack, profile, load, fault))
+
+    @property
+    def passed(self) -> bool:
+        """Whether every cell's selected checks held."""
+        return all(cell["passed"] for cell in self.cells)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"spec": self.spec, "cells": self.cells, "curves": self.curves()}
+
+
+def run_sweep(spec: SweepSpec, progress=None) -> SweepReport:
+    """Execute every cell of the grid; ``progress`` (if given) is called
+    with each finished row (CLI feedback for long sweeps)."""
+    cells: List[Dict[str, object]] = []
+    for fault in spec.faults:
+        for profile_name in spec.profiles:
+            for load in spec.loads:
+                for stack in spec.stacks:
+                    row = run_cell(spec, stack, profile_name, load, fault)
+                    cells.append(row)
+                    if progress is not None:
+                        progress(row)
+    return SweepReport(spec=spec.describe(), cells=cells)

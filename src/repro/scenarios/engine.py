@@ -65,6 +65,8 @@ from repro.scenarios.spec import (
     ScenarioSpec,
     from_config,
 )
+from repro.workloads.client import OpenLoopClient, aggregate_counters
+from repro.workloads.profiles import get_profile
 
 #: Protocol defaults for scenario runs: fast time-silence and suspicion so
 #: membership events settle within short simulated horizons, with enough
@@ -117,6 +119,9 @@ class ScenarioResult:
     stack: str = "newtop"
     #: Warnings for events dropped under ``on_unsupported="skip"``.
     skipped_events: List[str] = field(default_factory=list)
+    #: Open-loop workload accounting (aggregated over the per-group
+    #: clients) when the spec selected a profile; ``None`` otherwise.
+    workload: Optional[Dict[str, object]] = None
 
     @property
     def passed(self) -> bool:
@@ -184,6 +189,8 @@ class ScenarioEngine:
         self._events = self._supported_events(on_unsupported)
         self.session.spawn(spec.processes)
         self.samples: List[RuntimeSample] = []
+        #: Open-loop clients (one per group) when the spec names a profile.
+        self.clients: List[OpenLoopClient] = []
         self._installed = False
 
     @property
@@ -242,15 +249,30 @@ class ScenarioEngine:
 
     def _schedule_workload(self) -> None:
         workload = self.spec.workload
+        # Open-loop mode (``profile`` set): one reactive client per group,
+        # arrivals scheduled inside sim time -- the crash/membership guards
+        # live in the client itself.  Closed-loop mode keeps the historical
+        # fixed rounds.  Dynamically formed groups get the same workload
+        # shape either way, starting a grace period after formation so the
+        # §5.3 voting and start-number agreement can complete first (early
+        # sends are skipped harmlessly by the membership guards).
+        # Formations the stack cannot perform were filtered with their
+        # events.
+        if workload.profile is not None:
+            for group in self.spec.groups:
+                self._attach_client(group.group_id, group.members, start=workload.start)
+            for event in self._events:
+                if event.kind == "form_group":
+                    self._attach_client(
+                        event.group,
+                        event.targets,
+                        start=event.time + FORMATION_WORKLOAD_GRACE,
+                    )
+            return
         for group in self.spec.groups:
             self._schedule_group_sends(
                 group.group_id, group.members, start=workload.start
             )
-        # Dynamically formed groups get the same workload shape, starting a
-        # grace period after formation so the §5.3 voting and start-number
-        # agreement can complete first (early sends are skipped harmlessly
-        # by the membership guard in :meth:`_send`).  Formations the stack
-        # cannot perform were filtered with their events.
         for event in self._events:
             if event.kind == "form_group":
                 self._schedule_group_sends(
@@ -258,6 +280,33 @@ class ScenarioEngine:
                     event.targets,
                     start=event.time + FORMATION_WORKLOAD_GRACE,
                 )
+
+    def _attach_client(self, group_id: str, members: Sequence[str], start: float) -> None:
+        workload = self.spec.workload
+        senders = (
+            list(members[: workload.senders_per_group])
+            if workload.senders_per_group > 0
+            else list(members)
+        )
+        profile = get_profile(
+            workload.profile,
+            rate=workload.rate,
+            payload_bytes=workload.payload_bytes,
+            **dict(workload.profile_options),
+        )
+        client = self.session.attach_client(
+            OpenLoopClient(
+                profile,
+                senders,
+                [group_id],
+                seed=self.spec.seed * 9973 + len(self.clients),
+                start=start,
+                duration=workload.duration,
+                name=f"{group_id}-client",
+            )
+        )
+        client.start()
+        self.clients.append(client)
 
     def _schedule_group_sends(
         self, group_id: str, members: Sequence[str], start: float
@@ -438,7 +487,19 @@ class ScenarioEngine:
             metrics=session_result.metrics,
             stack=self.stack.name,
             skipped_events=list(self.skipped_events),
+            workload=self._workload_stats(),
         )
+
+    def _workload_stats(self) -> Optional[Dict[str, object]]:
+        if not self.clients:
+            return None
+        stats: Dict[str, object] = dict(aggregate_counters(self.clients))
+        stats["profile"] = self.spec.workload.profile
+        stats["rate_per_group"] = self.spec.workload.rate
+        stats["per_group"] = {
+            client.groups[0]: client.counters() for client in self.clients
+        }
+        return stats
 
 
 def run_scenario(

@@ -83,7 +83,19 @@ class GroupSpec:
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """The background application traffic driven through every group."""
+    """The background application traffic driven through every group.
+
+    Two shapes are supported.  The default is the *closed-loop* rounds
+    that every scenario has always used: ``messages_per_sender`` rounds of
+    sends, ``gap`` apart.  Setting ``profile`` switches the group to
+    *open-loop* traffic: the engine attaches one
+    :class:`~repro.workloads.client.OpenLoopClient` per group, running the
+    named :mod:`repro.workloads` profile (``"poisson"``, ``"bursty"``,
+    ``"zipf"``, ...) at ``rate`` multicast attempts per time unit for
+    ``duration`` time units -- arrivals are simulator events, nothing is
+    pre-materialized, and offered/admitted/delivered accounting lands in
+    :attr:`~repro.scenarios.engine.ScenarioResult.workload`.
+    """
 
     #: Application messages each selected sender multicasts per group.
     messages_per_sender: int = 2
@@ -94,6 +106,17 @@ class WorkloadSpec:
     gap: float = 2.0
     #: Time of the first send round.
     start: float = 1.0
+    #: Open-loop mode: a :mod:`repro.workloads` profile name (``None``
+    #: keeps the closed-loop rounds above).
+    profile: Optional[str] = None
+    #: Open-loop offered load per group (multicast attempts / time unit).
+    rate: float = 1.0
+    #: Open-loop client window (simulated time units).
+    duration: float = 20.0
+    #: Open-loop payload size in bytes.
+    payload_bytes: int = 64
+    #: Extra profile options (``burst_size``, ``exponent``, ...).
+    profile_options: Mapping[str, object] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -129,7 +152,12 @@ class ScenarioSpec:
 
     def horizon(self) -> float:
         """Simulated time at which the scenario is considered settled."""
-        workload_span = max(0, self.workload.messages_per_sender - 1) * self.workload.gap
+        if self.workload.profile is not None:
+            workload_span = self.workload.duration
+        else:
+            workload_span = (
+                max(0, self.workload.messages_per_sender - 1) * self.workload.gap
+            )
         last_send = self.workload.start + workload_span
         last_event = 0.0
         for event in self.events:
@@ -275,6 +303,16 @@ def from_config(config: Mapping) -> ScenarioSpec:
     workload = WorkloadSpec(**config.get("workload", {}))
     if workload.messages_per_sender < 0 or workload.gap <= 0:
         raise ScenarioConfigError("workload needs messages_per_sender >= 0 and gap > 0")
+    if workload.profile is not None:
+        from repro.workloads import available_profiles
+
+        if workload.profile not in available_profiles():
+            raise ScenarioConfigError(
+                f"unknown workload profile {workload.profile!r}; expected one "
+                f"of {available_profiles()}"
+            )
+        if workload.rate <= 0 or workload.duration <= 0:
+            raise ScenarioConfigError("open-loop workload needs rate > 0 and duration > 0")
 
     # Pre-scan dynamically formed groups so later events (e.g. 'leave') can
     # reference them and their ids are checked for clashes up front.

@@ -1,0 +1,154 @@
+"""Arrival processes: *when* the next application multicast happens.
+
+An arrival process is the open-loop half of a workload profile: it emits an
+unbounded stream of inter-arrival gaps (simulated-time units between
+successive application sends), driven by a :class:`random.Random` the
+caller supplies.  Everything is deterministic given that generator's seed,
+so the same profile replayed against two different protocol stacks issues
+byte-identical traffic at identical instants -- the precondition for any
+per-stack load comparison.
+
+Four shapes cover the regimes the paper's evaluation cares about:
+
+* :class:`DeterministicArrivals` -- a metronome at exactly ``rate``
+  arrivals per time unit (the closed-form baseline).
+* :class:`PoissonArrivals` -- memoryless arrivals at mean ``rate``; the
+  classic open-loop traffic model.
+* :class:`BurstyArrivals` -- on/off traffic: ``burst_size`` back-to-back
+  arrivals at ``peak_factor`` times the mean rate, then an idle window
+  sized so the long-run mean is still ``rate``.  This is the regime where
+  time-silence (null traffic) and flow control earn their keep.
+* :class:`RampArrivals` -- a diurnal-style sinusoidal modulation of a
+  Poisson process between ``(1 - amplitude)`` and ``(1 + amplitude)``
+  times the mean rate over one ``period``.
+
+All are frozen dataclasses: a process carries parameters only, never
+generator state, so one profile object can parameterize many concurrent
+clients.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, Type
+
+
+class ArrivalProcess:
+    """Base class: a parameterized stream of inter-arrival gaps."""
+
+    #: Registry name (set by subclasses).
+    kind: str = "arrivals"
+
+    def gaps(self, rng: random.Random) -> Iterator[float]:
+        """An unbounded iterator of inter-arrival gaps drawn from ``rng``."""
+        raise NotImplementedError
+
+    def mean_rate(self) -> float:
+        """Long-run arrivals per time unit (for load bookkeeping)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DeterministicArrivals(ArrivalProcess):
+    """Constant-rate arrivals: one every ``1 / rate`` time units."""
+
+    rate: float = 1.0
+    kind = "deterministic"
+
+    def gaps(self, rng: random.Random) -> Iterator[float]:
+        if self.rate <= 0:
+            raise ValueError("arrival rate must be > 0")
+        gap = 1.0 / self.rate
+        while True:
+            yield gap
+
+    def mean_rate(self) -> float:
+        return self.rate
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals: exponential gaps with mean ``1 / rate``."""
+
+    rate: float = 1.0
+    kind = "poisson"
+
+    def gaps(self, rng: random.Random) -> Iterator[float]:
+        if self.rate <= 0:
+            raise ValueError("arrival rate must be > 0")
+        while True:
+            yield rng.expovariate(self.rate)
+
+    def mean_rate(self) -> float:
+        return self.rate
+
+
+@dataclass(frozen=True)
+class BurstyArrivals(ArrivalProcess):
+    """On/off arrivals: bursts at ``peak_factor * rate``, then silence.
+
+    Each cycle issues ``burst_size`` arrivals separated by
+    ``1 / (peak_factor * rate)`` and then idles long enough that the
+    long-run mean stays ``rate``; the idle window is jittered by +-20% so
+    concurrent bursty senders do not lock-step.
+    """
+
+    rate: float = 1.0
+    burst_size: int = 8
+    peak_factor: float = 10.0
+    kind = "bursty"
+
+    def gaps(self, rng: random.Random) -> Iterator[float]:
+        if self.rate <= 0 or self.burst_size < 1 or self.peak_factor <= 1.0:
+            raise ValueError("bursty arrivals need rate > 0, burst_size >= 1, peak_factor > 1")
+        intra_gap = 1.0 / (self.peak_factor * self.rate)
+        cycle = self.burst_size / self.rate
+        idle = cycle - self.burst_size * intra_gap
+        while True:
+            for _ in range(self.burst_size - 1):
+                yield intra_gap
+            yield intra_gap + idle * rng.uniform(0.8, 1.2)
+
+    def mean_rate(self) -> float:
+        return self.rate
+
+
+@dataclass(frozen=True)
+class RampArrivals(ArrivalProcess):
+    """Diurnal ramp: Poisson arrivals whose instantaneous rate follows
+    ``rate * (1 + amplitude * sin(2 * pi * t / period))``.
+
+    ``t`` is the elapsed time since the generator started, so the ramp
+    phase is a property of the client, not of wall-clock simulated time --
+    two clients started at different instants each see a full cycle.
+    """
+
+    rate: float = 1.0
+    period: float = 40.0
+    amplitude: float = 0.8
+    kind = "ramp"
+
+    def gaps(self, rng: random.Random) -> Iterator[float]:
+        if self.rate <= 0 or self.period <= 0 or not 0 <= self.amplitude < 1:
+            raise ValueError("ramp arrivals need rate > 0, period > 0, 0 <= amplitude < 1")
+        elapsed = 0.0
+        while True:
+            phase = math.sin(2.0 * math.pi * elapsed / self.period)
+            instantaneous = self.rate * (1.0 + self.amplitude * phase)
+            gap = rng.expovariate(max(instantaneous, 1e-9))
+            elapsed += gap
+            yield gap
+
+    def mean_rate(self) -> float:
+        return self.rate
+
+
+#: Registry of arrival-process kinds (used by profile parsing and tests).
+ARRIVAL_KINDS: Dict[str, Type[ArrivalProcess]] = {
+    DeterministicArrivals.kind: DeterministicArrivals,
+    PoissonArrivals.kind: PoissonArrivals,
+    BurstyArrivals.kind: BurstyArrivals,
+    RampArrivals.kind: RampArrivals,
+}

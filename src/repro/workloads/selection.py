@@ -1,0 +1,112 @@
+"""Selection policies: *who* sends the next multicast, and *where*.
+
+A selection policy maps each arrival to a ``(sender, group)`` pair, drawn
+from the client's configured sender and group lists with the caller's
+:class:`random.Random`.  Like the arrival processes, policies are frozen
+parameter-only dataclasses and fully deterministic given the generator
+seed.
+
+* :class:`UniformSelection` -- every sender and every group equally likely
+  (the paper's implicit workload shape).
+* :class:`ZipfSenders` -- sender ``i`` (in list order) weighted
+  ``1 / (i + 1) ** exponent``: a few hot senders dominate, the regime
+  where a fixed sequencer is fine and all-ack protocols drown.
+* :class:`HotGroups` -- a leading fraction of the group list receives a
+  configurable share of the traffic (hot-group skew across overlapping
+  groups).
+"""
+
+from __future__ import annotations
+
+import bisect
+import functools
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Type
+
+
+def _weighted_choice(rng: random.Random, cumulative: Sequence[float]) -> int:
+    """Index drawn proportionally to the gaps of a cumulative weight list."""
+    point = rng.random() * cumulative[-1]
+    return min(bisect.bisect_right(cumulative, point), len(cumulative) - 1)
+
+
+@functools.lru_cache(maxsize=128)
+def _zipf_cumulative(exponent: float, count: int) -> Tuple[float, ...]:
+    """Cumulative Zipf weights for ``count`` items (cached: the weights
+    depend only on these two scalars, and selection runs per arrival)."""
+    return tuple(
+        itertools.accumulate(1.0 / (index + 1) ** exponent for index in range(count))
+    )
+
+
+class SelectionPolicy:
+    """Base class: pick the ``(sender, group)`` for one arrival."""
+
+    kind: str = "selection"
+
+    def choose(
+        self, rng: random.Random, senders: Sequence[str], groups: Sequence[str]
+    ) -> Tuple[str, str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class UniformSelection(SelectionPolicy):
+    """Uniformly random sender and group."""
+
+    kind = "uniform"
+
+    def choose(
+        self, rng: random.Random, senders: Sequence[str], groups: Sequence[str]
+    ) -> Tuple[str, str]:
+        return senders[rng.randrange(len(senders))], groups[rng.randrange(len(groups))]
+
+
+@dataclass(frozen=True)
+class ZipfSenders(SelectionPolicy):
+    """Zipf-skewed senders (list order = popularity order), uniform groups."""
+
+    exponent: float = 1.2
+    kind = "zipf"
+
+    def choose(
+        self, rng: random.Random, senders: Sequence[str], groups: Sequence[str]
+    ) -> Tuple[str, str]:
+        cumulative = _zipf_cumulative(self.exponent, len(senders))
+        sender = senders[_weighted_choice(rng, cumulative)]
+        return sender, groups[rng.randrange(len(groups))]
+
+
+@dataclass(frozen=True)
+class HotGroups(SelectionPolicy):
+    """Uniform senders; the first ``hot_fraction`` of the group list
+    receives ``hot_share`` of the traffic."""
+
+    hot_fraction: float = 0.25
+    hot_share: float = 0.8
+    kind = "hot_group"
+
+    def choose(
+        self, rng: random.Random, senders: Sequence[str], groups: Sequence[str]
+    ) -> Tuple[str, str]:
+        if not 0 < self.hot_fraction <= 1 or not 0 <= self.hot_share <= 1:
+            raise ValueError("hot_fraction must be in (0, 1], hot_share in [0, 1]")
+        sender = senders[rng.randrange(len(senders))]
+        hot_count = max(1, int(round(self.hot_fraction * len(groups))))
+        if hot_count < len(groups) and rng.random() < self.hot_share:
+            pool: Sequence[str] = groups[:hot_count]
+        elif hot_count < len(groups):
+            pool = groups[hot_count:]
+        else:
+            pool = groups
+        return sender, pool[rng.randrange(len(pool))]
+
+
+#: Registry of selection-policy kinds.
+SELECTION_KINDS: Dict[str, Type[SelectionPolicy]] = {
+    UniformSelection.kind: UniformSelection,
+    ZipfSenders.kind: ZipfSenders,
+    HotGroups.kind: HotGroups,
+}

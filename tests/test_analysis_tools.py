@@ -193,7 +193,25 @@ def test_workload_runner_delivers_everything():
     cluster = NewtopCluster(["P1", "P2", "P3"], config=config, seed=5)
     cluster.create_group("g")
     workload = UniformWorkload(senders=["P1", "P2"], groups=["g"], rate=0.3, duration=30, seed=2)
-    runner = WorkloadRunner(cluster, workload)
+    with pytest.warns(DeprecationWarning):
+        runner = WorkloadRunner(cluster, workload)
     runner.run(drain_time=60)
     assert runner.scheduled_count > 0
     assert runner.delivered_everywhere("g")
+
+
+def test_workload_runner_is_a_deprecation_shim():
+    """The legacy module must not import the deprecated cluster shims; its
+    runner warns and points at the repro.workloads replacement."""
+    import repro.analysis.workloads as legacy
+
+    assert "NewtopCluster" not in vars(legacy)
+    cluster = NewtopCluster(
+        ["P1", "P2"], config=NewtopConfig(omega=2.0, suspicion_timeout=10.0), seed=1
+    )
+    cluster.create_group("g")
+    with pytest.warns(DeprecationWarning, match="OpenLoopClient"):
+        WorkloadRunner(
+            cluster,
+            UniformWorkload(senders=["P1"], groups=["g"], rate=0.2, duration=10, seed=1),
+        )

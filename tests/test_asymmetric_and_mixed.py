@@ -193,3 +193,49 @@ def test_atomic_only_group_delivers_without_ordering_gate():
     # Delivered promptly (no need to wait for a full round of traffic).
     for name in ("P2", "P3"):
         assert cluster[name].delivered_payloads("g") == ["fast"]
+
+
+# ----------------------------------------------------------------------
+# Regression: deferred-send flush racing the receive path (PR 4)
+# ----------------------------------------------------------------------
+def test_sequenced_loopback_does_not_invert_cross_group_order():
+    """A process that is a member of one asymmetric group and the sequencer
+    of another must not flush deferred sends while the sequenced copy of
+    its own request is mid-receive (not yet in the delivery queue): the
+    flush loops back through local sequencing and delivery under a bound
+    that already covers the in-flight message, inverting the global total
+    order (safe2 raised DeliveryOrderViolation before the fix).
+
+    The configuration reproduces the original failure: 24 processes, four
+    ring-overlapping asymmetric groups, bursty open-loop traffic.
+    """
+    from repro.api import Session
+    from repro.workloads import OpenLoopClient, get_profile
+
+    names = [f"P{i:03d}" for i in range(1, 25)]
+    groups = [
+        (f"g{i:02d}", [names[(i * 6 + j) % 24] for j in range(8)]) for i in range(4)
+    ]
+    session = Session(
+        "newtop-asymmetric",
+        config=dict(omega=1.5, suspicion_timeout=6.0, suspector_check_interval=0.5),
+        analysis="online",
+        checks=("total_order", "sender_in_view", "causal_prefix"),
+        seed=7,
+    )
+    session.spawn(names)
+    for group_id, members in groups:
+        session.group(group_id, members)
+    for index, (group_id, members) in enumerate(groups):
+        client = session.attach_client(
+            OpenLoopClient(
+                get_profile("bursty", rate=0.5),
+                members,
+                [group_id],
+                seed=7 * 9973 + index,
+                duration=30.0,
+            )
+        )
+        client.start()
+    session.run(70)  # raised DeliveryOrderViolation at ~t=3.9 before the fix
+    assert session.result().passed

@@ -1,0 +1,237 @@
+"""Tier-1 tests for the open-loop workload subsystem (``repro.workloads``).
+
+Determinism is the load-bearing property: a workload profile must issue
+the identical traffic sequence for a given seed regardless of which
+protocol stack consumes it, or per-stack comparisons measure the workload
+instead of the protocol.  Every arrival process and selection policy is
+pinned here, plus the client's offered/admitted/delivered accounting and
+the scenario-spec integration.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.api import Session
+from repro.scenarios import ScenarioConfigError, from_config, run_scenario
+from repro.workloads import (
+    ARRIVAL_KINDS,
+    OpenLoopClient,
+    SELECTION_KINDS,
+    available_profiles,
+    get_profile,
+    materialize,
+)
+
+FAST = dict(omega=1.5, suspicion_timeout=6.0, suspector_check_interval=0.5)
+
+
+# ----------------------------------------------------------------------
+# Arrival processes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", sorted(ARRIVAL_KINDS))
+def test_arrival_process_deterministic_per_seed(kind):
+    process = ARRIVAL_KINDS[kind](rate=2.0)
+    first = list(itertools.islice(process.gaps(random.Random(42)), 50))
+    second = list(itertools.islice(process.gaps(random.Random(42)), 50))
+    assert first == second
+    assert all(gap > 0 for gap in first)
+    assert process.mean_rate() == 2.0
+
+
+@pytest.mark.parametrize("kind", sorted(ARRIVAL_KINDS))
+def test_arrival_process_rate_roughly_holds(kind):
+    process = ARRIVAL_KINDS[kind](rate=2.0)
+    gaps = list(itertools.islice(process.gaps(random.Random(7)), 4000))
+    observed = len(gaps) / sum(gaps)
+    assert 1.5 < observed < 2.7, (kind, observed)
+
+
+def test_bursty_arrivals_actually_burst():
+    process = ARRIVAL_KINDS["bursty"](rate=1.0, burst_size=8, peak_factor=10.0)
+    gaps = list(itertools.islice(process.gaps(random.Random(3)), 64))
+    # Within a burst the gap is 1/(peak*rate); between bursts much larger.
+    assert min(gaps) < 0.2 < max(gaps)
+
+
+# ----------------------------------------------------------------------
+# Selection policies
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", sorted(SELECTION_KINDS))
+def test_selection_policy_deterministic_per_seed(kind):
+    policy = SELECTION_KINDS[kind]()
+    senders = ["S1", "S2", "S3", "S4"]
+    groups = ["g1", "g2", "g3", "g4"]
+    first = [policy.choose(random.Random(5), senders, groups) for _ in range(1)]
+    rng_a, rng_b = random.Random(5), random.Random(5)
+    seq_a = [policy.choose(rng_a, senders, groups) for _ in range(100)]
+    seq_b = [policy.choose(rng_b, senders, groups) for _ in range(100)]
+    assert seq_a == seq_b
+    assert all(s in senders and g in groups for s, g in seq_a)
+
+
+def test_zipf_senders_skew_towards_list_head():
+    policy = SELECTION_KINDS["zipf"](exponent=1.5)
+    rng = random.Random(11)
+    senders = [f"S{i}" for i in range(8)]
+    counts = {}
+    for _ in range(2000):
+        sender, _ = policy.choose(rng, senders, ["g"])
+        counts[sender] = counts.get(sender, 0) + 1
+    assert counts["S0"] > counts.get("S3", 0) > counts.get("S7", 0)
+
+
+def test_hot_groups_skew_towards_hot_fraction():
+    policy = SELECTION_KINDS["hot_group"](hot_fraction=0.25, hot_share=0.8)
+    rng = random.Random(13)
+    groups = [f"g{i}" for i in range(8)]
+    hot = 0
+    for _ in range(2000):
+        _, group = policy.choose(rng, ["S"], groups)
+        hot += group in groups[:2]
+    assert hot > 1200  # ~80% of 2000, far above the uniform 500
+
+
+# ----------------------------------------------------------------------
+# Profiles
+# ----------------------------------------------------------------------
+def test_profile_registry_resolves_and_rejects():
+    assert set(available_profiles()) >= {"uniform", "poisson", "bursty", "ramp",
+                                         "zipf", "hot_group"}
+    profile = get_profile("bursty", rate=3.0, burst_size=4)
+    assert profile.offered_rate() == 3.0
+    assert profile.describe()["arrivals"] == "bursty"
+    with pytest.raises(ValueError):
+        get_profile("nope")
+    with pytest.raises(ValueError):
+        get_profile("poisson", rate=1.0, burst_size=4)  # option of another kind
+
+
+def test_materialize_is_deterministic_and_sorted():
+    profile = get_profile("poisson", rate=2.0)
+    first = materialize(profile, ["A", "B"], ["g"], duration=30, seed=9)
+    second = materialize(profile, ["A", "B"], ["g"], duration=30, seed=9)
+    assert [(s.time, s.process, s.group) for s in first] == [
+        (s.time, s.process, s.group) for s in second
+    ]
+    assert all(a.time <= b.time for a, b in zip(first, first[1:]))
+    assert first != materialize(profile, ["A", "B"], ["g"], duration=30, seed=10)
+
+
+# ----------------------------------------------------------------------
+# The open-loop client across stacks
+# ----------------------------------------------------------------------
+def _run_client(stack, profile_name, seed=21):
+    session = Session(stack, config=FAST, analysis="online", seed=3)
+    session.spawn(["P1", "P2", "P3", "P4"])
+    session.group("g")
+    client = session.attach_client(
+        OpenLoopClient(
+            get_profile(profile_name, rate=2.0),
+            ["P1", "P2", "P3"],
+            ["g"],
+            seed=seed,
+            duration=15.0,
+            record_issues=True,
+        )
+    )
+    client.start()
+    session.run(45)
+    assert session.result().passed
+    return client
+
+
+@pytest.mark.parametrize("profile_name", ["poisson", "bursty", "zipf"])
+def test_client_issues_identical_traffic_on_two_stacks(profile_name):
+    """Same seed => identical (time, sender, group, size) sequence, even on
+    protocol stacks with completely different delivery dynamics."""
+    newtop = _run_client("newtop", profile_name)
+    sequencer = _run_client("fixed_sequencer", profile_name)
+    assert newtop.issued == sequencer.issued
+    assert len(newtop.issued) > 10
+
+
+def test_client_accounting_offered_admitted_delivered():
+    client = _run_client("newtop", "poisson")
+    counters = client.counters()
+    assert counters["offered"] == counters["admitted"] + counters["blocked"]
+    assert counters["offered"] >= counters["admitted"] >= counters["delivered_unique"]
+    assert counters["delivered_unique"] > 0
+    latency = client.latency_summary()
+    assert latency["count"] == counters["delivered_events"]
+    assert latency["min"] <= latency["p50"] <= latency["p99"] <= latency["max"]
+
+
+def test_client_backpressure_records_blocked_sends():
+    """A tight flow-control window under high offered load must show up as
+    offered > admitted -- the backpressure-aware accounting."""
+    session = Session(
+        "newtop", config=dict(FAST, flow_control_window=1), analysis="online", seed=5
+    )
+    session.spawn(["P1", "P2", "P3"])
+    session.group("g")
+    client = session.attach_client(
+        OpenLoopClient(get_profile("poisson", rate=20.0), ["P1"], ["g"],
+                       seed=8, duration=10.0)
+    )
+    client.start()
+    session.run(40)
+    assert client.blocked > 0
+    assert client.offered == client.admitted + client.blocked
+    assert session.result().passed
+
+
+def test_client_requires_bind_before_start():
+    client = OpenLoopClient(get_profile("poisson"), ["P1"], ["g"])
+    with pytest.raises(RuntimeError):
+        client.start()
+
+
+# ----------------------------------------------------------------------
+# Scenario-spec integration
+# ----------------------------------------------------------------------
+def test_scenario_workload_profile_runs_open_loop():
+    config = {
+        "name": "open-loop smoke",
+        "seed": 4,
+        "processes": 6,
+        "groups": [{"id": "g0", "members": [f"P{i:03d}" for i in range(1, 7)]}],
+        "workload": {"profile": "poisson", "rate": 1.5, "duration": 12.0,
+                     "senders_per_group": 3},
+        "events": [{"time": 5.0, "kind": "crash", "targets": ["P006"]}],
+        "drain": 30.0,
+    }
+    result = run_scenario(config, analysis="online")
+    assert result.passed, result.checks.violations
+    assert result.workload is not None
+    assert result.workload["profile"] == "poisson"
+    assert (
+        result.workload["offered"]
+        >= result.workload["admitted"]
+        >= result.workload["delivered_unique"]
+        > 0
+    )
+
+
+def test_scenario_workload_profile_validation():
+    base = {
+        "groups": [{"id": "g", "members": ["A", "B"]}],
+    }
+    with pytest.raises(ScenarioConfigError):
+        from_config({**base, "workload": {"profile": "not-a-profile"}})
+    with pytest.raises(ScenarioConfigError):
+        from_config({**base, "workload": {"profile": "poisson", "rate": 0}})
+    spec = from_config({**base, "workload": {"profile": "poisson", "duration": 25.0}})
+    # The horizon must cover the open-loop window, not the closed-loop rounds.
+    assert spec.horizon() >= 25.0
+
+
+def test_scenario_closed_loop_unchanged_without_profile():
+    spec = from_config({"groups": [{"id": "g", "members": ["A", "B"]}]})
+    assert spec.workload.profile is None
+    result = run_scenario(
+        {"groups": [{"id": "g", "members": ["A", "B"]}], "drain": 20.0}
+    )
+    assert result.passed
+    assert result.workload is None
