@@ -19,18 +19,20 @@ counts flatline, while Newtop's membership service excludes the failed
 process and keeps delivering -- quantified below as per-stack delivered
 counts, latency statistics and message overhead at 200 processes.
 
-Run as a script to record the per-stack JSON for CI::
+Run as a script to record the per-stack JSON for CI (``--parallel N``
+runs the six per-stack sessions on a :mod:`repro.parallel` pool -- they
+are independent simulations, so the rows are identical either way)::
 
     python benchmarks/bench_protocol_comparison.py --scale full \
-        --json BENCH_protocol_comparison.json
+        --json BENCH_protocol_comparison.json --parallel 3
 """
 
-import argparse
 import time
 
-from common import RESULTS, fmt, write_bench_json
+from common import RESULTS, benchmark_arg_parser, fmt, write_bench_json
 
 from repro.api import COMPARISON_STACKS
+from repro.parallel import WorkUnit, run_units
 from repro.scenarios import churn_scenario, run_scenario
 
 #: The headline configuration: >=200 processes across 20 overlapping groups.
@@ -58,41 +60,54 @@ SMOKE_SCALE = dict(
 SCALES = {"smoke": SMOKE_SCALE, "full": FULL_SCALE}
 
 
-def run_comparison(scale=None, stacks=COMPARISON_STACKS):
+def _stack_row(config, stack):
+    """One stack's verified run on the shared scenario (a pool work unit)."""
+    start = time.time()
+    result = run_scenario(
+        config, stack=stack, analysis="online", on_unsupported="skip"
+    )
+    wall = time.time() - start
+    assert result.passed, (stack, result.checks.violations[:3])
+    assert result.trace_events_stored == 0, "online mode materialized a trace"
+    return {
+        "passed": result.passed,
+        "deliveries": result.deliveries,
+        "messages_sent": result.messages_sent,
+        "delivery_events": result.delivery_events,
+        "latency": result.metrics["latency"],
+        "msgs_per_delivery": (
+            round(result.messages_sent / result.deliveries, 2)
+            if result.deliveries
+            else None
+        ),
+        "trace_events": result.trace_events,
+        "skipped_events": len(result.skipped_events),
+        "wall_seconds": round(wall, 3),
+    }
+
+
+def run_comparison(scale=None, stacks=COMPARISON_STACKS, parallel=None):
     """Run the same churn scenario on every stack; returns per-stack rows.
 
     Every run is verified online against the stack's declared checks; a
     verdict failure raises, so the table below only ever shows runs whose
-    claimed guarantees actually held.
+    claimed guarantees actually held.  ``parallel=N`` shards the per-stack
+    sessions across a worker pool; each session's randomness derives from
+    the scenario seed, so the rows match the serial ones exactly.
     """
     overrides = dict(FULL_SCALE if scale is None else scale)
     config = churn_scenario(**overrides)
-    comparison = {}
-    for stack in stacks:
-        start = time.time()
-        result = run_scenario(
-            config, stack=stack, analysis="online", on_unsupported="skip"
-        )
-        wall = time.time() - start
-        assert result.passed, (stack, result.checks.violations[:3])
-        assert result.trace_events_stored == 0, "online mode materialized a trace"
-        latency = result.metrics["latency"]
-        comparison[stack] = {
-            "passed": result.passed,
-            "deliveries": result.deliveries,
-            "messages_sent": result.messages_sent,
-            "delivery_events": result.delivery_events,
-            "latency": latency,
-            "msgs_per_delivery": (
-                round(result.messages_sent / result.deliveries, 2)
-                if result.deliveries
-                else None
-            ),
-            "trace_events": result.trace_events,
-            "skipped_events": len(result.skipped_events),
-            "wall_seconds": round(wall, 3),
-        }
-    return comparison
+    if (parallel or 1) <= 1:
+        return {stack: _stack_row(config, stack) for stack in stacks}
+    units = [
+        WorkUnit(unit_id=stack, fn=_stack_row, args=(config, stack))
+        for stack in stacks
+    ]
+    outcomes = run_units(units, parallel=parallel)
+    failed = [outcome for outcome in outcomes if not outcome.ok]
+    assert not failed, [(outcome.unit_id, outcome.status, outcome.error)
+                        for outcome in failed]
+    return {stack: outcome.value for stack, outcome in zip(stacks, outcomes)}
 
 
 def test_protocol_comparison(benchmark):
@@ -133,15 +148,15 @@ def test_protocol_comparison(benchmark):
     assert newtop["deliveries"] > comparison["lamport_ack"]["deliveries"]
 
 
-def record_results(scale_name, json_path):
+def record_results(scale_name, json_path, parallel=None):
     """Run the named scale on all six stacks and write the JSON (CI hook)."""
     start = time.time()
-    comparison = run_comparison(scale=SCALES[scale_name])
+    comparison = run_comparison(scale=SCALES[scale_name], parallel=parallel)
     return write_bench_json(
         json_path,
         "protocol_comparison",
         scale_name,
-        {"analysis": "online", "stacks": comparison},
+        {"analysis": "online", "parallel": parallel or 1, "stacks": comparison},
         config=SCALES[scale_name],
         seed=SCALES[scale_name]["seed"],
         wall_seconds=time.time() - start,
@@ -149,11 +164,11 @@ def record_results(scale_name, json_path):
 
 
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", choices=sorted(SCALES), default="full")
-    parser.add_argument("--json", default="BENCH_protocol_comparison.json")
+    parser = benchmark_arg_parser(
+        __doc__, "BENCH_protocol_comparison.json", SCALES, default_scale="full"
+    )
     args = parser.parse_args()
-    payload = record_results(args.scale, args.json)
+    payload = record_results(args.scale, args.json, parallel=args.parallel)
     for stack, row in payload["stacks"].items():
         print(
             f"{stack:17s} passed={row['passed']} deliveries={row['deliveries']} "

@@ -28,12 +28,11 @@ full-scale cost.  Run as a script to record results to JSON for CI::
         --json BENCH_scenario_churn.json
 """
 
-import argparse
 import time
 
-from common import RESULTS, fmt, write_bench_json
+from common import RESULTS, benchmark_arg_parser, fmt, write_bench_json
 
-from repro.scenarios import churn_scenario, run_scenario
+from repro.scenarios import churn_scenario, run_scenario, run_scenarios
 
 #: The E18 headline configuration: >=100 processes across >=10 groups.
 FULL_SCALE = dict(
@@ -158,10 +157,21 @@ def test_scenario_churn_1000_online(benchmark):
     assert result.metrics["by_kind"]["deliver"] == result.deliveries
 
 
-def record_results(scale_name, json_path):
-    """Run the named scale online and write a JSON result file (CI hook)."""
+def record_results(scale_name, json_path, parallel=None):
+    """Run the named scale online and write a JSON result file (CI hook).
+
+    This benchmark is a *single* scenario (one simulation cannot shard),
+    so ``--parallel`` routes it through :func:`repro.scenarios.run_scenarios`
+    for the pool's crash isolation but caps at one worker; the sharded
+    scale runs live in E22 (``bench_parallel_scale.py``).
+    """
     start = time.time()
-    result = run_churn(scale=SCALES[scale_name], analysis="online")
+    if (parallel or 1) > 1:
+        config = churn_scenario(batch_window=0.25, **SCALES[scale_name])
+        result = run_scenarios([config], parallel=parallel, analysis="online")[0]
+        assert result.passed, result.checks.violations[:3]
+    else:
+        result = run_churn(scale=SCALES[scale_name], analysis="online")
     return write_bench_json(
         json_path,
         "scenario_churn",
@@ -187,11 +197,9 @@ def record_results(scale_name, json_path):
 
 
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
-    parser.add_argument("--json", default="BENCH_scenario_churn.json")
+    parser = benchmark_arg_parser(__doc__, "BENCH_scenario_churn.json", SCALES)
     args = parser.parse_args()
-    payload = record_results(args.scale, args.json)
+    payload = record_results(args.scale, args.json, parallel=args.parallel)
     print(
         f"{payload['benchmark']} [{payload['scale']}] "
         f"passed={payload['passed']} wall={payload['wall_seconds']}s "

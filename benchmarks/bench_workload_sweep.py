@@ -26,32 +26,34 @@ online with zero stored trace events:
   (availability < 1) where Newtop admits on both sides, the E16 contrast
   under open-loop load.
 
-``newtop-asymmetric`` runs in every load curve but sits out the fault
-cells: open-loop traffic racing an asymmetric view change exposes a
-pre-existing virtual-synchrony gap (the ``lnmn`` cut is in sender-clock
-units, which does not translate to the sequencer numbering that gates
-asymmetric delivery) -- recorded as a ROADMAP open item, not papered over
-with weakened checks.
+``newtop-asymmetric`` runs in every cell, fault cells included: the
+sequenced view-cut marker translates a detection into the sequencer
+numbering that gates asymmetric delivery, closing the virtual-synchrony
+gap that used to force its exclusion (the old ``lnmn`` cut was in
+sender-clock units and marked no position in the sequencer's stream).
 
-Run as a script to record the JSON artifact for CI::
+One extra fault-free cell runs Newtop under the heavy-tailed
+``lognormal`` latency model (``SweepSpec.latency_model``) -- the paper's
+"delays are unbounded and unpredictable" regime -- so the sweep also
+covers a non-uniform network.
+
+Run as a script to record the JSON artifact for CI (``--parallel N``
+shards the cells across a :mod:`repro.parallel` worker pool)::
 
     python benchmarks/bench_workload_sweep.py --scale smoke \
-        --json BENCH_workload_sweep.json
+        --json BENCH_workload_sweep.json --parallel 4
 """
 
-import argparse
 import time
 
-from common import RESULTS, fmt, write_bench_json
+from common import RESULTS, benchmark_arg_parser, fmt, write_bench_json
 
 from repro.api import COMPARISON_STACKS
 from repro.experiments import SweepSpec, run_sweep
 
-#: Stacks whose guarantees hold through the fault cells (see module
-#: docstring for why newtop-asymmetric is excluded there).
-FAULT_STACKS = tuple(
-    stack for stack in COMPARISON_STACKS if stack != "newtop-asymmetric"
-)
+#: Every comparison stack holds its guarantees through the fault cells
+#: (newtop-asymmetric included since the view-cut marker fix).
+FAULT_STACKS = COMPARISON_STACKS
 
 #: Stacks in the partition-availability sweep: the fault-capable
 #: comparison stacks plus the primary-partition policy they contrast with.
@@ -95,7 +97,7 @@ def _spec(scale, **overrides):
     return SweepSpec(**base)
 
 
-def run_load_curves(scale=None, progress=None):
+def run_load_curves(scale=None, progress=None, parallel=None):
     """Offered-load vs goodput/latency curves for all six stacks."""
     scale = SMOKE_SCALE if scale is None else scale
     spec = _spec(
@@ -105,10 +107,10 @@ def run_load_curves(scale=None, progress=None):
         loads=tuple(scale["loads"]),
         faults=("none",),
     )
-    return run_sweep(spec, progress=progress)
+    return run_sweep(spec, progress=progress, parallel=parallel)
 
 
-def run_crash_cells(scale=None, progress=None):
+def run_crash_cells(scale=None, progress=None, parallel=None):
     """Open-loop traffic with a mid-window crash, per stack."""
     scale = SMOKE_SCALE if scale is None else scale
     spec = _spec(
@@ -118,10 +120,10 @@ def run_crash_cells(scale=None, progress=None):
         loads=(scale["fault_load"],),
         faults=("crash",),
     )
-    return run_sweep(spec, progress=progress)
+    return run_sweep(spec, progress=progress, parallel=parallel)
 
 
-def run_availability_cells(scale=None, progress=None):
+def run_availability_cells(scale=None, progress=None, parallel=None):
     """Majority/minority partition during the middle third, per stack."""
     scale = SMOKE_SCALE if scale is None else scale
     spec = _spec(
@@ -131,14 +133,41 @@ def run_availability_cells(scale=None, progress=None):
         loads=(scale["fault_load"],),
         faults=("partition",),
     )
-    return run_sweep(spec, progress=progress)
+    return run_sweep(spec, progress=progress, parallel=parallel)
 
 
-def run_all(scale=None, progress=None):
+def run_latency_model_cells(scale=None, progress=None, parallel=None):
+    """Newtop under the heavy-tailed lognormal latency model.
+
+    One fault-free cell per Newtop ordering mode at the fault load: the
+    ``SweepSpec.latency_model`` knob routed through
+    :func:`repro.net.latency.get_latency_model` -- the network the paper
+    actually postulates (unpredictable delays), as a sweep dimension.
+    """
+    scale = SMOKE_SCALE if scale is None else scale
+    spec = _spec(
+        scale,
+        stacks=("newtop-symmetric", "newtop-asymmetric"),
+        profiles=("poisson",),
+        loads=(scale["fault_load"],),
+        faults=("none",),
+        latency_model="lognormal",
+        # Skewed WAN-like delays, with the suspicion window widened so the
+        # tail stays comfortably below it: a delay beyond the timeout
+        # stalls a FIFO channel long enough to *correctly* trigger
+        # suspicion, which is the fault cells' business, not this one's.
+        latency_options={"median": 0.8, "sigma": 0.35},
+        protocol={"suspicion_timeout": 8.0},
+    )
+    return run_sweep(spec, progress=progress, parallel=parallel)
+
+
+def run_all(scale=None, progress=None, parallel=None):
     return {
-        "curves": run_load_curves(scale, progress),
-        "crash": run_crash_cells(scale, progress),
-        "availability": run_availability_cells(scale, progress),
+        "curves": run_load_curves(scale, progress, parallel),
+        "crash": run_crash_cells(scale, progress, parallel),
+        "availability": run_availability_cells(scale, progress, parallel),
+        "latency_models": run_latency_model_cells(scale, progress, parallel),
     }
 
 
@@ -147,6 +176,8 @@ def _assert_reports(reports, scale):
     curves, crash, availability = (
         reports["curves"], reports["crash"], reports["availability"],
     )
+    assert not any("execution_status" in cell for report in reports.values()
+                   for cell in report.cells), "a sweep cell crashed or timed out"
     # Every cell verified online against the stack's own checks, with no
     # materialized trace, and consistent offered >= admitted >= delivered.
     for report in reports.values():
@@ -167,6 +198,14 @@ def _assert_reports(reports, scale):
     assert lamport["stalled_groups"] > 0, lamport
     assert newtop["stalled_groups"] == 0, newtop
     assert newtop["delivered_unique"] > lamport["delivered_unique"]
+    # The view-cut marker fix: asymmetric Newtop now holds virtual
+    # synchrony through the fault cells it used to be excluded from.
+    asym = crash.cell("newtop-asymmetric", "poisson", scale["fault_load"], "crash")
+    assert asym["passed"] and asym["stalled_groups"] == 0, asym
+    # The latency-model cells ran on the heavy-tailed network and held.
+    for cell in reports["latency_models"].cells:
+        assert cell["passed"], cell
+    assert reports["latency_models"].spec["latency_model"] == "lognormal"
     # E16 under load: the primary-partition policy refuses the minority's
     # sends; Newtop admits on both sides of the split.
     primary = availability.cell(
@@ -216,6 +255,20 @@ def test_workload_sweep(benchmark):
         f"partition cell: primary_partition availability "
         f"{primary['availability']:.0%} vs newtop 100% -- E16 under open-loop load"
     )
+    asym = reports["crash"].cell(
+        "newtop-asymmetric", "poisson", SMOKE_SCALE["fault_load"], "crash"
+    )
+    table.append(
+        f"newtop-asymmetric crash cell: PASS (view-cut marker), "
+        f"{asym['delivered_unique']} delivered, {asym['stalled_groups']} stalled"
+    )
+    lognormal = reports["latency_models"].cell(
+        "newtop-symmetric", "poisson", SMOKE_SCALE["fault_load"], "none"
+    )
+    table.append(
+        f"lognormal latency model: goodput {lognormal['goodput']:.2f}, "
+        f"p99 {fmt(lognormal['latency']['p99'])} -- unpredictable-delay regime"
+    )
     table.append(
         "paper: Newtop's decentralized ordering keeps goodput tracking offered "
         "load through faults where all-ack stalls and primary-partition blocks "
@@ -224,8 +277,8 @@ def test_workload_sweep(benchmark):
     RESULTS.add_table("E21 open-loop load & availability sweep (six stacks)", table)
 
 
-def record_results(scale_name, json_path):
-    """Run all three sweeps and write the shared-schema JSON (CI hook)."""
+def record_results(scale_name, json_path, parallel=None):
+    """Run all four sweeps and write the shared-schema JSON (CI hook)."""
     scale = SCALES[scale_name]
     start = time.time()
     done = []
@@ -235,10 +288,10 @@ def record_results(scale_name, json_path):
         print(
             f"  [{len(done):3d}] {row['stack']:18s} {row['profile']:8s} "
             f"load={row['offered_load']:<4} {row['fault']:9s} "
-            f"passed={row['passed']} goodput={row['goodput']}"
+            f"passed={row['passed']} goodput={row.get('goodput')}"
         )
 
-    reports = run_all(scale, progress)
+    reports = run_all(scale, progress, parallel)
     _assert_reports(reports, scale)
     return write_bench_json(
         json_path,
@@ -246,9 +299,11 @@ def record_results(scale_name, json_path):
         scale_name,
         {
             "analysis": "online",
+            "parallel": parallel or 1,
             "curves": reports["curves"].as_dict(),
             "crash": reports["crash"].as_dict(),
             "availability": reports["availability"].as_dict(),
+            "latency_models": reports["latency_models"].as_dict(),
         },
         config={key: list(value) if isinstance(value, tuple) else value
                 for key, value in scale.items()},
@@ -258,19 +313,16 @@ def record_results(scale_name, json_path):
 
 
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
-    parser.add_argument("--json", default="BENCH_workload_sweep.json")
+    parser = benchmark_arg_parser(__doc__, "BENCH_workload_sweep.json", SCALES)
     args = parser.parse_args()
-    payload = record_results(args.scale, args.json)
-    cells = (
-        len(payload["curves"]["cells"])
-        + len(payload["crash"]["cells"])
-        + len(payload["availability"]["cells"])
+    payload = record_results(args.scale, args.json, parallel=args.parallel)
+    cells = sum(
+        len(payload[key]["cells"])
+        for key in ("curves", "crash", "availability", "latency_models")
     )
     print(
         f"{payload['benchmark']} [{payload['scale']}] {cells} cells "
-        f"wall={payload['wall_seconds']}s -> {args.json}"
+        f"(pool={payload['parallel']}) wall={payload['wall_seconds']}s -> {args.json}"
     )
 
 

@@ -10,6 +10,7 @@ scale) rather than absolute numbers.
 
 from __future__ import annotations
 
+import argparse
 import json
 import warnings
 from dataclasses import dataclass, field
@@ -19,6 +20,7 @@ from repro.analysis import check_all
 from repro.analysis.metrics import build_report
 from repro.api import ProtocolStack, Session, SessionResult
 from repro.core import NewtopCluster, NewtopConfig, OrderingMode
+from repro.experiments import SweepReport
 from repro.net.trace import TraceSink
 
 #: Configuration used by most benchmarks: fast time-silence and suspicion so
@@ -201,6 +203,53 @@ def write_bench_json(
     with open(json_path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
     return document
+
+
+def benchmark_arg_parser(
+    description: str,
+    default_json: str,
+    scales: Mapping[str, object],
+    default_scale: str = "smoke",
+    default_parallel: int = 1,
+) -> argparse.ArgumentParser:
+    """The shared CLI of every script benchmark: ``--scale``, ``--json``
+    and ``--parallel N``.
+
+    ``--parallel`` shards the benchmark's independent work units (sweep
+    cells, scenario shards, per-stack runs) across a
+    :mod:`repro.parallel` worker pool of N processes; ``1`` runs inline.
+    Results are seed-stable either way -- the pool never changes numbers,
+    only wall clock -- and a benchmark whose work is a single unit simply
+    caps the pool at one worker.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--scale", choices=sorted(scales), default=default_scale)
+    parser.add_argument("--json", default=default_json)
+    parser.add_argument(
+        "--parallel", type=int, default=default_parallel, metavar="N",
+        help="worker processes for independent units (default: %(default)s)",
+    )
+    return parser
+
+
+def merge_sweep_reports(*reports: SweepReport) -> SweepReport:
+    """One :class:`~repro.experiments.SweepReport` over several sweeps.
+
+    The merged-report path for sharded execution: split a grid into
+    sub-specs (per fault pattern, per stack family, per worker budget),
+    run each wherever is convenient -- serially, on a pool, on another
+    machine -- and recombine the cells into a single report whose
+    ``curves()``/``cell()``/``passed`` views and JSON form behave exactly
+    as if one sweep had produced everything.  Identical sub-specs collapse
+    into one header; differing ones are kept under ``"merged"``.
+    """
+    if not reports:
+        raise ValueError("nothing to merge")
+    specs = [report.spec for report in reports]
+    spec = specs[0] if all(entry == specs[0] for entry in specs) else {"merged": specs}
+    return SweepReport(
+        spec=spec, cells=[cell for report in reports for cell in report.cells]
+    )
 
 
 def fmt(value: float) -> str:

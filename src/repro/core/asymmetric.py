@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.messages import DataMessage, KIND_NULL, SequencerRequest
+from repro.core.messages import DataMessage, KIND_NULL, KIND_VIEW_CUT, SequencerRequest
 from repro.core.ordering import OrderingEngine
 
 
@@ -138,6 +138,37 @@ class AsymmetricOrdering(OrderingEngine):
         )
         self.endpoint.broadcast_data(message)
         return message
+
+    def emit_view_cut(self, removed: frozenset) -> int:
+        """Sequence the end-of-view marker for a confirmed detection (§5.2
+        extension) and return its number -- the cut at which every surviving
+        member installs the view excluding ``removed``.
+
+        The asymmetric deliverable bound is the last number received *from
+        the sequencer*, so a cut expressed in any other numbering (such as
+        the detection's ``lnmn``, which is in the failed member's terms)
+        cannot tell receivers where the old view's stream ends: a member
+        whose detection lags keeps delivering freshly sequenced messages in
+        the old view while faster peers deliver them in the new one.  The
+        marker closes that gap by placing the view change *into the
+        sequenced stream itself*: everything the sequencer numbered below
+        the marker belongs to the old view at every member, everything
+        above it waits for the install.
+        """
+        process = self.endpoint.process
+        clock = process.clock.tick()
+        message = DataMessage.sequenced(
+            origin=process.process_id,
+            group=self.endpoint.group_id,
+            clock=clock,
+            ldn=self._aggregate_ldn(),
+            payload=tuple(sorted(removed)),
+            kind=KIND_VIEW_CUT,
+            sequencer=process.process_id,
+            origin_request=None,
+        )
+        self.endpoint.broadcast_data(message)
+        return clock
 
     def _aggregate_ldn(self) -> int:
         """Group-wide stability bound: the minimum deliverable bound over

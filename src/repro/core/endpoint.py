@@ -122,6 +122,16 @@ class GroupEndpoint:
 
         self.departed = False
         self.pending_view_changes: List[PendingViewChange] = []
+        #: Asymmetric groups only -- view-cut markers received before the
+        #: local detection confirmed: removed-set -> marker number.  While
+        #: one is held, deliveries above the smallest cut are blocked so
+        #: this member's old-view delivery set cannot outgrow its peers'.
+        self._pending_cut_points: Dict[frozenset, int] = {}
+        #: Asymmetric groups only -- detections confirmed locally before
+        #: the sequencer's marker arrived: (removed-set, lnmn fallback).
+        #: Deliveries keep flowing (the pre-marker stream belongs to the
+        #: old view); the view change is created when the marker lands.
+        self._detections_awaiting_cut: List[Tuple[frozenset, int]] = []
         #: Application payloads deferred by the blocking rules / formation
         #: wait / flow control, in submission order.
         self.deferred_sends: List[object] = []
@@ -171,10 +181,18 @@ class GroupEndpoint:
 
     def next_view_change_threshold(self) -> float:
         """Number above which no message may be delivered before the next
-        pending view change is installed (infinity when none is pending)."""
-        if not self.pending_view_changes:
-            return INFINITY
-        return float(self.pending_view_changes[0].threshold)
+        pending view change is installed (infinity when none is pending).
+
+        A view-cut marker received ahead of the local detection caps
+        delivery the same way: messages the sequencer numbered above the
+        cut belong to the next view and must not be delivered in this one.
+        """
+        threshold = INFINITY
+        if self.pending_view_changes:
+            threshold = float(self.pending_view_changes[0].threshold)
+        if self._pending_cut_points:
+            threshold = min(threshold, float(min(self._pending_cut_points.values())))
+        return threshold
 
     # ------------------------------------------------------------------
     # Send path (called by the owning process)
@@ -326,6 +344,10 @@ class GroupEndpoint:
         # Formation wait (§5.3 step 5).
         if message.is_start_group and message.start_number is not None:
             self._on_start_group(message.sender, message.start_number)
+        # Asymmetric end-of-view marker: the sequencer placed the pending
+        # view change into its stream at this message's number.
+        if message.is_view_cut:
+            self._on_view_cut(message)
         # Only application messages enter the delivery queue; null and
         # start-group messages have done their job already.
         if message.is_application:
@@ -425,11 +447,75 @@ class GroupEndpoint:
                 self.engine.on_own_messages_discarded(own_discards)
             self.stability.handle_member_removed(target, discard_above=lnmn)
         self.engine.on_members_removed(removed, lnmn)
-        self.pending_view_changes.append(
-            PendingViewChange(removed=removed, threshold=lnmn)
-        )
-        self.pending_view_changes.sort(key=lambda change: change.threshold)
+        threshold = self._view_change_threshold(removed, lnmn)
+        if threshold is not None:
+            self.pending_view_changes.append(
+                PendingViewChange(removed=removed, threshold=threshold)
+            )
+            self.pending_view_changes.sort(key=lambda change: change.threshold)
         self.process.attempt_delivery()
+
+    def _view_change_threshold(self, removed: frozenset, lnmn: int) -> Optional[int]:
+        """Where the view excluding ``removed`` cuts the delivery stream.
+
+        Symmetric groups use ``lnmn`` directly: the receive-vector bound
+        stalls at the failed members' last numbers, so ``lnmn`` is a cut
+        every member reaches identically.  Asymmetric groups deliver by
+        *sequencer* numbering, in which ``lnmn`` (the failed member's last
+        number) marks no stream position -- the cut must come from the
+        sequencer itself:
+
+        * the sequencer, on executing the detection, sequences a view-cut
+          marker and installs at the marker's number;
+        * a member whose marker already arrived installs at the recorded
+          cut;
+        * a member that confirmed first parks the detection until the
+          marker lands (``None``: no pending change yet) -- deliveries keep
+          flowing because everything the sequencer numbers before the
+          marker still belongs to the old view;
+        * a detection that removes the sequencer falls back to the ``lnmn``
+          cut (failover: the old stream is truncated at ``lnmn`` and the
+          markers of the failed sequencer will never come, so parked
+          detections are flushed the same way).
+        """
+        if self.mode != OrderingMode.ASYMMETRIC or self.view.sequencer() in removed:
+            for awaiting, fallback in self._detections_awaiting_cut:
+                self.pending_view_changes.append(
+                    PendingViewChange(removed=awaiting, threshold=fallback)
+                )
+            self._detections_awaiting_cut.clear()
+            return lnmn
+        if self.engine.is_sequencer():
+            return self.engine.emit_view_cut(removed)
+        cut = self._pending_cut_points.pop(removed, None)
+        if cut is not None:
+            return cut
+        self._detections_awaiting_cut.append((removed, lnmn))
+        return None
+
+    def _on_view_cut(self, message: DataMessage) -> None:
+        """A sequencer's end-of-view marker arrived (possibly before or
+        after the local detection confirmed -- both orders are handled)."""
+        removed = frozenset(message.payload or ())
+        if not removed or self.process.process_id in removed:
+            # A marker naming ourselves: our exclusion is driven by the
+            # reciprocal-suspicion machinery, not by this cut.
+            return
+        if not removed <= self.view.members:
+            # Stale marker (re-injected by a pending-message replay or a
+            # refutation recovery after its view already installed): the
+            # targets can never be detected again, so recording the cut
+            # would cap delivery forever.
+            return
+        for index, (awaiting, _fallback) in enumerate(self._detections_awaiting_cut):
+            if awaiting == removed:
+                del self._detections_awaiting_cut[index]
+                self.pending_view_changes.append(
+                    PendingViewChange(removed=removed, threshold=message.clock)
+                )
+                self.pending_view_changes.sort(key=lambda change: change.threshold)
+                return
+        self._pending_cut_points[removed] = message.clock
 
     def maybe_install_views(self) -> bool:
         """Install pending view changes whose precondition is met.
@@ -465,6 +551,21 @@ class GroupEndpoint:
         self.engine.on_members_removed(actually_removed, change.threshold)
         self.engine.on_view_installed()
         self.gv.on_view_installed()
+        # Cut bookkeeping whose targets are no longer all in the view can
+        # never match a future detection (excluded processes are not
+        # re-suspected); dropping it keeps a stale marker from capping
+        # delivery forever.
+        members = self.view.members
+        self._pending_cut_points = {
+            targets: cut
+            for targets, cut in self._pending_cut_points.items()
+            if targets <= members
+        }
+        self._detections_awaiting_cut = [
+            (targets, fallback)
+            for targets, fallback in self._detections_awaiting_cut
+            if targets <= members
+        ]
         self._record_view_installed()
         if self.mode == OrderingMode.ASYMMETRIC:
             # Give the remaining members a fresh suspicion window so the

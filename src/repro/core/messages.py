@@ -69,6 +69,10 @@ def estimate_payload_bytes(payload: object) -> int:
 KIND_DATA = "data"
 KIND_NULL = "null"
 KIND_START_GROUP = "start_group"
+#: Sequenced end-of-view marker emitted by an asymmetric group's sequencer
+#: when it executes a failure detection: the marker's ``m.c`` is the exact
+#: stream position at which the surviving members cut over to the new view.
+KIND_VIEW_CUT = "view_cut"
 
 _message_counter = itertools.count(1)
 
@@ -76,6 +80,22 @@ _message_counter = itertools.count(1)
 def _next_message_id(sender: str) -> str:
     """Globally unique message identifier (unique within one interpreter)."""
     return f"{sender}#{next(_message_counter)}"
+
+
+def reset_message_counter() -> None:
+    """Restart message-id numbering from 1.
+
+    Message ids participate in the fixed safe2 tie-break, so two runs of
+    the same experiment are byte-identical only if they start from the
+    same counter state.  The experiment layers (one session per sweep
+    cell / scenario) call this at cell start so a cell's results do not
+    depend on how many cells ran before it in the same interpreter --
+    which is exactly what makes serial and multi-process sweep execution
+    produce identical reports.  Never call it while a session is live:
+    a session's ids must stay unique within its own simulation.
+    """
+    global _message_counter
+    _message_counter = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -113,6 +133,11 @@ class DataMessage:
     def is_start_group(self) -> bool:
         """True for the special first message of a newly formed group."""
         return self.kind == KIND_START_GROUP
+
+    @property
+    def is_view_cut(self) -> bool:
+        """True for the asymmetric end-of-view marker (protocol-internal)."""
+        return self.kind == KIND_VIEW_CUT
 
     @property
     def is_application(self) -> bool:

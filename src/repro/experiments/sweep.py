@@ -47,8 +47,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.api import Session
+from repro.core.messages import reset_message_counter
+from repro.net.latency import get_latency_model
+from repro.parallel import WorkUnit, run_units
 from repro.scenarios.spec import default_process_names
-from repro.workloads.client import OpenLoopClient, aggregate_counters, percentile
+from repro.workloads.client import LatencyReservoir, OpenLoopClient, aggregate_counters
 from repro.workloads.profiles import get_profile
 
 #: Protocol defaults: fast time-silence and suspicion, as in the scenario
@@ -90,6 +93,14 @@ class SweepSpec:
     protocol: Mapping[str, object] = field(default_factory=dict)
     #: Extra options forwarded to :func:`repro.workloads.get_profile`.
     profile_options: Mapping[str, object] = field(default_factory=dict)
+    #: Network latency model by registry name (see
+    #: :data:`repro.net.latency.LATENCY_MODELS`); ``None`` keeps the
+    #: network default.  Named, not an object, so specs stay JSON-shaped
+    #: and picklable across the worker pool.
+    latency_model: Optional[str] = None
+    #: Constructor options for :attr:`latency_model` (e.g.
+    #: ``{"median": 2.0, "sigma": 0.8}`` for ``"lognormal"``).
+    latency_options: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         unknown = [fault for fault in self.faults if fault not in FAULT_PATTERNS]
@@ -99,6 +110,9 @@ class SweepSpec:
             raise ValueError("group_size cannot exceed the process count")
         if self.duration <= 0 or self.drain < 0:
             raise ValueError("duration must be > 0 and drain >= 0")
+        if self.latency_model is not None:
+            # Fail on typos at spec construction, not mid-sweep in a worker.
+            get_latency_model(self.latency_model, **dict(self.latency_options))
 
     # ------------------------------------------------------------------
     # Topology
@@ -158,28 +172,14 @@ class SweepSpec:
             "seed": self.seed,
             "payload_bytes": self.payload_bytes,
             "protocol": dict(self.protocol),
+            "latency_model": self.latency_model,
+            "latency_options": dict(self.latency_options),
         }
 
 
 def _merged_latency(clients: Sequence[OpenLoopClient]) -> Dict[str, Optional[float]]:
     """Exact count/mean/min/max plus percentiles over merged reservoirs."""
-    count = sum(client.latency_count for client in clients)
-    if not count:
-        return {"count": 0, "mean": None, "min": None, "max": None,
-                "p50": None, "p90": None, "p99": None}
-    mean = sum(client.latency_mean * client.latency_count for client in clients) / count
-    merged = sorted(
-        sample for client in clients for sample in client.latency_samples
-    )
-    return {
-        "count": count,
-        "mean": mean,
-        "min": min(client.latency_min for client in clients if client.latency_count),
-        "max": max(client.latency_max for client in clients if client.latency_count),
-        "p50": percentile(merged, 50),
-        "p90": percentile(merged, 90),
-        "p99": percentile(merged, 99),
-    }
+    return LatencyReservoir.merged(client.latency for client in clients).summary()
 
 
 def _phase_delta(after: Dict[str, int], before: Dict[str, int]) -> Dict[str, int]:
@@ -217,8 +217,15 @@ def run_cell(
     load: float,
     fault: str = "none",
 ) -> Dict[str, object]:
-    """Run one (stack, profile, load, fault) cell and return its row."""
+    """Run one (stack, profile, load, fault) cell and return its row.
+
+    Cells are self-contained: every random draw derives from the spec's
+    seeds and the interpreter's message-id counter is reset up front, so a
+    cell's row is identical whether it runs first or five-hundredth, in
+    this process or on a :mod:`repro.parallel` worker.
+    """
     wall_start = _time.time()
+    reset_message_counter()
     topology = spec.topology()
     agreement_sets = _agreement_sets(spec, topology, fault)
     overrides = dict(SWEEP_PROTOCOL_DEFAULTS)
@@ -228,6 +235,11 @@ def run_cell(
         config=overrides,
         seed=spec.seed,
         analysis="online",
+        latency_model=(
+            get_latency_model(spec.latency_model, **dict(spec.latency_options))
+            if spec.latency_model is not None
+            else None
+        ),
         view_agreement_sets=agreement_sets,
     )
     session.spawn(default_process_names(spec.processes))
@@ -343,7 +355,9 @@ class SweepReport:
         over the fault-free cells, sorted by load."""
         table: Dict[str, Dict[str, List[Dict[str, object]]]] = {}
         for cell in self.cells:
-            if cell["fault"] != "none":
+            # Crashed/timed-out cells keep their coordinates but have no
+            # metrics; they surface through `passed`, not the curves.
+            if cell["fault"] != "none" or "goodput" not in cell:
                 continue
             point = {
                 "offered_load": cell["offered_load"],
@@ -378,16 +392,82 @@ class SweepReport:
         return {"spec": self.spec, "cells": self.cells, "curves": self.curves()}
 
 
-def run_sweep(spec: SweepSpec, progress=None) -> SweepReport:
+def _grid(spec: SweepSpec) -> List[Tuple[str, str, float, str]]:
+    """The cell coordinates of the grid, in canonical (report) order."""
+    return [
+        (stack, profile_name, load, fault)
+        for fault in spec.faults
+        for profile_name in spec.profiles
+        for load in spec.loads
+        for stack in spec.stacks
+    ]
+
+
+def _failed_cell_row(
+    spec: SweepSpec, stack: str, profile_name: str, load: float, fault: str,
+    status: str, error: Optional[str],
+) -> Dict[str, object]:
+    """Row for a cell whose worker crashed or timed out: the grid position
+    survives (so lookups work) with ``passed=False`` and the diagnosis."""
+    return {
+        "stack": stack,
+        "profile": profile_name,
+        "offered_load": load,
+        "fault": fault,
+        "passed": False,
+        "violations": [f"cell {status}: {error or 'no diagnostic'}"],
+        "execution_status": status,
+    }
+
+
+def run_sweep(
+    spec: SweepSpec,
+    progress=None,
+    parallel: Optional[int] = None,
+    timeout: Optional[float] = None,
+) -> SweepReport:
     """Execute every cell of the grid; ``progress`` (if given) is called
-    with each finished row (CLI feedback for long sweeps)."""
+    with each finished row (CLI feedback for long sweeps).
+
+    ``parallel=N`` (N > 1) shards the cells across a
+    :class:`repro.parallel.ParallelExecutor` pool of N worker processes.
+    Cell seeds derive from the spec -- never from shard order -- so the
+    report is identical to the serial one apart from ``wall_seconds``
+    (pinned by ``tests/test_parallel.py``); ``progress`` then observes
+    completion order rather than grid order.  ``timeout`` bounds each
+    cell's wall clock (pool mode only); a crashed or timed-out cell
+    yields a ``passed=False`` row with its diagnosis instead of killing
+    the sweep.
+    """
+    grid = _grid(spec)
     cells: List[Dict[str, object]] = []
-    for fault in spec.faults:
-        for profile_name in spec.profiles:
-            for load in spec.loads:
-                for stack in spec.stacks:
-                    row = run_cell(spec, stack, profile_name, load, fault)
-                    cells.append(row)
-                    if progress is not None:
-                        progress(row)
+    if (parallel or 1) <= 1:
+        for stack, profile_name, load, fault in grid:
+            row = run_cell(spec, stack, profile_name, load, fault)
+            cells.append(row)
+            if progress is not None:
+                progress(row)
+        return SweepReport(spec=spec.describe(), cells=cells)
+
+    def on_event(kind, unit_id, worker, payload) -> None:
+        if kind == "done" and progress is not None and payload.ok:
+            progress(payload.value)
+
+    units = [
+        WorkUnit(
+            unit_id=f"{stack}|{profile_name}|{load}|{fault}",
+            fn=run_cell,
+            args=(spec, stack, profile_name, load, fault),
+        )
+        for stack, profile_name, load, fault in grid
+    ]
+    results = run_units(units, parallel=parallel, timeout=timeout, on_event=on_event)
+    for coordinates, result in zip(grid, results):
+        if result.ok:
+            cells.append(result.value)
+        else:
+            row = _failed_cell_row(spec, *coordinates, result.status, result.error)
+            cells.append(row)
+            if progress is not None:
+                progress(row)
     return SweepReport(spec=spec.describe(), cells=cells)

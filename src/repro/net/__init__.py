@@ -27,12 +27,14 @@ deterministic, seedable discrete-event simulation:
 
 from repro.net.failures import FailureSchedule, FaultInjector
 from repro.net.latency import (
+    LATENCY_MODELS,
     ConstantLatency,
     ExponentialLatency,
     JitteredLatency,
     LatencyModel,
     LogNormalLatency,
     UniformLatency,
+    get_latency_model,
 )
 from repro.net.network import Network, NetworkConfig, NetworkStats
 from repro.net.partitions import PartitionManager
@@ -50,6 +52,7 @@ from repro.net.trace import (
 from repro.net.transport import Endpoint, Transport, TransportMessage
 
 __all__ = [
+    "LATENCY_MODELS",
     "ConstantLatency",
     "Endpoint",
     "EventHandle",
@@ -76,4 +79,5 @@ __all__ = [
     "Transport",
     "TransportMessage",
     "UniformLatency",
+    "get_latency_model",
 ]

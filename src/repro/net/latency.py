@@ -30,6 +30,29 @@ class LatencyModel(ABC):
         return type(self).__name__
 
 
+def get_latency_model(model, **options) -> "LatencyModel":
+    """Resolve a latency model from a registry name (or pass one through).
+
+    ``model`` may be a :class:`LatencyModel` instance (returned as-is;
+    ``options`` must then be empty) or one of the registry names below --
+    the JSON-shaped form experiment specs use so a sweep cell can name its
+    network without holding an object::
+
+        get_latency_model("lognormal", median=2.0, sigma=0.8)
+    """
+    if isinstance(model, LatencyModel):
+        if options:
+            raise ValueError("options only apply when resolving by name")
+        return model
+    try:
+        factory = LATENCY_MODELS[model]
+    except KeyError:
+        raise ValueError(
+            f"unknown latency model {model!r}; expected one of {sorted(LATENCY_MODELS)}"
+        ) from None
+    return factory(**options)
+
+
 @dataclass(frozen=True)
 class ConstantLatency(LatencyModel):
     """Every message takes exactly ``delay`` time units.
@@ -142,3 +165,13 @@ class JitteredLatency(LatencyModel):
         return (
             f"jittered(base=[{self.base_low}, {self.base_high}], jitter={self.jitter})"
         )
+
+
+#: Name -> factory registry behind :func:`get_latency_model`.
+LATENCY_MODELS = {
+    "constant": ConstantLatency,
+    "uniform": UniformLatency,
+    "exponential": ExponentialLatency,
+    "lognormal": LogNormalLatency,
+    "jittered": JitteredLatency,
+}

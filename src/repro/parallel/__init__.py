@@ -1,0 +1,53 @@
+"""repro.parallel: multi-core experiment execution with seed-stable sharding.
+
+The simulation itself is single-threaded by design (one event loop, one
+logical clock domain), but experiments are *grids and batches* of
+independent simulations -- sweep cells, scenario shards, benchmark
+repetitions.  This package shards those units across OS processes:
+
+* :class:`~repro.parallel.executor.ParallelExecutor` -- the worker pool:
+  configurable size, per-unit timeouts, crash isolation (a dying worker
+  fails its unit, never the run), streamed progress/log forwarding.
+* :class:`~repro.parallel.executor.WorkUnit` /
+  :class:`~repro.parallel.executor.UnitResult` -- the job and outcome
+  types; :func:`~repro.parallel.executor.run_units` the one-call façade.
+
+Because every unit derives its RNG seeds from its spec (never from shard
+order) and resets per-interpreter counters at unit start, parallel and
+serial executions of the same grid produce **byte-identical metrics** --
+pinned by the equality tests in ``tests/test_parallel.py``.  The
+integration points are ``run_sweep(spec, parallel=N)`` in
+:mod:`repro.experiments`, :func:`repro.scenarios.run_scenarios`, and the
+``--parallel N`` flag every script benchmark accepts::
+
+    from repro.experiments import SweepSpec, run_sweep
+
+    report = run_sweep(SweepSpec(stacks=("newtop", "isis")), parallel=8)
+    assert report.passed
+"""
+
+from repro.parallel.executor import (
+    STATUS_CRASHED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ParallelExecutor,
+    UnitResult,
+    WorkUnit,
+    default_pool_size,
+    run_units,
+    worker_log,
+)
+
+__all__ = [
+    "STATUS_CRASHED",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "ParallelExecutor",
+    "UnitResult",
+    "WorkUnit",
+    "default_pool_size",
+    "run_units",
+    "worker_log",
+]

@@ -34,8 +34,10 @@ from repro.scenarios.engine import (
     SCENARIO_PROTOCOL_DEFAULTS,
     RuntimeSample,
     ScenarioEngine,
+    ScenarioExecutionError,
     ScenarioResult,
     run_scenario,
+    run_scenarios,
 )
 from repro.scenarios.library import (
     cascading_partitions_scenario,
@@ -60,8 +62,10 @@ __all__ = [
     "SCENARIO_PROTOCOL_DEFAULTS",
     "RuntimeSample",
     "ScenarioEngine",
+    "ScenarioExecutionError",
     "ScenarioResult",
     "run_scenario",
+    "run_scenarios",
     "cascading_partitions_scenario",
     "churn_scenario",
     "merge_storm_scenario",

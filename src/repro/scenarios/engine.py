@@ -57,7 +57,9 @@ from repro.api import (
     Session,
     UnsupportedScenarioEvent,
 )
+from repro.core.messages import reset_message_counter
 from repro.net.latency import LatencyModel
+from repro.parallel import WorkUnit, run_units
 from repro.net.trace import TraceSink
 from repro.scenarios.spec import (
     FORMATION_WORKLOAD_GRACE,
@@ -169,6 +171,12 @@ class ScenarioEngine:
             raise ValueError(f"unknown analysis mode {analysis!r}")
         if on_unsupported not in ("raise", "skip"):
             raise ValueError(f"unknown on_unsupported policy {on_unsupported!r}")
+        # One engine = one self-contained simulation; restarting message-id
+        # numbering here makes a scenario's result independent of whatever
+        # ran earlier in this interpreter -- the property that lets
+        # :func:`run_scenarios` shard a batch across worker processes and
+        # still match a serial run byte-for-byte.
+        reset_message_counter()
         self.spec = spec
         self.analysis = analysis
         self._agreement_sets = self.expected_agreement_sets()
@@ -521,3 +529,82 @@ def run_scenario(
         stack=stack,
         on_unsupported=on_unsupported,
     ).run()
+
+
+def run_scenarios(
+    configs: Sequence[Mapping],
+    parallel: Optional[int] = None,
+    timeout: Optional[float] = None,
+    latency_model: Optional[LatencyModel] = None,
+    analysis: str = "offline",
+    stack: Union[str, ProtocolStack] = "newtop",
+    on_unsupported: str = "raise",
+    progress=None,
+) -> List[ScenarioResult]:
+    """Run a batch of scenarios, optionally sharded across worker processes.
+
+    Results come back in input order, one per config.  ``parallel=N``
+    (N > 1) distributes the scenarios over a
+    :class:`repro.parallel.ParallelExecutor` pool -- each scenario is an
+    independent simulation whose randomness derives entirely from its
+    spec's seed, so the batch's results are identical to a serial run
+    (``progress``, if given, then observes completion order).  In pool
+    mode ``stack`` must be a registry name (worker processes build their
+    own instances) and ``timeout`` bounds each scenario's wall clock.
+
+    A scenario whose worker crashes or times out raises
+    :class:`ScenarioExecutionError` naming the casualty -- a batch is a
+    unit of verification, and a silently missing shard would make "all
+    checks passed" a lie.
+    """
+    configs = list(configs)
+    if (parallel or 1) <= 1:
+        results = []
+        for config in configs:
+            result = run_scenario(
+                config,
+                latency_model=latency_model,
+                analysis=analysis,
+                stack=stack,
+                on_unsupported=on_unsupported,
+            )
+            results.append(result)
+            if progress is not None:
+                progress(result)
+        return results
+    if not isinstance(stack, str):
+        raise ValueError(
+            "parallel scenario batches need a stack registry name, not an instance"
+        )
+
+    def on_event(kind, unit_id, worker, payload) -> None:
+        if kind == "done" and progress is not None and payload.ok:
+            progress(payload.value)
+
+    units = [
+        WorkUnit(
+            unit_id=f"scenario-{index:04d}",
+            fn=run_scenario,
+            args=(config,),
+            kwargs={
+                "latency_model": latency_model,
+                "analysis": analysis,
+                "stack": stack,
+                "on_unsupported": on_unsupported,
+            },
+        )
+        for index, config in enumerate(configs)
+    ]
+    outcomes = run_units(units, parallel=parallel, timeout=timeout, on_event=on_event)
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    if failures:
+        worst = failures[0]
+        raise ScenarioExecutionError(
+            f"{len(failures)} of {len(outcomes)} scenarios did not complete; "
+            f"first: {worst.unit_id} {worst.status}: {worst.error}"
+        )
+    return [outcome.value for outcome in outcomes]
+
+
+class ScenarioExecutionError(RuntimeError):
+    """A scenario in a parallel batch crashed, timed out or errored."""

@@ -46,6 +46,7 @@ from repro.workloads.arrivals import (
 from repro.workloads.client import (
     LATENCY_PERCENTILES,
     LATENCY_RESERVOIR,
+    LatencyReservoir,
     OpenLoopClient,
     aggregate_counters,
 )
@@ -83,6 +84,7 @@ __all__ = [
     "UniformSelection",
     "WorkloadProfile",
     "ZipfSenders",
+    "LatencyReservoir",
     "aggregate_counters",
     "available_profiles",
     "get_profile",

@@ -239,3 +239,62 @@ def test_sequenced_loopback_does_not_invert_cross_group_order():
         client.start()
     session.run(70)  # raised DeliveryOrderViolation at ~t=3.9 before the fix
     assert session.result().passed
+
+
+# ----------------------------------------------------------------------
+# Asymmetric view-cut marker (failure detections in sequencer numbering)
+# ----------------------------------------------------------------------
+def test_view_cut_marker_cuts_detection_into_sequencer_numbering():
+    """A crashed non-sequencer member is excluded via the sequencer's
+    sequenced view-cut marker: every survivor installs the same view, no
+    message is delivered in different views at different members, and
+    traffic sequenced after the cut delivers in the new view."""
+    from repro.core.vectors import INFINITY
+
+    cluster = _cluster(["A", "B", "C", "D"], seed=5,
+                       suspicion_timeout=6.0, suspector_check_interval=0.5)
+    cluster.create_group("g", mode=OrderingMode.ASYMMETRIC)
+    cluster["B"].multicast("g", "before")
+    cluster.run(5)
+    cluster["D"].crash()
+    cluster.run(30)  # suspicion -> detection -> marker -> install
+    survivors = [cluster[name] for name in ("A", "B", "C")]
+    for process in survivors:
+        assert process.view("g").sorted_members() == ("A", "B", "C")
+        endpoint = process.endpoint("g")
+        assert endpoint.next_view_change_threshold() == INFINITY
+        assert not endpoint.pending_view_changes
+    cluster["C"].multicast("g", "after")
+    cluster.run(30)
+    views = {
+        record.payload: record.view_index
+        for process in survivors
+        for record in process.delivered
+    }
+    assert views == {"before": 0, "after": 1}
+    assert check_all(cluster.trace(),
+                     view_agreement_sets={"g": ["A", "B", "C"]}).passed
+
+
+def test_stale_view_cut_marker_is_ignored():
+    """A marker whose targets already left the view (replay after the
+    install) must not record a cut -- a stale cut would cap delivery
+    forever (the targets can never be detected again)."""
+    from repro.core.messages import DataMessage, KIND_VIEW_CUT
+    from repro.core.vectors import INFINITY
+
+    cluster = _cluster(["A", "B", "C", "D"], seed=5,
+                       suspicion_timeout=6.0, suspector_check_interval=0.5)
+    cluster.create_group("g", mode=OrderingMode.ASYMMETRIC)
+    cluster.run(5)
+    cluster["D"].crash()
+    cluster.run(30)
+    endpoint = cluster["B"].endpoint("g")
+    assert endpoint.view.sorted_members() == ("A", "B", "C")
+    stale = DataMessage.sequenced(
+        origin="A", group="g", clock=10_000, ldn=0, payload=("D",),
+        kind=KIND_VIEW_CUT, sequencer="A", origin_request=None,
+    )
+    endpoint._on_view_cut(stale)
+    assert not endpoint._pending_cut_points
+    assert endpoint.next_view_change_threshold() == INFINITY

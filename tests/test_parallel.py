@@ -1,0 +1,280 @@
+"""Tier-1 tests for :mod:`repro.parallel` and its integration points.
+
+Three layers are pinned here:
+
+* the executor itself -- pooled results equal inline results, a worker
+  crash fails only its unit, timeouts interrupt runaway units, progress
+  events stream;
+* **seed-stable sharding** -- the ISSUE's determinism contract: a sweep
+  grid and a scenario batch run serially and on a pool must produce
+  identical per-cell metrics and checker verdicts (wall clock is the one
+  legitimately nondeterministic field);
+* the mergeable latency reservoirs that make sharded accounting exact.
+"""
+
+import copy
+import os
+import time
+
+import pytest
+
+from repro.experiments import SweepSpec, run_sweep
+from repro.parallel import (
+    STATUS_CRASHED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ParallelExecutor,
+    WorkUnit,
+    run_units,
+)
+from repro.scenarios import ScenarioExecutionError, churn_scenario, run_scenarios
+from repro.workloads import LatencyReservoir
+
+
+# ----------------------------------------------------------------------
+# Unit functions must be module-level so workers can import them.
+# ----------------------------------------------------------------------
+def _square(value):
+    return value * value
+
+
+def _fail(value):
+    raise RuntimeError(f"unit failed on {value}")
+
+
+def _die(value):
+    os._exit(13)
+
+
+def _sleep(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def _log_and_return(value):
+    from repro.parallel import worker_log
+
+    worker_log(f"working on {value}")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Executor behaviour
+# ----------------------------------------------------------------------
+def test_pooled_results_match_inline_in_unit_order():
+    units = [WorkUnit(f"u{index}", _square, (index,)) for index in range(12)]
+    inline = run_units(units, parallel=1)
+    pooled = run_units(units, parallel=3)
+    assert [result.value for result in inline] == [index * index for index in range(12)]
+    assert [result.value for result in pooled] == [result.value for result in inline]
+    assert all(result.status == STATUS_OK for result in pooled)
+
+
+def test_worker_crash_fails_only_its_unit():
+    units = [
+        WorkUnit("ok-1", _square, (3,)),
+        WorkUnit("boom", _die, (0,)),
+        WorkUnit("ok-2", _square, (4,)),
+        WorkUnit("ok-3", _square, (5,)),
+    ]
+    results = ParallelExecutor(pool_size=2).run(units)
+    by_id = {result.unit_id: result for result in results}
+    assert by_id["boom"].status == STATUS_CRASHED
+    assert "exited with code 13" in by_id["boom"].error
+    assert [by_id[uid].value for uid in ("ok-1", "ok-2", "ok-3")] == [9, 16, 25]
+
+
+def test_unit_error_is_reported_with_traceback():
+    results = ParallelExecutor(pool_size=2).run(
+        [WorkUnit("bad", _fail, (7,)), WorkUnit("good", _square, (7,))]
+    )
+    bad, good = results
+    assert bad.status == STATUS_ERROR and "unit failed on 7" in bad.error
+    assert good.status == STATUS_OK and good.value == 49
+
+
+def test_timeout_interrupts_runaway_unit():
+    start = time.time()
+    results = ParallelExecutor(pool_size=2, timeout=0.5).run(
+        [WorkUnit("stuck", _sleep, (30,)), WorkUnit("fine", _square, (2,))]
+    )
+    assert time.time() - start < 10
+    assert results[0].status == STATUS_TIMEOUT
+    assert results[1].status == STATUS_OK and results[1].value == 4
+
+
+def test_progress_and_log_events_stream():
+    events = []
+    run_units(
+        [WorkUnit("a", _log_and_return, (1,)), WorkUnit("b", _log_and_return, (2,))],
+        parallel=2,
+        on_event=lambda kind, unit_id, worker, payload: events.append((kind, unit_id, payload)),
+    )
+    kinds = [event[0] for event in events]
+    assert kinds.count("start") == 2 and kinds.count("done") == 2
+    logs = [payload for kind, _uid, payload in events if kind == "log"]
+    assert sorted(logs) == ["working on 1", "working on 2"]
+
+
+def test_duplicate_unit_ids_rejected():
+    with pytest.raises(ValueError):
+        ParallelExecutor(pool_size=2).run(
+            [WorkUnit("dup", _square, (1,)), WorkUnit("dup", _square, (2,))]
+        )
+
+
+# ----------------------------------------------------------------------
+# Seed-stable sharding: the determinism contract
+# ----------------------------------------------------------------------
+def _strip_wall(cells):
+    cells = copy.deepcopy(cells)
+    for cell in cells:
+        cell.pop("wall_seconds", None)
+    return cells
+
+
+def test_sweep_grid_parallel_equals_serial():
+    """The ISSUE acceptance pin: run_sweep(spec, parallel=N) yields a
+    report identical to the serial run, cell for cell."""
+    spec = SweepSpec(
+        stacks=("newtop-symmetric", "newtop-asymmetric", "lamport_ack"),
+        profiles=("poisson",),
+        loads=(0.5, 1.0),
+        faults=("none", "crash"),
+        processes=8,
+        groups=2,
+        group_size=5,
+        duration=12.0,
+        drain=20.0,
+        seed=7,
+    )
+    serial = run_sweep(spec)
+    pooled = run_sweep(spec, parallel=2)
+    assert serial.spec == pooled.spec
+    assert _strip_wall(serial.cells) == _strip_wall(pooled.cells)
+    assert serial.passed and pooled.passed
+
+
+def _scenario_fingerprint(result):
+    return (
+        result.name,
+        result.stack,
+        result.passed,
+        tuple(result.checks.violations),
+        result.agreement_sets,
+        result.deliveries,
+        result.messages_sent,
+        result.delivery_events,
+        result.sim_time,
+        result.events_processed,
+        result.trace_events,
+        result.workload,
+    )
+
+
+def test_scenario_batch_parallel_equals_serial():
+    configs = [
+        churn_scenario(
+            n_processes=12, n_groups=3, group_size=5, crashes=1, leaves=1,
+            formations=1, messages_per_sender=2, seed=seed,
+        )
+        for seed in (3, 5, 8)
+    ]
+    serial = run_scenarios(configs, analysis="online")
+    pooled = run_scenarios(configs, parallel=2, analysis="online")
+    assert [_scenario_fingerprint(r) for r in serial] == [
+        _scenario_fingerprint(r) for r in pooled
+    ]
+    assert all(result.passed for result in pooled)
+
+
+def test_scenario_batch_surfaces_worker_casualties():
+    good = churn_scenario(n_processes=8, n_groups=2, group_size=4,
+                          crashes=0, leaves=0, messages_per_sender=1, seed=2)
+    bad = dict(good)
+    bad["groups"] = [{"id": "broken", "members": ["nobody"]}]
+    with pytest.raises(ScenarioExecutionError):
+        run_scenarios([good, bad], parallel=2, analysis="online")
+
+
+def test_failed_sweep_cell_keeps_its_grid_position():
+    """A crashed/timed-out cell must not kill the sweep: its row keeps
+    the coordinates with passed=False (exercised via a timeout so small
+    the cell cannot finish)."""
+    spec = SweepSpec(
+        stacks=("newtop-symmetric",), profiles=("poisson",), loads=(1.0,),
+        faults=("none",), processes=8, groups=2, group_size=5,
+        duration=12.0, drain=20.0, seed=7,
+    )
+    report = run_sweep(spec, parallel=2, timeout=1e-9)
+    (cell,) = report.cells
+    assert cell["passed"] is False
+    assert cell["execution_status"] == STATUS_TIMEOUT
+    assert report.cell("newtop-symmetric", "poisson", 1.0, "none") is cell
+    assert not report.passed
+    # The JSON-recording path must survive metric-less failure rows.
+    document = report.as_dict()
+    assert document["curves"] == {}
+
+
+# ----------------------------------------------------------------------
+# Mergeable latency reservoirs
+# ----------------------------------------------------------------------
+def test_reservoir_exact_moments_and_undercapacity_merge():
+    left, right = LatencyReservoir(capacity=64), LatencyReservoir(capacity=64)
+    for value in range(10):
+        left.add(float(value))
+    for value in range(10, 30):
+        right.add(float(value))
+    merged = LatencyReservoir.merged([left, right], capacity=64)
+    assert merged.count == 30
+    assert merged.mean == pytest.approx(sum(range(30)) / 30)
+    assert merged.min == 0.0 and merged.max == 29.0
+    # Under capacity the merged pool is the exact union.
+    assert sorted(merged.samples) == [float(v) for v in range(30)]
+    summary = merged.summary()
+    assert summary["count"] == 30 and summary["p50"] == pytest.approx(14.0, abs=1.0)
+
+
+def test_reservoir_compaction_is_deterministic_and_quantile_faithful():
+    def build(seed):
+        reservoir = LatencyReservoir(capacity=128, seed=seed)
+        for value in range(1000):
+            reservoir.add(float(value))
+        return reservoir
+
+    assert build(9).samples == build(9).samples  # same stream, same reservoir
+    merged = LatencyReservoir.merged([build(9), build(10)], capacity=128)
+    assert merged.count == 2000
+    assert len(merged.samples) == 128
+    assert merged.min == 0.0 and merged.max == 999.0
+    # Systematic rank selection keeps the quantiles close to truth (the
+    # tolerance is ~3 sigma for 256 uniform draws compacted to 128).
+    assert merged.summary()["p50"] == pytest.approx(500.0, rel=0.2)
+
+
+def test_reservoir_from_moments_bounds_percentiles():
+    sketch = LatencyReservoir.from_moments(100, 2.0, 1.0, 8.0)
+    summary = sketch.summary()
+    assert summary["count"] == 100
+    assert 1.0 <= summary["p50"] <= 8.0
+    assert summary["p99"] <= 8.0
+    empty = LatencyReservoir.from_moments(0, 0.0, 0.0, 0.0)
+    assert empty.summary()["count"] == 0
+
+
+def test_reservoir_merge_weights_sources_by_count():
+    """A low-count reservoir must not dominate a high-count sketch: the
+    merged pool is apportioned by observation count, not pool length."""
+    sketch = LatencyReservoir.from_moments(100_000, 2.0, 1.9, 2.1)
+    outliers = LatencyReservoir(capacity=256, seed=1)
+    for _ in range(100):
+        outliers.add(50.0)
+    merged = LatencyReservoir.merged([sketch, outliers], capacity=1000)
+    summary = merged.summary()
+    assert summary["count"] == 100_100
+    # 99.9% of the observations sit near 2.0, so the median must too --
+    # even though the outlier source supplied 33x more raw samples.
+    assert summary["p50"] == pytest.approx(2.0, abs=0.2)
+    assert summary["max"] == 50.0
