@@ -9,34 +9,49 @@ views of both sides, their intersection, signature-view disjointness, and
 the stabilisation latency.
 """
 
-from common import RESULTS, fmt, make_cluster
+from common import RESULTS, EventProbe, assert_session_correct, fmt, run_session
 
 from repro.analysis.checkers import check_view_sequences
+from repro.net.trace import VIEW_INSTALL
 
 
 def run_example3(use_signatures: bool) -> dict:
     overrides = {"use_signature_views": True} if use_signatures else None
-    cluster = make_cluster(["Pi", "Pj", "Pk", "Pl", "Pm"], seed=9, mode_overrides=overrides)
-    cluster.create_group("g")
-    cluster.run(5)
-    cluster.crash("Pm")
-    partition_time = cluster.sim.now + 4.0
-    cluster.sim.schedule_at(partition_time, cluster.partition, [["Pi", "Pj"], ["Pk", "Pl"]])
-    cluster.run(250)
-    side_one = cluster["Pi"].view("g").members
-    side_two = cluster["Pk"].view("g").members
+    probe = EventProbe(VIEW_INSTALL)
+    # The global view-agreement checks assume a single surviving component;
+    # this run *deliberately* ends partitioned, so those two checks are
+    # replaced by the per-side check_view_sequences calls below.
+    session = run_session(
+        ["Pi", "Pj", "Pk", "Pl", "Pm"],
+        groups=[("g", None)],
+        seed=9,
+        mode_overrides=overrides,
+        analysis="online",
+        sinks=[probe],
+        checks=("total_order", "sender_in_view", "causal_prefix"),
+    )
+    session.run(5)
+    session.crash("Pm")
+    partition_time = session.sim.now + 4.0
+    session.sim.schedule_at(partition_time, session.partition, [["Pi", "Pj"], ["Pk", "Pl"]])
+    session.run(250)
+    side_one = session["Pi"].view("g").members
+    side_two = session["Pk"].view("g").members
     stabilisation = max(
         event.time
         for process in ("Pi", "Pk")
-        for event in cluster.trace().events(kind="view_install", process=process, group="g")
+        for event in probe.trace().events(kind=VIEW_INSTALL, process=process, group="g")
     )
     signature_disjoint = None
     if use_signatures:
-        signature_disjoint = not cluster["Pi"].endpoint("g").signature_view.intersects(
-            cluster["Pk"].endpoint("g").signature_view
+        signature_disjoint = not session["Pi"].endpoint("g").signature_view.intersects(
+            session["Pk"].endpoint("g").signature_view
         )
-    assert check_view_sequences(cluster.trace(), "g", ["Pi", "Pj"]).passed
-    assert check_view_sequences(cluster.trace(), "g", ["Pk", "Pl"]).passed
+    # Each partition side's view sequences agree (VC1), checked over the
+    # probe's captured view installs; the rest streams through the suite.
+    assert check_view_sequences(probe.trace(), "g", ["Pi", "Pj"]).passed
+    assert check_view_sequences(probe.trace(), "g", ["Pk", "Pl"]).passed
+    assert_session_correct(session)
     return {
         "side_one": side_one,
         "side_two": side_two,

@@ -9,21 +9,35 @@ histories.  Measured: whether m4 is delivered, whether the exclusion
 happens first, and how long the exclusion takes.
 """
 
-from common import RESULTS, assert_trace_correct, fmt, make_cluster
+from common import RESULTS, EventProbe, assert_session_correct, fmt, run_session
 
-from repro.net.trace import VIEW_INSTALL
+from repro.net.trace import DELIVER, VIEW_INSTALL
 
 
 def run_causal_chain():
-    cluster = make_cluster(["Pi", "Pj", "Pk", "Pl", "Pq", "Ps"], seed=12)
-    cluster.create_group("g1", ["Pi", "Pj", "Pk"])
-    cluster.create_group("g2", ["Pk", "Pl"])
-    cluster.create_group("g3", ["Pl", "Pq"])
-    cluster.create_group("g4", ["Pq", "Ps", "Pi", "Pj"])
-    cluster.run(5)
+    probe = EventProbe(VIEW_INSTALL, DELIVER)
+    session = run_session(
+        ["Pi", "Pj", "Pk", "Pl", "Pq", "Ps"],
+        groups=[
+            ("g1", ["Pi", "Pj", "Pk"]),
+            ("g2", ["Pk", "Pl"]),
+            ("g3", ["Pl", "Pq"]),
+            ("g4", ["Pq", "Ps", "Pi", "Pj"]),
+        ],
+        seed=12,
+        analysis="online",
+        sinks=[probe],
+        view_agreement_sets={
+            "g1": ["Pi", "Pj"],
+            "g2": ["Pl"],
+            "g3": ["Pl", "Pq"],
+            "g4": ["Pi", "Pj", "Pq", "Ps"],
+        },
+    )
+    session.run(5)
 
     # Partition Pk away from Pi/Pj exactly while it multicasts m1.
-    cluster.network.add_filter(
+    session.network.add_filter(
         lambda src, dst, payload: not (src == "Pk" and dst in ("Pi", "Pj"))
     )
     chain = {"m2": False, "m3": False, "m4": False}
@@ -32,43 +46,37 @@ def run_causal_chain():
         def callback(g, sender, payload, msg_id):
             if payload == trigger and not chain[marker]:
                 chain[marker] = True
-                cluster[process].multicast(group, marker)
+                session[process].multicast(group, marker)
 
         return callback
 
-    cluster["Pk"].add_delivery_callback(relay("Pk", "m1", "g2", "m2"))
-    cluster["Pl"].add_delivery_callback(relay("Pl", "m2", "g3", "m3"))
-    cluster["Pq"].add_delivery_callback(relay("Pq", "m3", "g4", "m4"))
-    send_time = cluster.sim.now
-    cluster["Pk"].multicast("g1", "m1")
-    cluster.run(300)
-    return cluster, send_time
+    session["Pk"].add_delivery_callback(relay("Pk", "m1", "g2", "m2"))
+    session["Pl"].add_delivery_callback(relay("Pl", "m2", "g3", "m3"))
+    session["Pq"].add_delivery_callback(relay("Pq", "m3", "g4", "m4"))
+    send_time = session.sim.now
+    session["Pk"].multicast("g1", "m1")
+    session.run(300)
+    return session, probe, send_time
 
 
 def test_fig2_causal_chain_md5_prime(benchmark):
-    cluster, send_time = benchmark.pedantic(run_causal_chain, rounds=1, iterations=1)
-    trace = cluster.trace()
-    m4_delivered = "m4" in cluster["Pi"].delivered_payloads("g4")
-    m1_delivered = "m1" in cluster["Pi"].delivered_payloads("g1")
-    pk_excluded = "Pk" not in cluster["Pi"].view("g1").members
+    session, probe, send_time = benchmark.pedantic(
+        run_causal_chain, rounds=1, iterations=1
+    )
+    trace = probe.trace()
+    m4_delivered = "m4" in session["Pi"].delivered_payloads("g4")
+    m1_delivered = "m1" in session["Pi"].delivered_payloads("g1")
+    pk_excluded = "Pk" not in session["Pi"].view("g1").members
     exclusion_time = None
     for event in trace.events(kind=VIEW_INSTALL, process="Pi", group="g1"):
         if "Pk" not in event.detail("members", ()):
             exclusion_time = event.time
             break
     m4_time = min(
-        (e.time for e in trace.events(kind="deliver", process="Pi", group="g4")),
+        (e.time for e in trace.events(kind=DELIVER, process="Pi", group="g4")),
         default=None,
     )
-    assert_trace_correct(
-        cluster,
-        view_agreement_sets={
-            "g1": ["Pi", "Pj"],
-            "g2": ["Pl"],
-            "g3": ["Pl", "Pq"],
-            "g4": ["Pi", "Pj", "Pq", "Ps"],
-        },
-    )
+    assert_session_correct(session)
     RESULTS.add_table(
         "E2 (Fig. 2) causal chain across overlapping groups under partition",
         [

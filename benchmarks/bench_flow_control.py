@@ -7,24 +7,33 @@ peak pending-delivery queue length, with and without the stability-keyed
 sender window, for a bursty sender.
 """
 
-from common import RESULTS, assert_trace_correct, fmt, make_cluster
+from common import RESULTS, EventProbe, assert_session_correct, fmt, run_session
+
+from repro.net.trace import BLOCKED_SEND
 
 
 def run_case(window, seed: int):
     overrides = {"flow_control_window": window} if window else None
-    cluster = make_cluster(["P1", "P2", "P3"], seed=seed, mode_overrides=overrides)
-    cluster.create_group("g")
+    probe = EventProbe(BLOCKED_SEND)
+    session = run_session(
+        ["P1", "P2", "P3"],
+        groups=[("g", None)],
+        seed=seed,
+        mode_overrides=overrides,
+        analysis="online",
+        sinks=[probe],
+    )
     # A burst of back-to-back sends with no gaps: the worst case for
     # receiver-side buffering.
     for index in range(20):
-        cluster["P1"].multicast("g", f"burst-{index}")
-    cluster.run(200)
-    assert_trace_correct(cluster)
-    endpoint = cluster["P2"].endpoint("g")
-    blocked = len(cluster.trace().events(kind="blocked_send", process="P1", group="g"))
+        session.multicast("P1", "g", f"burst-{index}")
+    session.run(200)
+    assert_session_correct(session)
+    endpoint = session["P2"].endpoint("g")
+    blocked = len(probe.trace().events(kind=BLOCKED_SEND, process="P1", group="g"))
     return {
         "peak_retained": endpoint.stability.buffer.peak_size,
-        "delivered": len(cluster["P2"].delivered_payloads("g")),
+        "delivered": len(session["P2"].delivered_payloads("g")),
         "deferred_sends": blocked,
     }
 

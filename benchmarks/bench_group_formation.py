@@ -7,7 +7,7 @@ from initiation to every member completing the start-number agreement, and
 the number of control messages, as group size grows.
 """
 
-from common import RESULTS, fmt, make_cluster
+from common import RESULTS, assert_session_correct, fmt, run_session, run_until_delivered
 
 GROUP_SIZES = [3, 5, 8]
 
@@ -16,27 +16,29 @@ def run_sweep():
     rows = []
     for size in GROUP_SIZES:
         names = [f"P{i}" for i in range(size)]
-        cluster = make_cluster(names, seed=40 + size)
         # Pre-existing membership: everyone is already in a base group, as
         # the paper envisages (formation happens alongside existing work).
-        cluster.create_group("base", names)
-        cluster.run(5)
-        messages_before = cluster.network.stats.messages_sent
-        start = cluster.sim.now
-        cluster[names[0]].form_group("gn", names)
-        done = cluster.run_until(
+        session = run_session(
+            names, groups=[("base", names)], seed=40 + size, analysis="online"
+        )
+        session.run(5)
+        messages_before = session.network.stats.messages_sent
+        start = session.sim.now
+        session[names[0]].form_group("gn", names)
+        done = session.run_until(
             lambda: all(
-                cluster[name].is_member("gn")
-                and not cluster[name].endpoint("gn").in_formation_wait
+                session[name].is_member("gn")
+                and not session[name].endpoint("gn").in_formation_wait
                 for name in names
             ),
             timeout=200,
         )
-        formation_latency = cluster.sim.now - start
-        control_messages = cluster.network.stats.messages_sent - messages_before
+        formation_latency = session.sim.now - start
+        control_messages = session.network.stats.messages_sent - messages_before
         # The new group carries ordered traffic immediately afterwards.
-        message_id = cluster[names[1]].multicast("gn", "post-formation")
-        delivered = cluster.run_until_delivered(message_id, timeout=100)
+        message_id = session[names[1]].multicast("gn", "post-formation")
+        delivered = run_until_delivered(session, message_id, timeout=100)
+        assert_session_correct(session)
         rows.append((size, done, formation_latency, control_messages, delivered))
     return rows
 

@@ -7,9 +7,17 @@ suspicion to the view installation, and the number of membership messages
 exchanged, as the group size grows.
 """
 
-from common import RESULTS, assert_trace_correct, fmt, make_cluster, run_uniform_traffic
+from common import (
+    RESULTS,
+    EventProbe,
+    assert_session_correct,
+    fmt,
+    run_session,
+    run_session_traffic,
+)
 
 from repro.analysis.metrics import view_agreement_latency
+from repro.net.trace import SUSPECT, VIEW_INSTALL
 
 GROUP_SIZES = [3, 5, 8]
 
@@ -18,25 +26,32 @@ def run_sweep():
     rows = []
     for size in GROUP_SIZES:
         names = [f"P{i}" for i in range(size)]
-        cluster = make_cluster(names, seed=30 + size)
-        cluster.create_group("g", names)
-        run_uniform_traffic(cluster, "g", names[:2], messages_per_sender=2, drain=10)
-        victim = names[-1]
-        cluster.crash(victim)
-        cluster.run(150)
         survivors = names[:-1]
-        assert_trace_correct(cluster, view_agreement_sets={"g": survivors})
-        latencies = view_agreement_latency(cluster.trace(), "g", victim)
+        probe = EventProbe(SUSPECT, VIEW_INSTALL)
+        session = run_session(
+            names,
+            groups=[("g", names)],
+            seed=30 + size,
+            analysis="online",
+            sinks=[probe],
+            view_agreement_sets={"g": survivors},
+        )
+        run_session_traffic(session, "g", names[:2], messages_per_sender=2, drain=10)
+        victim = names[-1]
+        session.crash(victim)
+        session.run(150)
+        latencies = view_agreement_latency(probe.trace(), "g", victim)
         membership_messages = sum(
-            cluster[name].endpoint("g").gv.stats.suspect_messages_sent
-            + cluster[name].endpoint("g").gv.stats.confirm_messages_sent
-            + cluster[name].endpoint("g").gv.stats.refute_messages_sent
+            session[name].endpoint("g").gv.stats.suspect_messages_sent
+            + session[name].endpoint("g").gv.stats.confirm_messages_sent
+            + session[name].endpoint("g").gv.stats.refute_messages_sent
             for name in survivors
         )
         mean_latency = sum(latencies.values()) / len(latencies) if latencies else 0.0
         correct_views = all(
-            cluster[name].view("g").members == frozenset(survivors) for name in survivors
+            session[name].view("g").members == frozenset(survivors) for name in survivors
         )
+        assert_session_correct(session)
         rows.append((size, mean_latency, membership_messages, correct_views))
     return rows
 

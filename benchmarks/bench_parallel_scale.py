@@ -38,8 +38,7 @@ from common import RESULTS, benchmark_arg_parser, merge_sweep_reports, write_ben
 
 from repro.parallel import ParallelExecutor, WorkUnit, default_pool_size
 from repro.experiments import SweepSpec, run_sweep
-from repro.scenarios import churn_scenario, run_scenarios
-from repro.workloads import LatencyReservoir
+from repro.scenarios import RollingReport, churn_scenario, run_scenarios
 
 #: The headline configuration: 20 shards x 250 processes / 10 groups =
 #: 5,000 processes and 200 overlapping groups under churn + formations.
@@ -107,46 +106,49 @@ def shard_configs(scale):
 
 
 def run_scale_shards(scale=None, parallel=None, progress=None):
-    """Run the shard set on the pool, verified online; returns a summary."""
+    """Run the shard set on the pool, verified online; returns a summary.
+
+    Aggregation is *streaming*: a :class:`repro.scenarios.RollingReport`
+    consumes each shard's result as its worker finishes (completion order),
+    folding the shard's actual delivery-latency reservoir -- carried on
+    :attr:`ScenarioResult.latency_reservoir` -- into one merged reservoir,
+    so the cross-shard percentiles come from real sample pools rather than
+    moment sketches.
+    """
     scale = SMOKE_SCALE if scale is None else scale
     configs = shard_configs(scale)
+    report = RollingReport(expected=len(configs))
+
+    def observe(result):
+        report.add(result)
+        if progress is not None:
+            progress(result)
+
     start = time.time()
     results = run_scenarios(
-        configs, parallel=parallel, analysis="online", progress=progress
+        configs, parallel=parallel, analysis="online", progress=observe
     )
     wall = time.time() - start
     for result in results:
         assert result.passed, (result.name, result.checks.violations[:3])
         assert result.trace_events_stored == 0, "online mode materialized a trace"
-    latency = LatencyReservoir.merged(
-        _shard_latency(result) for result in results
-    )
+    assert report.completed == len(results)
     return {
-        "shards": len(results),
+        "shards": report.completed,
         "processes_total": scale["shards"] * scale["shard_processes"],
         "groups_total": scale["shards"] * scale["shard_groups"],
         "groups_formed": scale["shards"] * scale["formations"],
         "pool_size": parallel or 1,
         "wall_seconds": round(wall, 3),
-        "passed": all(result.passed for result in results),
-        "deliveries": sum(result.deliveries for result in results),
-        "messages_sent": sum(result.messages_sent for result in results),
-        "events_processed": sum(result.events_processed for result in results),
-        "trace_events": sum(result.trace_events for result in results),
-        "trace_events_stored": sum(result.trace_events_stored for result in results),
-        "delivery_latency": latency.summary(),
+        "passed": report.all_passed,
+        "deliveries": report.deliveries,
+        "messages_sent": report.messages_sent,
+        "events_processed": report.events_processed,
+        "trace_events": report.trace_events,
+        "trace_events_stored": report.trace_events_stored,
+        "delivery_latency": report.latency.summary(),
+        "delivery_latency_exact": report.latency.is_exact,
     }
-
-
-def _shard_latency(result) -> LatencyReservoir:
-    """Fold one shard's rolling delivery-latency aggregate (moments only)
-    into a reservoir so the shard set reports one merged summary."""
-    stats = (result.metrics or {}).get("latency") or {}
-    if not stats.get("count"):
-        return LatencyReservoir()
-    return LatencyReservoir.from_moments(
-        stats["count"], stats["mean"], stats["min"], stats["max"]
-    )
 
 
 def _burn(iterations):

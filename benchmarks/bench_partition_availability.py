@@ -10,7 +10,7 @@ both policies (Newtop measured on the running protocol, the primary
 partition via the policy model applied to the same scenarios).
 """
 
-from common import RESULTS, fmt, make_cluster
+from common import RESULTS, fmt, run_session, run_until_delivered
 
 from repro.baselines import PrimaryPartitionMembership
 
@@ -23,18 +23,17 @@ SCENARIOS = {
 
 
 def newtop_available_fraction(components, seed: int) -> float:
-    cluster = make_cluster(MEMBERS, seed=seed)
-    cluster.create_group("g", MEMBERS)
-    cluster.run(5)
-    cluster.partition(components)
-    cluster.run(200)
+    session = run_session(MEMBERS, groups=[("g", MEMBERS)], seed=seed, analysis="online")
+    session.run(5)
+    session.partition(components)
+    session.run(200)
     available = 0
     for component in components:
         # A side is operational if a fresh multicast from one of its members
         # is delivered by every member of that side.
         sender = component[0]
-        message_id = cluster[sender].multicast("g", f"probe-{sender}")
-        if cluster.run_until_delivered(message_id, processes=component, timeout=120):
+        message_id = session[sender].multicast("g", f"probe-{sender}")
+        if run_until_delivered(session, message_id, processes=component, timeout=120):
             available += len(component)
     return available / len(MEMBERS)
 

@@ -7,27 +7,33 @@ for (a) two symmetric groups, (b) a symmetric + an asymmetric group, and
 (c) two asymmetric groups, under the same interleaved workload.
 """
 
-from common import RESULTS, assert_trace_correct, fmt, make_cluster
+from common import RESULTS, EventProbe, assert_session_correct, fmt, run_session
 
 from repro.analysis.metrics import blocking_times
 from repro.core import OrderingMode
+from repro.net.trace import BLOCKED_SEND, UNBLOCKED_SEND
 
 
 def run_scenario(mode_one: OrderingMode, mode_two: OrderingMode, seed: int):
-    cluster = make_cluster(["P1", "P2", "P3"], seed=seed)
-    cluster.create_group("g1", mode=mode_one)
-    cluster.create_group("g2", mode=mode_two)
+    probe = EventProbe(BLOCKED_SEND, UNBLOCKED_SEND)
+    session = run_session(
+        ["P1", "P2", "P3"],
+        groups=[("g1", None, mode_one), ("g2", None, mode_two)],
+        seed=seed,
+        analysis="online",
+        sinks=[probe],
+    )
     for index in range(6):
-        cluster["P2"].multicast("g1", f"one-{index}")
-        cluster["P2"].multicast("g2", f"two-{index}")
-        cluster.run(1.0)
-    cluster.run(80)
-    assert_trace_correct(cluster)
-    trace = cluster.trace()
-    blocked = len(trace.events(kind="blocked_send", process="P2"))
+        session.multicast("P2", "g1", f"one-{index}")
+        session.multicast("P2", "g2", f"two-{index}")
+        session.run(1.0)
+    session.run(80)
+    assert_session_correct(session)
+    trace = probe.trace()
+    blocked = len(trace.events(kind=BLOCKED_SEND, process="P2"))
     waits = blocking_times(trace)
     mean_wait = sum(waits) / len(waits) if waits else 0.0
-    delivered = len(cluster["P3"].delivered)
+    delivered = len(session["P3"].delivered)
     return {"blocked": blocked, "mean_wait": mean_wait, "delivered": delivered}
 
 

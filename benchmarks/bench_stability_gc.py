@@ -7,24 +7,29 @@ Measured: retained-message peak and final counts, and how they respond to
 the send rate, with flow control off and on.
 """
 
-from common import RESULTS, assert_trace_correct, fmt, make_cluster
+from common import RESULTS, assert_session_correct, fmt, run_session
 
 
 def run_case(messages: int, gap: float, window, seed: int):
     overrides = {"flow_control_window": window} if window else None
-    cluster = make_cluster(["P1", "P2", "P3"], seed=seed, mode_overrides=overrides)
-    cluster.create_group("g")
+    session = run_session(
+        ["P1", "P2", "P3"],
+        groups=[("g", None)],
+        seed=seed,
+        mode_overrides=overrides,
+        analysis="online",
+    )
     for index in range(messages):
-        cluster["P1"].multicast("g", f"m{index}")
-        cluster.run(gap)
-    cluster.run(80)
-    assert_trace_correct(cluster)
-    buffer = cluster["P2"].endpoint("g").stability.buffer
+        session.multicast("P1", "g", f"m{index}")
+        session.run(gap)
+    session.run(80)
+    assert_session_correct(session)
+    buffer = session["P2"].endpoint("g").stability.buffer
     return {
         "peak": buffer.peak_size,
         "final": buffer.size(),
         "gc": buffer.discarded_stable_count,
-        "delivered": len(cluster["P2"].delivered_payloads("g")),
+        "delivered": len(session["P2"].delivered_payloads("g")),
     }
 
 

@@ -12,16 +12,14 @@ from __future__ import annotations
 
 import argparse
 import json
-import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.analysis import check_all
 from repro.analysis.metrics import build_report
 from repro.api import ProtocolStack, Session, SessionResult
-from repro.core import NewtopCluster, NewtopConfig, OrderingMode
+from repro.core import OrderingMode
 from repro.experiments import SweepReport
-from repro.net.trace import TraceSink
+from repro.net.trace import EventTrace, TraceEvent, TraceSink
 
 #: Configuration used by most benchmarks: fast time-silence and suspicion so
 #: membership events resolve within short simulated runs.
@@ -41,25 +39,6 @@ class ResultCollector:
 
 #: The session-wide collector used by every benchmark module.
 RESULTS = ResultCollector()
-
-
-def make_cluster(
-    names: Sequence[str],
-    seed: int = 1,
-    mode_overrides: Optional[Dict[str, object]] = None,
-) -> NewtopCluster:
-    """A cluster with the benchmark-default configuration.
-
-    Deprecated alongside :class:`NewtopCluster` -- new benchmarks should
-    use :func:`run_session`; this shim silences the deprecation warning so
-    not-yet-ported benchmarks stay noise-free.
-    """
-    overrides = dict(FAST_CONFIG)
-    if mode_overrides:
-        overrides.update(mode_overrides)
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        return NewtopCluster(list(names), config=NewtopConfig(**overrides), seed=seed)
 
 
 def run_session(
@@ -126,29 +105,50 @@ def assert_session_correct(session: Session) -> SessionResult:
     return result
 
 
-def run_uniform_traffic(
-    cluster: NewtopCluster,
-    group: str,
-    senders: Sequence[str],
-    messages_per_sender: int,
-    gap: float = 1.0,
-    drain: float = 60.0,
-) -> None:
-    """Issue a fixed, interleaved workload and let deliveries drain."""
-    for index in range(messages_per_sender):
-        for sender in senders:
-            cluster[sender].multicast(group, f"{sender}-{index}")
-        cluster.run(gap)
-    cluster.run(drain)
+class EventProbe(TraceSink):
+    """Retains only the trace events of the given kinds.
+
+    Benchmarks that run ``analysis="online"`` (streamed verification, no
+    stored trace) attach one of these via ``sinks=[probe]`` to keep just
+    the handful of events their measurement needs -- a view installation
+    time, a blocked-send count -- while the bulk of the trace stays
+    unmaterialized.  ``probe.trace()`` wraps the captured events in an
+    :class:`~repro.net.trace.EventTrace` so the normal query and metrics
+    helpers work on them.
+    """
+
+    def __init__(self, *kinds: str) -> None:
+        self.kinds = frozenset(kinds)
+        self.events: List[TraceEvent] = []
+
+    def on_event(self, event: TraceEvent) -> None:
+        if not self.kinds or event.kind in self.kinds:
+            self.events.append(event)
+
+    def trace(self) -> EventTrace:
+        return EventTrace(list(self.events))
 
 
-def assert_trace_correct(
-    cluster: NewtopCluster,
-    view_agreement_sets: Optional[Dict[str, Sequence[str]]] = None,
-) -> None:
-    """Every benchmark checks the paper's guarantees before reporting."""
-    result = check_all(cluster.trace(), view_agreement_sets=view_agreement_sets)
-    assert result.passed, f"protocol guarantees violated: {result.violations[:3]}"
+def run_until_delivered(
+    session: Session,
+    message_id: str,
+    processes: Optional[Sequence[str]] = None,
+    timeout: float = 200.0,
+) -> bool:
+    """Run until every listed (alive) process has delivered ``message_id``."""
+    targets = [
+        session[process_id]
+        for process_id in (processes if processes is not None else session.processes)
+    ]
+
+    def all_delivered() -> bool:
+        return all(
+            process.crashed
+            or any(record.msg_id == message_id for record in process.delivered)
+            for process in targets
+        )
+
+    return session.run_until(all_delivered, timeout)
 
 
 def newtop_run_metrics(

@@ -56,7 +56,6 @@ or ``"psync"`` to run the same workload on a §6 baseline.)
 
 from repro.api import ProtocolStack, Session, SessionResult, available_stacks
 from repro.core import (
-    NewtopCluster,
     NewtopConfig,
     NewtopProcess,
     OrderingMode,
@@ -65,7 +64,6 @@ from repro.core import (
 __version__ = "1.0.0"
 
 __all__ = [
-    "NewtopCluster",
     "NewtopConfig",
     "NewtopProcess",
     "OrderingMode",

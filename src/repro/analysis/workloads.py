@@ -9,9 +9,9 @@ working, but new code should use :mod:`repro.workloads` directly --
 profiles compose with any protocol stack, the session layer and online
 verification, none of which a materialized schedule can reach.
 
-The :class:`WorkloadRunner` drives a schedule through a cluster-shaped
-object (the deprecated :class:`~repro.core.cluster.NewtopCluster` shim)
-and warns accordingly; nothing in this module imports the shim itself.
+The :class:`WorkloadRunner` drives a schedule through any cluster-shaped
+object (``__getitem__`` to a process plus ``run``) and warns accordingly;
+nothing in this module imports a concrete cluster type.
 """
 
 from __future__ import annotations

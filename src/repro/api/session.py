@@ -88,6 +88,7 @@ class Session:
         checks: Optional[Iterable[str]] = None,
         analysis: str = "offline",
         view_agreement_sets: Optional[Dict[str, Iterable[str]]] = None,
+        timer_wheel: bool = True,
     ) -> None:
         if analysis not in ("offline", "online"):
             raise ValueError(f"unknown analysis mode {analysis!r}")
@@ -95,7 +96,7 @@ class Session:
         self.analysis = analysis
         self.view_agreement_sets = view_agreement_sets
         self._checks = tuple(checks) if checks is not None else None
-        self.sim = Simulator(seed=seed)
+        self.sim = Simulator(seed=seed, use_timer_wheel=timer_wheel)
         network_config = NetworkConfig()
         if latency_model is not None:
             network_config.latency_model = latency_model

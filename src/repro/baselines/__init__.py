@@ -20,7 +20,7 @@ under identical network conditions:
   contrasted with.
 """
 
-from repro.baselines.base import BaselineCluster, BaselineProcess
+from repro.baselines.base import BaselineProcess
 from repro.baselines.fixed_sequencer import FixedSequencerProcess
 from repro.baselines.isis import IsisProcess
 from repro.baselines.lamport_ack import LamportAckProcess
@@ -29,7 +29,6 @@ from repro.baselines.primary_partition import PrimaryPartitionMembership
 from repro.baselines.psync import PsyncProcess
 
 __all__ = [
-    "BaselineCluster",
     "BaselineProcess",
     "FixedSequencerProcess",
     "IsisProcess",

@@ -9,19 +9,16 @@ the same minimal surface:
   on the wire (the quantity compared in experiment E7)
 
 so the benchmark harness can treat Newtop and every baseline uniformly.
-:class:`BaselineCluster` wires up a set of identical baseline processes on
-one simulated network, mirroring :class:`repro.core.cluster.NewtopCluster`.
+A set of identical baseline processes is wired onto one simulated network
+by :class:`repro.api.Session` with the matching baseline stack.
 """
 
 from __future__ import annotations
 
 import itertools
-import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Type
+from typing import List, Optional, Sequence
 
-from repro.net.latency import LatencyModel
-from repro.net.network import Network, NetworkConfig
 from repro.net.simulator import Simulator
 from repro.net.trace import DELIVER, SEND, TraceRecorder
 from repro.net.transport import Endpoint, Transport, TransportMessage
@@ -164,77 +161,3 @@ class BaselineProcess:
         """Handle one protocol message from ``src`` (subclass hook)."""
         raise NotImplementedError
 
-
-class BaselineCluster:
-    """A group of identical baseline processes on one simulated network.
-
-    .. deprecated::
-        Construct a :class:`repro.api.Session` with the matching baseline
-        stack instead (``Session(stack="isis", ...)``); it provides the
-        same processes plus trace wiring, streaming verification and the
-        scenario engine's fault events behind one lifecycle.
-    """
-
-    def __init__(
-        self,
-        process_class: Type[BaselineProcess],
-        process_ids: Sequence[str],
-        latency_model: Optional[LatencyModel] = None,
-        seed: int = 0,
-        **process_kwargs,
-    ) -> None:
-        warnings.warn(
-            "BaselineCluster is deprecated; use repro.api.Session with the "
-            "matching baseline stack (e.g. Session(stack='isis'))",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.sim = Simulator(seed=seed)
-        network_config = NetworkConfig()
-        if latency_model is not None:
-            network_config.latency_model = latency_model
-        self.network = Network(self.sim, network_config)
-        self.transport = Transport(self.network)
-        self.processes: Dict[str, BaselineProcess] = {}
-        for process_id in process_ids:
-            self.processes[process_id] = process_class(
-                process_id, self.sim, self.transport, process_ids, **process_kwargs
-            )
-
-    def __getitem__(self, process_id: str) -> BaselineProcess:
-        return self.processes[process_id]
-
-    def __iter__(self):
-        return iter(self.processes.values())
-
-    def run(self, duration: float) -> None:
-        """Advance simulated time by ``duration``."""
-        self.sim.run(until=self.sim.now + duration)
-
-    def run_until_all_delivered(self, expected: int, timeout: float = 500.0) -> bool:
-        """Run until every process has made at least ``expected`` deliveries."""
-        return self.sim.run_until(
-            lambda: all(len(process.delivered) >= expected for process in self),
-            timeout,
-        )
-
-    def total_protocol_bytes(self) -> int:
-        """Protocol-overhead bytes transmitted by all processes."""
-        return sum(process.protocol_bytes_sent for process in self)
-
-    def total_messages_sent(self) -> int:
-        """Network messages transmitted (from the network's counters)."""
-        return self.network.stats.messages_sent
-
-    def delivery_orders_agree(self) -> bool:
-        """Whether every pair of processes agrees on the relative order of
-        the messages they both delivered (the baseline's own sanity check)."""
-        orders = [process.delivered_ids() for process in self]
-        for i, first in enumerate(orders):
-            for second in orders[i + 1 :]:
-                common = set(first) & set(second)
-                first_common = [msg for msg in first if msg in common]
-                second_common = [msg for msg in second if msg in common]
-                if first_common != second_common:
-                    return False
-        return True

@@ -13,12 +13,12 @@ and Shrivastava (ICDCS 1995):
   :mod:`repro.core.suspector`, :mod:`repro.core.views`),
 * dynamic group formation (:mod:`repro.core.group_formation`),
 * flow control (:mod:`repro.core.flow_control`),
-* the process-level public API (:mod:`repro.core.process`) and a cluster
-  harness (:mod:`repro.core.cluster`).
+* the process-level public API (:mod:`repro.core.process`).
+
+Processes are wired into a running system by :class:`repro.api.Session`.
 """
 
 from repro.core.clock import LamportClock
-from repro.core.cluster import NewtopCluster
 from repro.core.config import NewtopConfig, OrderingMode
 from repro.core.delivery import DeliveryQueue
 from repro.core.errors import (
@@ -54,7 +54,6 @@ __all__ = [
     "InvalidViewError",
     "LamportClock",
     "MembershipView",
-    "NewtopCluster",
     "NewtopConfig",
     "NewtopError",
     "NewtopProcess",

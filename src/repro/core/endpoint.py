@@ -92,6 +92,7 @@ class GroupEndpoint:
         self.group_id = group_id
         self.mode = mode
         config: NewtopConfig = process.config
+        self.config = config
         own_id = process.process_id
 
         self.view = MembershipView.initial(group_id, members)
@@ -106,7 +107,10 @@ class GroupEndpoint:
             # in that mode.
             self.engine = SymmetricOrdering(self)
         self.stability = StabilityTracker(
-            group_id, members, retention_limit=config.retention_limit
+            group_id,
+            members,
+            retention_limit=config.retention_limit,
+            use_slab=config.use_slab_state,
         )
         self.flow = FlowController(config.flow_control_window)
         self.suspector = FailureSuspector(
@@ -367,8 +371,11 @@ class GroupEndpoint:
                 self.process.deliver_immediately(self, message)
             else:
                 self.process.delivery_queue.enqueue(message)
-        self.process.attempt_delivery()
-        self.process.flush_deferred_sends()
+        # Per-receipt follow-up; during a transport batch it is deferred to
+        # the end of the batch (one pass per simulator event).
+        if not self.process.in_receipt_batch:
+            self.process.attempt_delivery()
+            self.process.flush_deferred_sends()
 
     def on_sequencer_request(self, request: SequencerRequest) -> None:
         """Handle a unicast addressed to us as the group's sequencer."""

@@ -34,8 +34,8 @@ Typical usage::
     processes["P1"].multicast("g1", {"op": "set", "key": "x", "value": 1})
     sim.run(until=50)
 
-(or use :class:`repro.core.cluster.NewtopCluster`, which wraps exactly this
-boilerplate.)
+(or use :class:`repro.api.Session`, which wraps exactly this boilerplate
+behind one interface for Newtop and every baseline stack.)
 """
 
 from __future__ import annotations
@@ -106,6 +106,10 @@ class NewtopProcess:
         self.recorder = recorder if recorder is not None else TraceRecorder()
         self.transport_endpoint = transport.endpoint(process_id)
         self.transport_endpoint.register_handler("newtop", self._on_transport_message)
+        if self.config.batch_receipts:
+            self.transport_endpoint.register_batch_handler(
+                "newtop", self._on_transport_batch
+            )
         self.clock = LamportClock()
         self.delivery_queue = DeliveryQueue()
         self.formation = FormationCoordinator(
@@ -129,6 +133,7 @@ class NewtopProcess:
         self.crashed = False
         self._delivering = False
         self._flushing = False
+        self._in_receipt_batch = False
 
     # ------------------------------------------------------------------
     # Group membership (public API)
@@ -373,6 +378,36 @@ class NewtopProcess:
     # ------------------------------------------------------------------
     # Transport ingress
     # ------------------------------------------------------------------
+    @property
+    def in_receipt_batch(self) -> bool:
+        """Whether a transport batch is being drained right now.
+
+        While true, the per-receipt delivery pass in
+        :meth:`GroupEndpoint.on_data_message` is suppressed; one pass runs
+        at the end of the batch instead.
+        """
+        return self._in_receipt_batch
+
+    def _on_transport_batch(self, messages: List[TransportMessage]) -> None:
+        """Drain every receipt that arrived at this instant, then run a
+        single delivery pass and deferred-send flush for the whole batch.
+
+        The delivery *sequence* is unchanged: safe2 pops messages from the
+        sorted queue under a monotone bound, so delivering after the last
+        receipt of an instant yields the same stream as delivering after
+        each one (pinned by the batching equivalence test).
+        """
+        self._in_receipt_batch = True
+        try:
+            for tmsg in messages:
+                if self.crashed:
+                    return
+                self._on_transport_message(tmsg)
+        finally:
+            self._in_receipt_batch = False
+        self.attempt_delivery()
+        self.flush_deferred_sends()
+
     def _on_transport_message(self, tmsg: TransportMessage) -> None:
         if self.crashed:
             return
@@ -408,11 +443,12 @@ class NewtopProcess:
     # ------------------------------------------------------------------
     def global_deliverable_bound(self) -> float:
         """``D_i``: the minimum of the per-group deliverable bounds (safe1')."""
-        bounds = [
-            endpoint.deliverable_bound()
-            for endpoint in self._endpoints.values()
-        ]
-        return min(bounds) if bounds else INFINITY
+        bound = INFINITY
+        for endpoint in self._endpoints.values():
+            group_bound = endpoint.deliverable_bound()
+            if group_bound < bound:
+                bound = group_bound
+        return bound
 
     def attempt_delivery(self) -> int:
         """Deliver everything that is deliverable, interleaving pending view
@@ -425,15 +461,11 @@ class NewtopProcess:
             progress = True
             while progress:
                 progress = False
-                bound = self.global_deliverable_bound()
-                threshold = min(
-                    (
-                        endpoint.next_view_change_threshold()
-                        for endpoint in self._endpoints.values()
-                    ),
-                    default=INFINITY,
-                )
-                effective = min(bound, threshold)
+                effective = self.global_deliverable_bound()
+                for endpoint in self._endpoints.values():
+                    threshold = endpoint.next_view_change_threshold()
+                    if threshold < effective:
+                        effective = threshold
                 if effective > 0:
                     for delivery in self.delivery_queue.pop_deliverable(effective):
                         self._handle_delivery(delivery.message)

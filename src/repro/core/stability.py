@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.messages import DataMessage
-from repro.core.vectors import StabilityVector
+from repro.core.vectors import INFINITY as _INF, make_stability_vector
 
 
 class RetentionBuffer:
@@ -42,7 +42,14 @@ class RetentionBuffer:
         # sender -> {clock -> message}
         self._by_sender: Dict[str, Dict[int, DataMessage]] = {}
         self._discarded_stable = 0
+        self._size = 0
         self._peak_size = 0
+        #: Sound lower bound on the smallest retained clock: the stability
+        #: garbage collector runs per received message, so the common case
+        #: ("bound did not advance past anything retained") must be an O(1)
+        #: comparison, not a full-buffer scan.  Removals may leave the
+        #: bound stale-low, which only costs an occasional wasted scan.
+        self._min_retained: float = _INF
 
     # ------------------------------------------------------------------
     # Insertion and garbage collection
@@ -55,8 +62,13 @@ class RetentionBuffer:
         the process whose silence/failure governs their recovery (§4.2).
         """
         per_sender = self._by_sender.setdefault(key or message.sender, {})
+        if message.clock not in per_sender:
+            self._size += 1
+            if self._size > self._peak_size:
+                self._peak_size = self._size
         per_sender[message.clock] = message
-        self._peak_size = max(self._peak_size, self.size())
+        if message.clock < self._min_retained:
+            self._min_retained = message.clock
 
     def discard_stable(self, stability_bound: float) -> int:
         """Discard every retained message numbered ``<= stability_bound``.
@@ -64,15 +76,24 @@ class RetentionBuffer:
         Returns the number of messages discarded.  Called whenever the
         stability vector's minimum advances.
         """
+        if stability_bound < self._min_retained:
+            return 0
         discarded = 0
+        new_min: float = _INF
         for sender in list(self._by_sender):
             per_sender = self._by_sender[sender]
             stable_clocks = [clock for clock in per_sender if clock <= stability_bound]
             for clock in stable_clocks:
                 del per_sender[clock]
                 discarded += 1
-            if not per_sender:
+            if per_sender:
+                sender_min = min(per_sender)
+                if sender_min < new_min:
+                    new_min = sender_min
+            else:
                 del self._by_sender[sender]
+        self._min_retained = new_min
+        self._size -= discarded
         self._discarded_stable += discarded
         return discarded
 
@@ -81,6 +102,7 @@ class RetentionBuffer:
         process is removed from the view and its pending messages must be
         discarded, §5.2 step viii)."""
         removed = len(self._by_sender.pop(sender, {}))
+        self._size -= removed
         return removed
 
     def discard_sender_above(self, sender: str, threshold: int) -> int:
@@ -98,6 +120,7 @@ class RetentionBuffer:
             del per_sender[clock]
         if not per_sender:
             del self._by_sender[sender]
+        self._size -= len(doomed)
         return len(doomed)
 
     # ------------------------------------------------------------------
@@ -121,7 +144,7 @@ class RetentionBuffer:
 
     def size(self) -> int:
         """Number of messages currently retained."""
-        return sum(len(per_sender) for per_sender in self._by_sender.values())
+        return self._size
 
     @property
     def peak_size(self) -> int:
@@ -135,7 +158,7 @@ class RetentionBuffer:
 
     def over_limit(self) -> bool:
         """Whether the configured retention limit is currently exceeded."""
-        return self.retention_limit is not None and self.size() > self.retention_limit
+        return self.retention_limit is not None and self._size > self.retention_limit
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RetentionBuffer(group={self.group!r}, size={self.size()})"
@@ -154,10 +177,14 @@ class StabilityTracker:
     """
 
     def __init__(
-        self, group: str, members: Iterable[str], retention_limit: Optional[int] = None
+        self,
+        group: str,
+        members: Iterable[str],
+        retention_limit: Optional[int] = None,
+        use_slab: bool = True,
     ) -> None:
         self.group = group
-        self.vector = StabilityVector(members)
+        self.vector = make_stability_vector(members, use_slab=use_slab)
         self.buffer = RetentionBuffer(group, retention_limit=retention_limit)
 
     def on_message(self, message: DataMessage, key: Optional[str] = None) -> int:

@@ -18,7 +18,7 @@ includes us).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro.core.messages import Suspicion
 from repro.net.simulator import EventHandle, Simulator
@@ -28,7 +28,16 @@ NotifyCallback = Callable[[Suspicion], None]
 
 
 class FailureSuspector:
-    """Timeout-based failure suspector for one (process, group) pair."""
+    """Timeout-based failure suspector for one (process, group) pair.
+
+    Member state lives in parallel slab arrays (last-heard time, last
+    clock, suspected flag) keyed by a dense per-member slot index rather
+    than one dict entry per field per member: the periodic check -- the
+    hottest loop at scale, every member of every group scanned every
+    ``check_interval`` -- walks flat lists.  Departed members leave a
+    tombstoned slot (``_monitored[slot] = False``); slots are never
+    reused, matching crash-stop semantics.
+    """
 
     def __init__(
         self,
@@ -46,11 +55,23 @@ class FailureSuspector:
         self.suspicion_timeout = suspicion_timeout
         self.check_interval = check_interval
         self._notify = notify
-        self._last_heard: Dict[str, float] = {
-            member: sim.now for member in members if member != own_id
-        }
-        self._last_clock: Dict[str, int] = {member: 0 for member in self._last_heard}
-        self._already_suspected: Set[str] = set()
+        # Slab state: pid -> slot, plus parallel arrays indexed by slot.
+        self._slot: Dict[str, int] = {}
+        self._pids: List[str] = []
+        self._heard: List[float] = []
+        self._clock: List[int] = []
+        self._suspected: List[bool] = []
+        self._monitored: List[bool] = []
+        now = sim.now
+        for member in members:
+            if member == own_id or member in self._slot:
+                continue
+            self._slot[member] = len(self._pids)
+            self._pids.append(member)
+            self._heard.append(now)
+            self._clock.append(0)
+            self._suspected.append(False)
+            self._monitored.append(True)
         self._active = False
         self._timer: Optional[EventHandle] = None
         self.suspicions_raised = 0
@@ -64,8 +85,9 @@ class FailureSuspector:
             return
         self._active = True
         now = self.sim.now
-        for member in self._last_heard:
-            self._last_heard[member] = now
+        for slot, monitored in enumerate(self._monitored):
+            if monitored:
+                self._heard[slot] = now
         self._schedule_check()
 
     def stop(self) -> None:
@@ -89,42 +111,57 @@ class FailureSuspector:
         Any group traffic counts (data, null, membership), matching the
         paper's "no multicast message has been received from Pj".
         """
-        if member == self.own_id or member not in self._last_heard:
+        slot = self._slot.get(member)
+        if slot is None or member == self.own_id or not self._monitored[slot]:
             return
-        self._last_heard[member] = self.sim.now
-        if clock > self._last_clock.get(member, 0):
-            self._last_clock[member] = clock
+        self._heard[slot] = self.sim.now
+        if clock > self._clock[slot]:
+            self._clock[slot] = clock
 
     def clear_suspicion(self, member: str) -> None:
         """A suspicion on ``member`` was refuted; allow re-suspecting later."""
-        self._already_suspected.discard(member)
-        if member in self._last_heard:
-            self._last_heard[member] = self.sim.now
+        slot = self._slot.get(member)
+        if slot is None:
+            return
+        self._suspected[slot] = False
+        if self._monitored[slot]:
+            self._heard[slot] = self.sim.now
 
     def remove_member(self, member: str) -> None:
         """Stop monitoring ``member`` (it left the view)."""
-        self._last_heard.pop(member, None)
-        self._last_clock.pop(member, None)
-        self._already_suspected.discard(member)
+        slot = self._slot.get(member)
+        if slot is None:
+            return
+        self._monitored[slot] = False
+        self._suspected[slot] = False
 
     def force_suspect(self, member: str) -> None:
         """Membership step (vii): unconditionally suspect ``member`` now."""
-        if member == self.own_id or member not in self._last_heard:
+        slot = self._slot.get(member)
+        if slot is None or member == self.own_id or not self._monitored[slot]:
             return
         self._raise_suspicion(member)
 
     def monitored_members(self) -> Set[str]:
         """Members currently being monitored."""
-        return set(self._last_heard)
+        return {
+            pid for pid, slot in self._slot.items() if self._monitored[slot]
+        }
 
     def last_clock(self, member: str) -> int:
         """Number of the last message seen from ``member`` (0 if none)."""
-        return self._last_clock.get(member, 0)
+        slot = self._slot.get(member)
+        if slot is None or not self._monitored[slot]:
+            return 0
+        return self._clock[slot]
 
     def last_heard(self, member: str) -> Optional[float]:
         """Simulated time at which ``member`` was last heard from, or
         ``None`` if the member is not monitored."""
-        return self._last_heard.get(member)
+        slot = self._slot.get(member)
+        if slot is None or not self._monitored[slot]:
+            return None
+        return self._heard[slot]
 
     # ------------------------------------------------------------------
     # Internal machinery
@@ -132,28 +169,39 @@ class FailureSuspector:
     def _schedule_check(self) -> None:
         if not self._active:
             return
-        self._timer = self.sim.schedule(self.check_interval, self._on_check, label="suspector")
+        self._timer = self.sim.schedule(
+            self.check_interval, self._on_check, label="suspector", wheel=True
+        )
 
     def _on_check(self) -> None:
         if not self._active:
             return
         now = self.sim.now
-        for member, last in list(self._last_heard.items()):
-            if member in self._already_suspected:
+        timeout = self.suspicion_timeout
+        # Flat scan over the slabs; slot order equals the original member
+        # order, so multi-suspicion ticks notify in the same sequence the
+        # dict-backed implementation did.
+        for slot in range(len(self._pids)):
+            if not self._monitored[slot] or self._suspected[slot]:
                 continue
-            if now - last >= self.suspicion_timeout:
-                self._raise_suspicion(member)
+            if now - self._heard[slot] >= timeout:
+                self._raise_suspicion(self._pids[slot])
         self._schedule_check()
 
     def _raise_suspicion(self, member: str) -> None:
-        if member in self._already_suspected:
+        slot = self._slot[member]
+        if self._suspected[slot]:
             return
-        self._already_suspected.add(member)
+        self._suspected[slot] = True
         self.suspicions_raised += 1
-        self._notify(Suspicion(target=member, last_number=self._last_clock.get(member, 0)))
+        self._notify(Suspicion(target=member, last_number=self._clock[slot]))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        monitored = sorted(self.monitored_members())
+        suspected = sorted(
+            pid for pid, slot in self._slot.items() if self._suspected[slot]
+        )
         return (
-            f"FailureSuspector(own={self.own_id!r}, monitored={sorted(self._last_heard)}, "
-            f"suspected={sorted(self._already_suspected)})"
+            f"FailureSuspector(own={self.own_id!r}, monitored={monitored}, "
+            f"suspected={suspected})"
         )

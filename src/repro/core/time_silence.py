@@ -87,7 +87,9 @@ class TimeSilence:
     def _schedule_check(self, delay: float) -> None:
         if not self._active:
             return
-        self._timer = self.sim.schedule(delay, self._on_timer, label="time-silence")
+        self._timer = self.sim.schedule(
+            delay, self._on_timer, label="time-silence", wheel=True
+        )
 
     #: Tolerance applied when comparing the silent interval against ω, so
     #: floating-point rounding of simulated timestamps cannot leave the

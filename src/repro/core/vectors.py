@@ -18,33 +18,255 @@ and can be discarded from retransmission buffers.
 §5.2 (view installation, step viii): entries of failed processes are set to
 infinity so that ``D`` can advance past the point at which the failed
 processes fell silent.
+
+Two interchangeable backends implement the vector:
+
+* :class:`SlabMemberVector` (the default, aliased as :class:`MemberVector`)
+  stores values in a flat slab list keyed by dense slot indices with a
+  cached minimum.  Entries are monotone (they only grow), so the cache is
+  ``(min value, count of entries at it)``: a receipt that raises a
+  non-minimal entry is O(1), and the O(n) rescan happens only when the
+  minimum actually advances -- amortised O(1) per receipt on the hot path.
+* :class:`DictMemberVector` is the original dict-per-vector implementation,
+  kept as the executable reference: the equivalence tests run whole seeded
+  scenarios under both backends (``NewtopConfig.use_slab_state``) and
+  require byte-identical results.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Iterator, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 #: Sentinel used for members removed from the view: their entry no longer
 #: constrains the minimum (step (viii): ``RV[k] := infinity``).
 INFINITY = math.inf
 
 
-class MemberVector:
-    """A per-member counter vector with a cached minimum.
+class SlabMemberVector:
+    """Slab-backed per-member counter vector with an O(1) cached minimum.
 
-    Base class for :class:`ReceiveVector` and :class:`StabilityVector`;
-    both are maps ``member id -> message number`` whose minimum over the
-    current view drives a protocol decision.
+    Values live in a flat list indexed by a dense per-member slot; the
+    pid -> slot map is the only dict, and it is touched once per lookup
+    rather than once per aggregate.  The minimum is cached as
+    ``(_min_value, _min_count)`` and is exact at all times except when a
+    raise empties the minimum class, which flags ``_min_dirty`` for a lazy
+    rescan on the next read.
+    """
+
+    __slots__ = (
+        "_slot", "_pids", "_values", "_present", "_present_count",
+        "_min_value", "_min_count", "_min_dirty", "_last_finite_minimum",
+    )
+
+    def __init__(self, members: Iterable[str], initial: int = 0) -> None:
+        self._slot: Dict[str, int] = {}
+        self._pids: List[str] = []
+        self._values: List[float] = []
+        self._present: List[bool] = []
+        for member in members:
+            if member in self._slot:
+                continue
+            self._slot[member] = len(self._pids)
+            self._pids.append(member)
+            self._values.append(initial)
+            self._present.append(True)
+        if not self._pids:
+            raise ValueError("a member vector needs at least one member")
+        self._present_count = len(self._pids)
+        self._min_value: float = float(initial)
+        self._min_count = self._present_count
+        self._min_dirty = False
+        #: Largest finite minimum ever observed; the fallback value of
+        #: :meth:`finite_minimum` once every entry has been marked infinite
+        #: (mass failure / view collapse, §5.2 step viii).
+        self._last_finite_minimum: float = float(initial)
+
+    # ------------------------------------------------------------------
+    # Entry access
+    # ------------------------------------------------------------------
+    def __getitem__(self, member: str) -> float:
+        slot = self._slot.get(member)
+        if slot is None or not self._present[slot]:
+            raise KeyError(member)
+        return self._values[slot]
+
+    def __contains__(self, member: str) -> bool:
+        slot = self._slot.get(member)
+        return slot is not None and self._present[slot]
+
+    def __iter__(self) -> Iterator[str]:
+        for slot, pid in enumerate(self._pids):
+            if self._present[slot]:
+                yield pid
+
+    def __len__(self) -> int:
+        return self._present_count
+
+    def get(self, member: str, default: Optional[float] = None) -> Optional[float]:
+        """Entry for ``member`` or ``default`` when absent."""
+        slot = self._slot.get(member)
+        if slot is None or not self._present[slot]:
+            return default
+        return self._values[slot]
+
+    def members(self) -> list[str]:
+        """Member identifiers tracked by this vector, sorted."""
+        return sorted(self)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Copy of the vector as a mapping (for inspection / metrics)."""
+        return {
+            pid: self._values[slot]
+            for slot, pid in enumerate(self._pids)
+            if self._present[slot]
+        }
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def update(self, member: str, value: float) -> bool:
+        """Record ``value`` for ``member`` if it is larger than the current
+        entry.  Returns True if the entry changed.
+
+        Message numbers from one sender only ever increase (CA1 + FIFO), so
+        a monotone update is the correct and safe behaviour even if the
+        caller processes piggybacked or recovered messages out of order.
+        """
+        slot = self._slot.get(member)
+        if slot is None or not self._present[slot]:
+            raise KeyError(f"{member!r} is not tracked by this vector")
+        current = self._values[slot]
+        if value <= current:
+            return False
+        self._values[slot] = value
+        self._on_raised(current)
+        return True
+
+    def mark_infinite(self, member: str) -> None:
+        """Step (viii): stop letting ``member`` constrain the minimum."""
+        slot = self._slot.get(member)
+        if slot is None or not self._present[slot]:
+            return
+        current = self._values[slot]
+        if current != INFINITY:
+            self._values[slot] = INFINITY
+            self._on_raised(current)
+
+    def remove(self, member: str) -> None:
+        """Drop ``member`` from the vector entirely (after view installation)."""
+        slot = self._slot.get(member)
+        if slot is None or not self._present[slot]:
+            return
+        self._present[slot] = False
+        self._present_count -= 1
+        self._on_raised(self._values[slot])
+
+    def add_member(self, member: str, initial: int = 0) -> None:
+        """Track a new member (used only by group formation, where the
+        vector is created for the full intended membership)."""
+        slot = self._slot.get(member)
+        if slot is not None:
+            if not self._present[slot]:
+                self._present[slot] = True
+                self._present_count += 1
+                self._values[slot] = initial
+                self._on_lowered(float(initial))
+            return
+        self._slot[member] = len(self._pids)
+        self._pids.append(member)
+        self._values.append(initial)
+        self._present.append(True)
+        self._present_count += 1
+        self._on_lowered(float(initial))
+
+    def _on_raised(self, old_value: float) -> None:
+        """An entry at ``old_value`` was raised or removed."""
+        if self._min_dirty or old_value != self._min_value:
+            return
+        self._min_count -= 1
+        if self._min_count <= 0:
+            self._min_dirty = True
+
+    def _on_lowered(self, value: float) -> None:
+        """A new entry at ``value`` appeared (group formation only)."""
+        if self._min_dirty:
+            return
+        if value < self._min_value:
+            self._min_value = value
+            self._min_count = 1
+        elif value == self._min_value:
+            self._min_count += 1
+
+    def _rescan(self) -> None:
+        best = INFINITY
+        count = 0
+        values = self._values
+        present = self._present
+        for slot in range(len(values)):
+            if not present[slot]:
+                continue
+            value = values[slot]
+            if value < best:
+                best = value
+                count = 1
+            elif value == best:
+                count += 1
+        self._min_value = best
+        self._min_count = count
+        self._min_dirty = False
+
+    # ------------------------------------------------------------------
+    # The protocol-relevant aggregate
+    # ------------------------------------------------------------------
+    def minimum(self) -> float:
+        """Minimum entry over all tracked members.
+
+        Entries marked infinite (failed/departed members) do not constrain
+        the result; if *every* entry is infinite the result is infinity,
+        meaning nothing constrains deliverability any more.
+        """
+        if self._present_count == 0:
+            return INFINITY
+        if self._min_dirty:
+            self._rescan()
+        return self._min_value
+
+    def finite_minimum(self) -> float:
+        """Minimum over the *finite* entries, with an all-infinite fallback.
+
+        When every entry has been marked infinite (all other members failed
+        at once) the plain :meth:`minimum` is ``inf`` -- a value that must
+        never be serialised into an ``m.ldn`` field or compared against
+        integer message numbers.  This variant clamps to the last finite
+        bound observed instead, which is always a *safe* (possibly
+        conservative) stability bound: entries only ever grow, so every
+        message at or below it really was covered by finite evidence.
+        """
+        value = self.minimum()
+        if value == INFINITY:
+            return self._last_finite_minimum
+        if value > self._last_finite_minimum:
+            self._last_finite_minimum = value
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{member}:{value}" for member, value in sorted(self.as_dict().items()))
+        return f"{type(self).__name__}({inner})"
+
+
+class DictMemberVector:
+    """Reference dict-backed vector (the pre-slab implementation).
+
+    Selected with ``NewtopConfig.use_slab_state=False``; the equivalence
+    tests run identical seeded scenarios under both backends and require
+    byte-identical scenario results.
     """
 
     def __init__(self, members: Iterable[str], initial: int = 0) -> None:
         self._entries: Dict[str, float] = {member: initial for member in members}
         if not self._entries:
             raise ValueError("a member vector needs at least one member")
-        #: Largest finite minimum ever observed; the fallback value of
-        #: :meth:`finite_minimum` once every entry has been marked infinite
-        #: (mass failure / view collapse, §5.2 step viii).
         self._last_finite_minimum: float = float(initial)
 
     # ------------------------------------------------------------------
@@ -78,13 +300,7 @@ class MemberVector:
     # Updates
     # ------------------------------------------------------------------
     def update(self, member: str, value: float) -> bool:
-        """Record ``value`` for ``member`` if it is larger than the current
-        entry.  Returns True if the entry changed.
-
-        Message numbers from one sender only ever increase (CA1 + FIFO), so
-        a monotone update is the correct and safe behaviour even if the
-        caller processes piggybacked or recovered messages out of order.
-        """
+        """Monotone update; see :meth:`SlabMemberVector.update`."""
         if member not in self._entries:
             raise KeyError(f"{member!r} is not tracked by this vector")
         if value > self._entries[member]:
@@ -102,33 +318,18 @@ class MemberVector:
         self._entries.pop(member, None)
 
     def add_member(self, member: str, initial: int = 0) -> None:
-        """Track a new member (used only by group formation, where the
-        vector is created for the full intended membership)."""
+        """Track a new member (group formation only)."""
         self._entries.setdefault(member, initial)
 
     # ------------------------------------------------------------------
     # The protocol-relevant aggregate
     # ------------------------------------------------------------------
     def minimum(self) -> float:
-        """Minimum entry over all tracked members.
-
-        Entries marked infinite (failed/departed members) do not constrain
-        the result; if *every* entry is infinite the result is infinity,
-        meaning nothing constrains deliverability any more.
-        """
+        """Minimum entry; see :meth:`SlabMemberVector.minimum`."""
         return min(self._entries.values()) if self._entries else INFINITY
 
     def finite_minimum(self) -> float:
-        """Minimum over the *finite* entries, with an all-infinite fallback.
-
-        When every entry has been marked infinite (all other members failed
-        at once) the plain :meth:`minimum` is ``inf`` -- a value that must
-        never be serialised into an ``m.ldn`` field or compared against
-        integer message numbers.  This variant clamps to the last finite
-        bound observed instead, which is always a *safe* (possibly
-        conservative) stability bound: entries only ever grow, so every
-        message at or below it really was covered by finite evidence.
-        """
+        """Clamped finite minimum; see :meth:`SlabMemberVector.finite_minimum`."""
         finite = [value for value in self._entries.values() if value != INFINITY]
         if not finite:
             return self._last_finite_minimum
@@ -142,11 +343,14 @@ class MemberVector:
         return f"{type(self).__name__}({inner})"
 
 
-class ReceiveVector(MemberVector):
-    """``RV_x,i``: latest message number received from each view member.
+#: Default backend.  Protocol code should construct concrete vectors via
+#: :func:`make_receive_vector` / :func:`make_stability_vector` so the
+#: config flag can switch backends.
+MemberVector = SlabMemberVector
 
-    ``minimum()`` is the paper's ``D_x,i``.
-    """
+
+class _ReceiveVectorOps:
+    """``RV_x,i`` behaviour shared by both backends."""
 
     def record_receipt(self, sender: str, clock: int) -> bool:
         """Record that a message numbered ``clock`` arrived from ``sender``."""
@@ -158,13 +362,8 @@ class ReceiveVector(MemberVector):
         return self.minimum()
 
 
-class StabilityVector(MemberVector):
-    """``SV_x,i``: latest ``m.ldn`` received from each view member.
-
-    ``minimum()`` bounds the numbers of messages known to have been received
-    by every member; such messages are *stable* and may be discarded from
-    retransmission buffers (§5.1).
-    """
+class _StabilityVectorOps:
+    """``SV_x,i`` behaviour shared by both backends."""
 
     def record_ldn(self, sender: str, ldn: int) -> bool:
         """Record the ``m.ldn`` piggybacked on a message from ``sender``."""
@@ -181,3 +380,37 @@ class StabilityVector(MemberVector):
         when every entry is infinite (mass failure, §5.2 step viii).
         """
         return self.finite_minimum()
+
+
+class ReceiveVector(_ReceiveVectorOps, SlabMemberVector):
+    """``RV_x,i``: latest message number received from each view member.
+
+    ``minimum()`` is the paper's ``D_x,i``.
+    """
+
+
+class DictReceiveVector(_ReceiveVectorOps, DictMemberVector):
+    """Dict-backed reference ``RV_x,i``."""
+
+
+class StabilityVector(_StabilityVectorOps, SlabMemberVector):
+    """``SV_x,i``: latest ``m.ldn`` received from each view member.
+
+    ``minimum()`` bounds the numbers of messages known to have been received
+    by every member; such messages are *stable* and may be discarded from
+    retransmission buffers (§5.1).
+    """
+
+
+class DictStabilityVector(_StabilityVectorOps, DictMemberVector):
+    """Dict-backed reference ``SV_x,i``."""
+
+
+def make_receive_vector(members: Iterable[str], use_slab: bool = True):
+    """Construct an ``RV`` with the configured backend."""
+    return ReceiveVector(members) if use_slab else DictReceiveVector(members)
+
+
+def make_stability_vector(members: Iterable[str], use_slab: bool = True):
+    """Construct an ``SV`` with the configured backend."""
+    return StabilityVector(members) if use_slab else DictStabilityVector(members)

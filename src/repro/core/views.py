@@ -69,9 +69,32 @@ class MembershipView:
 
         Used wherever the paper requires "a fixed pre-determined order"
         (the safe2 tie-break) or "a deterministic algorithm" (sequencer
-        selection, §4.2).
+        selection, §4.2).  Cached: views are immutable and this is called
+        on every multicast fan-out.
         """
-        return tuple(sorted(self.members))
+        cached = self.__dict__.get("_sorted_members")
+        if cached is None:
+            cached = tuple(sorted(self.members))
+            object.__setattr__(self, "_sorted_members", cached)
+        return cached
+
+    def member_index(self) -> Dict[str, int]:
+        """Dense ``pid -> index`` mapping over :meth:`sorted_members`.
+
+        The view owns the canonical index space for slab/array-backed
+        per-member state (receive/stability slabs, suspector slots): every
+        member of the same view maps to the same dense index at every
+        process.  Cached on the immutable view; do not mutate the result.
+        """
+        cached = self.__dict__.get("_member_index")
+        if cached is None:
+            cached = {pid: slot for slot, pid in enumerate(self.sorted_members())}
+            object.__setattr__(self, "_member_index", cached)
+        return cached
+
+    def index_of(self, member: str) -> int:
+        """Dense index of ``member`` in this view (KeyError if absent)."""
+        return self.member_index()[member]
 
     # ------------------------------------------------------------------
     # View evolution

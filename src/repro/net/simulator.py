@@ -11,14 +11,25 @@ expressed in it, exactly as the paper's timeouts are).
 
 The kernel is intentionally small but built for throughput:
 
-* :class:`Simulator` owns the virtual clock, the pending-event heap and a
+* :class:`Simulator` owns the virtual clock, the pending-event stores and a
   seeded :class:`random.Random` instance.
 * :meth:`Simulator.schedule` registers a callback after a delay and returns
-  an :class:`EventHandle` that can be cancelled.  Cancellation is lazy (the
-  heap entry is only marked dead), but the heap is *compacted* whenever the
-  dead fraction crosses :attr:`Simulator.compaction_threshold`, so timer
-  churn -- protocols that schedule and cancel timers per message -- cannot
-  grow the heap beyond a small multiple of the live event count.
+  an :class:`EventHandle` that can be cancelled.  Sparse one-shot events
+  (message deliveries, scenario events) live on a binary heap; cancellation
+  there is lazy (the heap entry is only marked dead), but the heap is
+  *compacted* whenever the dead fraction crosses
+  :attr:`Simulator.compaction_threshold`.
+* High-churn periodic timers -- the protocol's per-(process, group)
+  suspector probes and time-silence nulls, thousands of them per tick at
+  10k-process scale -- opt into the :class:`_TimerWheel` with
+  ``schedule(..., wheel=True)``: a slot-bucketed store where insertion is
+  an O(1) append, cancellation is an O(1) mark (the record leaves memory
+  when its slot's instant passes -- no tombstone ever reaches the heap, so
+  timer churn can no longer trigger heap compactions at all), and slots
+  are sorted only when their time arrives.  Heap and wheel merge by the
+  global ``(time, sequence)`` key at execution, so the firing order is
+  *byte-identical* to an all-heap run -- pinned by equivalence tests, and
+  switchable off entirely with ``Simulator(use_timer_wheel=False)``.
 * Dead event records are recycled through a bounded free list; at high
   event rates this keeps allocation pressure flat.  A per-record
   *generation* counter makes recycled records safe: a stale
@@ -34,7 +45,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
 
 class SimulatorError(RuntimeError):
@@ -51,7 +62,10 @@ class _ScheduledEvent:
     kernel's free list, with ``generation`` guarding stale handles.
     """
 
-    __slots__ = ("time", "sequence", "callback", "args", "cancelled", "label", "generation")
+    __slots__ = (
+        "time", "sequence", "callback", "args", "cancelled", "label",
+        "generation", "in_wheel",
+    )
 
     def __init__(self) -> None:
         self.time = 0.0
@@ -61,6 +75,9 @@ class _ScheduledEvent:
         self.cancelled = False
         self.label = ""
         self.generation = 0
+        #: Whether the record currently lives in the timer wheel rather
+        #: than the heap (drives the O(1) cancellation path).
+        self.in_wheel = False
 
     def __lt__(self, other: "_ScheduledEvent") -> bool:
         if self.time != other.time:
@@ -119,6 +136,117 @@ class EventHandle:
         return f"EventHandle(time={self.time!r}, label={self.label!r}, {state})"
 
 
+class _TimerWheel:
+    """Slot-bucketed event store for high-churn periodic timers.
+
+    Events are filed under their absolute slot index ``floor(time / width)``
+    in plain per-slot lists: insertion appends (O(1)), cancellation marks
+    the record dead (O(1) -- the slot is dropped wholesale when its instant
+    passes, so cancelled records never accumulate the way lazy heap
+    tombstones do).  A small heap of *slot indices* (one entry per open
+    slot, never per event) finds the next non-empty slot; a slot's events
+    are sorted by the global ``(time, sequence)`` key only when the wheel
+    reaches it, which preserves exactly the order an all-heap simulator
+    would fire them in.
+
+    The wheel is "hierarchical" in the lazy sense: far-future slots stay
+    unsorted dict entries at full width regardless of horizon, so there is
+    no cascade step and no horizon limit -- the cost of ordering an event
+    is paid once, in the slot-local sort amortised over the slot's
+    occupants.
+    """
+
+    __slots__ = (
+        "slot_width", "_slots", "_slot_heap", "_current", "_current_pos",
+        "_current_index", "count", "live", "_recycle",
+    )
+
+    def __init__(self, slot_width: float, recycle: Callable[["_ScheduledEvent"], None]) -> None:
+        if slot_width <= 0:
+            raise SimulatorError("wheel slot width must be positive")
+        self.slot_width = slot_width
+        self._slots: dict[int, List[_ScheduledEvent]] = {}
+        self._slot_heap: List[int] = []
+        #: Sorted events of the slot currently being served.
+        self._current: List[_ScheduledEvent] = []
+        self._current_pos = 0
+        #: Index of the slot currently being served (inserts at or before
+        #: it must go to the main heap -- the sorted run is never reopened).
+        self._current_index: Optional[int] = None
+        self.count = 0
+        self.live = 0
+        self._recycle = recycle
+
+    def slot_for(self, time: float) -> int:
+        """Absolute slot index an event at ``time`` files under."""
+        return int(time / self.slot_width)
+
+    def accepts(self, slot_index: int) -> bool:
+        """Whether an event in ``slot_index`` may still enter the wheel.
+
+        Once a slot has been sorted and is being served, late arrivals for
+        it (zero-delay reschedules inside the same slot) fall back to the
+        heap; the merged pop order keeps them exactly placed.
+        """
+        return self._current_index is None or slot_index > self._current_index
+
+    def insert(self, event: _ScheduledEvent, slot_index: int) -> None:
+        bucket = self._slots.get(slot_index)
+        if bucket is None:
+            self._slots[slot_index] = bucket = []
+            heapq.heappush(self._slot_heap, slot_index)
+        bucket.append(event)
+        event.in_wheel = True
+        self.count += 1
+        self.live += 1
+
+    def on_cancelled(self) -> None:
+        """Bookkeeping for an O(1) in-wheel cancellation."""
+        self.live -= 1
+
+    def peek(self) -> Optional[_ScheduledEvent]:
+        """The next live wheel event, advancing slots as needed."""
+        while True:
+            current = self._current
+            position = self._current_pos
+            while position < len(current):
+                event = current[position]
+                if event.cancelled:
+                    position += 1
+                    self.count -= 1
+                    self._recycle(event)
+                    continue
+                self._current_pos = position
+                return event
+            self._current_pos = position
+            if not self._slot_heap:
+                if current:
+                    self._current = []
+                    self._current_pos = 0
+                return None
+            index = heapq.heappop(self._slot_heap)
+            bucket = self._slots.pop(index)
+            self._current_index = index
+            live = []
+            for event in bucket:
+                if event.cancelled:
+                    self.count -= 1
+                    self._recycle(event)
+                else:
+                    live.append(event)
+            live.sort()
+            self._current = live
+            self._current_pos = 0
+
+    def pop(self) -> _ScheduledEvent:
+        """Remove and return the event :meth:`peek` just found."""
+        event = self._current[self._current_pos]
+        self._current_pos += 1
+        self.count -= 1
+        self.live -= 1
+        return event
+
+
 class Simulator:
     """Deterministic discrete-event simulator.
 
@@ -128,6 +256,15 @@ class Simulator:
         Seed for the simulator-owned random number generator.  All
         randomness in a simulation (latency sampling, workload generation)
         should be drawn from :attr:`rng` so runs are reproducible.
+    use_timer_wheel:
+        When ``False``, ``schedule(..., wheel=True)`` requests silently fall
+        back to the heap.  Execution order is identical either way (the
+        equivalence tests run both); the switch only exists to prove that.
+    wheel_slot_width:
+        Bucket granularity of the timer wheel, in simulated time units.
+        Periodic protocol timers (suspector checks at 0.5-1.0, time-silence
+        at omega ~1.5-2.0) land a handful of slots ahead, keeping per-slot
+        sorts small.
     """
 
     #: Compact the heap once more than this fraction of it is cancelled
@@ -143,7 +280,12 @@ class Simulator:
     #: silently clamped.
     _NEGATIVE_DELAY_EPSILON = 1e-12
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        use_timer_wheel: bool = True,
+        wheel_slot_width: float = 0.5,
+    ) -> None:
         self._now: float = 0.0
         self._heap: list[_ScheduledEvent] = []
         self._next_sequence = 0
@@ -154,6 +296,9 @@ class Simulator:
         self.compactions = 0
         self.rng = random.Random(seed)
         self.seed = seed
+        self._wheel: Optional[_TimerWheel] = (
+            _TimerWheel(wheel_slot_width, self._recycle) if use_timer_wheel else None
+        )
 
     # ------------------------------------------------------------------
     # Clock
@@ -171,12 +316,15 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of events currently queued (including cancelled ones)."""
-        return len(self._heap)
+        wheel = self._wheel
+        return len(self._heap) + (wheel.count if wheel is not None else 0)
 
     @property
     def live_pending_events(self) -> int:
         """Number of queued events that have not been cancelled."""
-        return len(self._heap) - self._cancelled_in_heap
+        live = len(self._heap) - self._cancelled_in_heap
+        wheel = self._wheel
+        return live + (wheel.live if wheel is not None else 0)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -187,6 +335,7 @@ class Simulator:
         callback: Callable[..., None],
         *args: Any,
         label: str = "",
+        wheel: bool = False,
     ) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` time units from now.
 
@@ -195,6 +344,11 @@ class Simulator:
         completes (run-to-completion semantics, like an event loop).
         Epsilon-negative delays produced by float rounding of absolute
         times are clamped to zero rather than rejected.
+
+        ``wheel=True`` marks the event as a high-churn periodic timer that
+        should live in the timer wheel (O(1) cancellation, no heap
+        tombstones).  It is purely a placement hint: firing order is the
+        global ``(time, sequence)`` order regardless of store.
         """
         if delay < 0:
             if delay >= -self._NEGATIVE_DELAY_EPSILON * max(1.0, abs(self._now)):
@@ -210,6 +364,12 @@ class Simulator:
         event.callback = callback
         event.args = args
         event.label = label
+        timer_wheel = self._wheel
+        if wheel and timer_wheel is not None:
+            slot_index = timer_wheel.slot_for(event.time)
+            if timer_wheel.accepts(slot_index):
+                timer_wheel.insert(event, slot_index)
+                return EventHandle(self, event)
         heapq.heappush(self._heap, event)
         return EventHandle(self, event)
 
@@ -235,25 +395,31 @@ class Simulator:
 
         Returns ``True`` if an event was executed, ``False`` if the queue
         was empty (only cancelled events or nothing at all).
+
+        The heap and the timer wheel are merged here by the global
+        ``(time, sequence)`` key, so the firing order is independent of
+        which store an event was placed in.
         """
-        while self._heap:
+        heap_event = self._peek_heap()
+        timer_wheel = self._wheel
+        wheel_event = timer_wheel.peek() if timer_wheel is not None else None
+        if heap_event is None and wheel_event is None:
+            return False
+        if wheel_event is None or (heap_event is not None and heap_event < wheel_event):
             event = heapq.heappop(self._heap)
-            if event.cancelled:
-                self._cancelled_in_heap -= 1
-                self._recycle(event)
-                continue
-            if event.time < self._now:
-                raise SimulatorError("event heap corrupted: time went backwards")
-            callback = event.callback
-            args = event.args
-            self._now = event.time
-            self._events_processed += 1
-            # Recycle before invoking: the callback frequently schedules new
-            # events, which can then reuse this record immediately.
-            self._recycle(event)
-            callback(*args)
-            return True
-        return False
+        else:
+            event = timer_wheel.pop()
+        if event.time < self._now:
+            raise SimulatorError("event queue corrupted: time went backwards")
+        callback = event.callback
+        args = event.args
+        self._now = event.time
+        self._events_processed += 1
+        # Recycle before invoking: the callback frequently schedules new
+        # events, which can then reuse this record immediately.
+        self._recycle(event)
+        callback(*args)
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run events until the queue drains, ``until`` is reached or
@@ -269,10 +435,10 @@ class Simulator:
         self._running = True
         executed = 0
         try:
-            while self._heap:
+            while True:
                 if max_events is not None and executed >= max_events:
                     return
-                # Peek at the next non-cancelled event.
+                # Peek at the next non-cancelled event (heap or wheel).
                 next_event = self._peek()
                 if next_event is None:
                     break
@@ -301,7 +467,7 @@ class Simulator:
         executed = 0
         if predicate():
             return True
-        while self._heap and executed < max_events:
+        while executed < max_events:
             next_event = self._peek()
             if next_event is None or next_event.time > deadline:
                 break
@@ -313,6 +479,17 @@ class Simulator:
 
     def _peek(self) -> Optional[_ScheduledEvent]:
         """Return the next non-cancelled event without executing it."""
+        heap_event = self._peek_heap()
+        timer_wheel = self._wheel
+        wheel_event = timer_wheel.peek() if timer_wheel is not None else None
+        if heap_event is None:
+            return wheel_event
+        if wheel_event is None:
+            return heap_event
+        return heap_event if heap_event < wheel_event else wheel_event
+
+    def _peek_heap(self) -> Optional[_ScheduledEvent]:
+        """Next live heap event, discarding cancelled entries at the top."""
         while self._heap and self._heap[0].cancelled:
             self._cancelled_in_heap -= 1
             self._recycle(heapq.heappop(self._heap))
@@ -337,18 +514,24 @@ class Simulator:
         event.args = ()
         event.label = ""
         event.cancelled = False
+        event.in_wheel = False
         if len(self._free) < self._FREE_LIST_LIMIT:
             self._free.append(event)
 
     def _cancel_event(self, event: _ScheduledEvent, generation: int) -> None:
-        """Cancel the heap occurrence a handle refers to (if still queued)."""
+        """Cancel the queued occurrence a handle refers to (if still queued)."""
         if event.generation != generation or event.cancelled:
             return
         event.cancelled = True
-        # Release the references right away; the record itself stays in the
-        # heap (lazy deletion) until popped or compacted.
+        # Release the references right away; the record itself stays in its
+        # store until its turn comes (heap: lazy deletion with compaction;
+        # wheel: dropped when its slot's instant passes -- O(1), no
+        # compaction pressure).
         event.callback = None
         event.args = ()
+        if event.in_wheel:
+            self._wheel.on_cancelled()
+            return
         self._cancelled_in_heap += 1
         self._maybe_compact()
 

@@ -51,6 +51,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, IO, Iterable, Iterator, List, Optional, Tuple, Union
 
+from repro.stats import LatencyReservoir
+
 #: Event kinds recorded by protocol implementations.
 SEND = "send"
 RECEIVE = "receive"
@@ -228,13 +230,17 @@ class MetricsSink(TraceSink):
     """Rolling aggregator: never stores events, only summaries.
 
     Tracks event counts by kind, per-group application delivery counts, and
-    streaming delivery-latency statistics (count/mean/min/max via Welford's
-    online algorithm).  Latency samples pair each delivery with the *first*
-    send of its message id -- re-sends under the original id (asymmetric
-    failover) must not reset the clock.  Memory is O(kinds + groups +
-    distinct message ids): the send-time table is what pairs deliveries
-    with sends and cannot be evicted (a multicast delivers many times),
-    but it never grows with deliveries, nulls or run length.
+    streaming delivery-latency statistics: exact count/mean/min/max (with a
+    Welford variance term) plus a bounded deterministic
+    :class:`~repro.stats.LatencyReservoir` for percentiles.  The reservoir
+    is what a sharded batch merges -- carrying it (rather than the moment
+    summary) keeps cross-shard percentiles exact whenever the shard pools
+    are exact.  Latency samples pair each delivery with the *first* send of
+    its message id -- re-sends under the original id (asymmetric failover)
+    must not reset the clock.  Memory is O(kinds + groups + distinct
+    message ids + reservoir capacity): the send-time table is what pairs
+    deliveries with sends and cannot be evicted (a multicast delivers many
+    times), but it never grows with deliveries, nulls or run length.
     """
 
     def __init__(self) -> None:
@@ -242,11 +248,8 @@ class MetricsSink(TraceSink):
         self.by_kind: Dict[str, int] = {}
         self.deliveries_by_group: Dict[str, int] = {}
         self._first_send_time: Dict[str, float] = {}
-        self.latency_count = 0
-        self.latency_mean = 0.0
+        self.latency = LatencyReservoir()
         self._latency_m2 = 0.0
-        self.latency_min = float("inf")
-        self.latency_max = float("-inf")
 
     def on_event(self, event: TraceEvent) -> None:
         self.events_total += 1
@@ -261,19 +264,32 @@ class MetricsSink(TraceSink):
             send_time = self._first_send_time.get(event.message_id)
             if send_time is not None:
                 sample = event.time - send_time
-                self.latency_count += 1
-                delta = sample - self.latency_mean
-                self.latency_mean += delta / self.latency_count
-                self._latency_m2 += delta * (sample - self.latency_mean)
-                self.latency_min = min(self.latency_min, sample)
-                self.latency_max = max(self.latency_max, sample)
+                delta = sample - self.latency.mean
+                self.latency.add(sample)
+                self._latency_m2 += delta * (sample - self.latency.mean)
+
+    @property
+    def latency_count(self) -> int:
+        return self.latency.count
+
+    @property
+    def latency_mean(self) -> float:
+        return self.latency.mean
+
+    @property
+    def latency_min(self) -> float:
+        return self.latency.min
+
+    @property
+    def latency_max(self) -> float:
+        return self.latency.max
 
     @property
     def latency_variance(self) -> float:
         """Population variance of the latency samples seen so far."""
-        if self.latency_count < 2:
+        if self.latency.count < 2:
             return 0.0
-        return self._latency_m2 / self.latency_count
+        return self._latency_m2 / self.latency.count
 
     def snapshot(self) -> Dict[str, Any]:
         """A JSON-shaped summary of everything aggregated so far."""

@@ -28,6 +28,10 @@ from repro.net.network import Network
 #: Handler signature: ``handler(message)``.
 Handler = Callable[["TransportMessage"], None]
 
+#: Batch-handler signature: ``handler(messages)`` -- every message that
+#: arrived on one channel at one simulated instant, in send order.
+BatchHandler = Callable[[List["TransportMessage"]], None]
+
 
 @dataclass
 class TransportMessage:
@@ -85,6 +89,7 @@ class Endpoint:
         self.node_id = node_id
         self.stats = TransportStats()
         self._handlers: Dict[str, Handler] = {}
+        self._batch_handlers: Dict[str, "BatchHandler"] = {}
         self._default_handler: Optional[Handler] = None
         # FIFO bookkeeping: next expected seqno per (src, channel).
         self._next_expected: Dict[tuple, int] = {}
@@ -98,6 +103,19 @@ class Endpoint:
     def register_handler(self, channel: str, handler: Handler) -> None:
         """Register the handler for messages on ``channel``."""
         self._handlers[channel] = handler
+
+    def register_batch_handler(self, channel: str, handler: "BatchHandler") -> None:
+        """Register a handler invoked once per delivery *instant* with every
+        message that arrived on ``channel`` at that instant, in send order.
+
+        A batch handler supersedes the per-message handler for batched
+        arrivals (the per-message handler still serves the single-message
+        delivery path).  FIFO checking and the per-message stats are
+        performed before the batch handler runs.  Protocols use this to pay
+        per-receipt follow-up work (delivery attempts, deferred-send
+        flushes) once per instant instead of once per message.
+        """
+        self._batch_handlers[channel] = handler
 
     def register_default_handler(self, handler: Handler) -> None:
         """Handler for channels without a specific registration."""
@@ -167,17 +185,48 @@ class Endpoint:
         """Process every message that arrived at one simulated instant.
 
         The network hands same-instant arrivals over in a single call (one
-        scheduled event per destination per instant); FIFO checking and
-        handler dispatch remain per message.
+        scheduled event per destination per instant); FIFO checking and the
+        stats remain per message.  Channels with a registered batch handler
+        receive all their same-instant messages in one call *after* the
+        per-message channels dispatched (in practice all protocol traffic
+        shares one channel, so a batch is single-channel).
         """
+        grouped: Optional[Dict[str, List[TransportMessage]]] = None
         for src, raw in items:
             if self._crashed:
                 return
-            self._on_network_delivery(src, raw)
+            message = self._ingest(src, raw)
+            if message is None:
+                continue
+            batch_handler = self._batch_handlers.get(message.channel)
+            if batch_handler is None:
+                handler = self._handlers.get(message.channel, self._default_handler)
+                if handler is not None:
+                    handler(message)
+                continue
+            if grouped is None:
+                grouped = {}
+            grouped.setdefault(message.channel, []).append(message)
+        if grouped is None:
+            return
+        for channel, messages in grouped.items():
+            if self._crashed:
+                return
+            self._batch_handlers[channel](messages)
 
     def _on_network_delivery(self, src: str, raw: object) -> None:
-        if self._crashed:
+        message = self._ingest(src, raw)
+        if message is None:
             return
+        handler = self._handlers.get(message.channel, self._default_handler)
+        if handler is not None:
+            handler(message)
+
+    def _ingest(self, src: str, raw: object) -> Optional[TransportMessage]:
+        """FIFO-check and account one arrival; returns the validated message
+        (or ``None`` when the endpoint has crashed)."""
+        if self._crashed:
+            return None
         if not isinstance(raw, TransportMessage):  # pragma: no cover - substrate misuse
             raise TypeError(f"unexpected payload on the wire: {raw!r}")
         message = raw
@@ -198,9 +247,7 @@ class Endpoint:
         self.stats.per_channel_received[message.channel] = (
             self.stats.per_channel_received.get(message.channel, 0) + 1
         )
-        handler = self._handlers.get(message.channel, self._default_handler)
-        if handler is not None:
-            handler(message)
+        return message
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "crashed" if self._crashed else "up"

@@ -39,6 +39,7 @@ from repro.scenarios.engine import (
     run_scenario,
     run_scenarios,
 )
+from repro.scenarios.report import VIOLATION_LIMIT, RollingReport
 from repro.scenarios.library import (
     cascading_partitions_scenario,
     churn_scenario,
@@ -64,6 +65,8 @@ __all__ = [
     "ScenarioEngine",
     "ScenarioExecutionError",
     "ScenarioResult",
+    "RollingReport",
+    "VIOLATION_LIMIT",
     "run_scenario",
     "run_scenarios",
     "cascading_partitions_scenario",

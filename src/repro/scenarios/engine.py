@@ -67,7 +67,7 @@ from repro.scenarios.spec import (
     ScenarioSpec,
     from_config,
 )
-from repro.workloads.client import OpenLoopClient, aggregate_counters
+from repro.workloads.client import LatencyReservoir, OpenLoopClient, aggregate_counters
 from repro.workloads.profiles import get_profile
 
 #: Protocol defaults for scenario runs: fast time-silence and suspicion so
@@ -124,6 +124,11 @@ class ScenarioResult:
     #: Open-loop workload accounting (aggregated over the per-group
     #: clients) when the spec selected a profile; ``None`` otherwise.
     workload: Optional[Dict[str, object]] = None
+    #: Exact delivery-latency statistics merged over the per-group clients
+    #: (profile workloads only).  Carrying the *reservoir* -- not just its
+    #: summary -- is what lets a sharded batch merge percentiles exactly:
+    #: the object is picklable and rides back from pool workers intact.
+    latency_reservoir: Optional[LatencyReservoir] = None
 
     @property
     def passed(self) -> bool:
@@ -182,6 +187,10 @@ class ScenarioEngine:
         self._agreement_sets = self.expected_agreement_sets()
         overrides = dict(SCENARIO_PROTOCOL_DEFAULTS)
         overrides.update(spec.protocol)
+        # "timer_wheel" is a simulator knob, not a protocol parameter; it
+        # rides in the protocol dict so scenario configs (and the
+        # equivalence tests) can toggle it declaratively.
+        timer_wheel = bool(overrides.pop("timer_wheel", True))
         self.session = Session(
             stack,
             config=overrides,
@@ -191,6 +200,7 @@ class ScenarioEngine:
             sinks=sinks,
             analysis=analysis,
             view_agreement_sets=self._agreement_sets,
+            timer_wheel=timer_wheel,
         )
         self.stack = self.session.stack
         self.skipped_events: List[str] = []
@@ -496,7 +506,22 @@ class ScenarioEngine:
             stack=self.stack.name,
             skipped_events=list(self.skipped_events),
             workload=self._workload_stats(),
+            latency_reservoir=self._latency_reservoir(),
         )
+
+    def _latency_reservoir(self) -> Optional[LatencyReservoir]:
+        """The run's exact delivery-latency reservoir.
+
+        Profile workloads merge the per-group clients' reservoirs (each is
+        exact over that client's admitted messages).  Closed-loop runs fall
+        back to the online MetricsSink's reservoir, which samples every
+        delivery; offline closed-loop runs have no streaming aggregate and
+        return ``None``.
+        """
+        if self.clients:
+            return LatencyReservoir.merged(client.latency for client in self.clients)
+        sink = self.session.metrics_sink
+        return sink.latency if sink is not None else None
 
     def _workload_stats(self) -> Optional[Dict[str, object]]:
         if not self.clients:

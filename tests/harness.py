@@ -1,17 +1,24 @@
-"""Convenience harness: a cluster of Newtop processes on one simulator.
+"""Tests-local cluster harnesses for protocol-level unit tests.
 
-Every test, example and benchmark needs the same boilerplate -- a
-simulator, a network, a transport, a trace recorder and a set of processes
--- so :class:`NewtopCluster` packages it.  It is a thin layer: everything it
-does can be done with the underlying objects directly, and it exposes them
-all as attributes.
+The public entry point for running any protocol is
+:class:`repro.api.Session`; the deprecated ``NewtopCluster`` /
+``BaselineCluster`` shims were removed from the package.  The protocol
+*unit* tests, however, deliberately poke below the session layer -- they
+reach into individual processes, hand-build views, inspect retention
+buffers -- so they keep a minimal cluster harness here, local to the test
+suite, where it cannot leak back into the public API.
+
+Everything here is a thin wire-up of the real substrate objects
+(:class:`~repro.net.simulator.Simulator`, :class:`~repro.net.network.Network`,
+:class:`~repro.net.transport.Transport`, :class:`~repro.net.trace.TraceRecorder`);
+no protocol behaviour lives in this file.
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Type
 
+from repro.baselines import BaselineProcess
 from repro.core.config import NewtopConfig, OrderingMode
 from repro.core.process import NewtopProcess
 from repro.net.failures import FailureSchedule, FaultInjector
@@ -23,14 +30,7 @@ from repro.net.transport import Transport
 
 
 class NewtopCluster:
-    """A set of Newtop processes sharing one simulated network.
-
-    .. deprecated::
-        Construct a :class:`repro.api.Session` instead
-        (``Session(stack="newtop", ...)``); it provides the same processes
-        behind the one lifecycle every protocol stack shares, with trace
-        sinks and streaming verification wired through.
-    """
+    """A set of Newtop processes sharing one simulated network."""
 
     def __init__(
         self,
@@ -40,21 +40,12 @@ class NewtopCluster:
         seed: int = 0,
         recorder: Optional[TraceRecorder] = None,
     ) -> None:
-        warnings.warn(
-            "NewtopCluster is deprecated; use repro.api.Session("
-            "stack='newtop') for the unified session lifecycle",
-            DeprecationWarning,
-            stacklevel=2,
-        )
         self.sim = Simulator(seed=seed)
         network_config = NetworkConfig()
         if latency_model is not None:
             network_config.latency_model = latency_model
         self.network = Network(self.sim, network_config)
         self.transport = Transport(self.network)
-        # Callers may supply their own recorder, e.g. a streaming one with
-        # ``keep_events=False`` plus online-checker sinks (scenario engine's
-        # ``analysis="online"`` mode).
         self.recorder = recorder if recorder is not None else TraceRecorder()
         self.config = (config or NewtopConfig()).validate()
         self.injector = FaultInjector(self.sim, self.network)
@@ -155,3 +146,65 @@ class NewtopCluster:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"NewtopCluster(processes={self.process_ids}, now={self.sim.now:.2f})"
+
+
+class BaselineCluster:
+    """A group of identical baseline processes on one simulated network."""
+
+    def __init__(
+        self,
+        process_class: Type[BaselineProcess],
+        process_ids: Sequence[str],
+        latency_model: Optional[LatencyModel] = None,
+        seed: int = 0,
+        **process_kwargs,
+    ) -> None:
+        self.sim = Simulator(seed=seed)
+        network_config = NetworkConfig()
+        if latency_model is not None:
+            network_config.latency_model = latency_model
+        self.network = Network(self.sim, network_config)
+        self.transport = Transport(self.network)
+        self.processes: Dict[str, BaselineProcess] = {}
+        for process_id in process_ids:
+            self.processes[process_id] = process_class(
+                process_id, self.sim, self.transport, process_ids, **process_kwargs
+            )
+
+    def __getitem__(self, process_id: str) -> BaselineProcess:
+        return self.processes[process_id]
+
+    def __iter__(self):
+        return iter(self.processes.values())
+
+    def run(self, duration: float) -> None:
+        """Advance simulated time by ``duration``."""
+        self.sim.run(until=self.sim.now + duration)
+
+    def run_until_all_delivered(self, expected: int, timeout: float = 500.0) -> bool:
+        """Run until every process has made at least ``expected`` deliveries."""
+        return self.sim.run_until(
+            lambda: all(len(process.delivered) >= expected for process in self),
+            timeout,
+        )
+
+    def total_protocol_bytes(self) -> int:
+        """Protocol-overhead bytes transmitted by all processes."""
+        return sum(process.protocol_bytes_sent for process in self)
+
+    def total_messages_sent(self) -> int:
+        """Network messages transmitted (from the network's counters)."""
+        return self.network.stats.messages_sent
+
+    def delivery_orders_agree(self) -> bool:
+        """Whether every pair of processes agrees on the relative order of
+        the messages they both delivered (the baseline's own sanity check)."""
+        orders = [process.delivered_ids() for process in self]
+        for i, first in enumerate(orders):
+            for second in orders[i + 1 :]:
+                common = set(first) & set(second)
+                first_common = [msg for msg in first if msg in common]
+                second_common = [msg for msg in second if msg in common]
+                if first_common != second_common:
+                    return False
+        return True

@@ -24,7 +24,9 @@ from repro.analysis.overhead import (
     psync_overhead_bytes,
 )
 from repro.analysis.workloads import BurstyWorkload, UniformWorkload, WorkloadRunner
-from repro.core import NewtopCluster, NewtopConfig
+from harness import NewtopCluster
+
+from repro.core import NewtopConfig
 from repro.net.network import NetworkStats
 from repro.net.trace import DELIVER, SEND, SUSPECT, TraceRecorder, VIEW_INSTALL
 

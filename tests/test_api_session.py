@@ -2,7 +2,7 @@
 
 Covers: the Session lifecycle on Newtop and every baseline stack,
 per-stack check selection, the capability-flag path for unsupported
-scenario events, the deprecation shims on the old cluster constructors,
+scenario events, the removal of the old cluster-constructor shims,
 the primary-partition policy stack, and the cross-stack churn smoke run
 (the E20 code path at tier-1 scale).
 """
@@ -18,8 +18,6 @@ from repro.api import (
     available_stacks,
     get_stack,
 )
-from repro.baselines import BaselineCluster, FixedSequencerProcess
-from repro.core import NewtopCluster
 from repro.scenarios import churn_scenario, run_scenario
 
 NAMES = ["A", "B", "C", "D"]
@@ -197,23 +195,17 @@ def test_churn_scenario_runs_on_all_six_stacks():
 
 
 # ---------------------------------------------------------------------------
-# Deprecation shims on the old constructors
+# The deprecated cluster constructors are gone from the public API
 # ---------------------------------------------------------------------------
 
 
-def test_newtop_cluster_shim_warns_and_still_works():
-    with pytest.warns(DeprecationWarning, match="repro.api.Session"):
-        cluster = NewtopCluster(["A", "B", "C"], seed=1)
-    cluster.create_group("g")
-    cluster["A"].multicast("g", "x")
-    cluster.run(30)
-    assert "x" in cluster["C"].delivered_payloads("g")
+def test_cluster_shims_removed_from_public_api():
+    import repro
+    import repro.baselines
+    import repro.core
 
-
-def test_baseline_cluster_shim_warns_and_still_works():
-    with pytest.warns(DeprecationWarning, match="repro.api.Session"):
-        cluster = BaselineCluster(FixedSequencerProcess, ["A", "B", "C"], seed=1)
-    cluster["A"].multicast("x")
-    cluster.run(30)
-    assert cluster.delivery_orders_agree()
-    assert all(len(process.delivered) == 1 for process in cluster)
+    for module in (repro, repro.core):
+        assert not hasattr(module, "NewtopCluster")
+    assert not hasattr(repro.baselines, "BaselineCluster")
+    with pytest.raises(ImportError):
+        from repro.core import cluster  # noqa: F401

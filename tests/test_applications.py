@@ -4,7 +4,9 @@ store, online server migration)."""
 import pytest
 
 from repro.apps import ReplicatedStateMachine, ReplicatedStore, ServerMigrationScenario
-from repro.core import NewtopCluster, NewtopConfig, OrderingMode
+from harness import NewtopCluster
+
+from repro.core import NewtopConfig, OrderingMode
 
 FAST = dict(omega=1.5, suspicion_timeout=6.0, suspector_check_interval=0.5)
 

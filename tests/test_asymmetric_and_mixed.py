@@ -6,7 +6,9 @@ import pytest
 from repro.analysis import check_all
 from repro.analysis.checkers import check_total_order
 from repro.analysis.metrics import blocking_times
-from repro.core import NewtopCluster, NewtopConfig, OrderingMode
+from harness import NewtopCluster
+
+from repro.core import NewtopConfig, OrderingMode
 from repro.net.trace import BLOCKED_SEND, UNBLOCKED_SEND
 
 

@@ -2,8 +2,9 @@
 
 import pytest
 
+from harness import BaselineCluster
+
 from repro.baselines import (
-    BaselineCluster,
     FixedSequencerProcess,
     IsisProcess,
     LamportAckProcess,

@@ -252,7 +252,9 @@ def test_all_failed_group_never_serialises_infinite_ldn():
     ldn values and its retention buffer must not grow unboundedly."""
     import math
 
-    from repro.core import NewtopCluster, NewtopConfig
+    from harness import NewtopCluster
+
+    from repro.core import NewtopConfig
 
     cluster = NewtopCluster(
         ["P1", "P2", "P3"],

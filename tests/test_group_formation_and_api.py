@@ -3,10 +3,11 @@ process API (error handling, crash semantics, cluster helpers)."""
 
 import pytest
 
+from harness import NewtopCluster
+
 from repro.analysis import check_all
 from repro.core import (
     AlreadyMemberError,
-    NewtopCluster,
     NewtopConfig,
     NewtopProcess,
     NotAMemberError,

@@ -1,0 +1,268 @@
+"""Equivalence pins for the hot-path refactor (timer wheel / slab / batching).
+
+The 10k-scale hot path replaced three reference implementations:
+
+* the global event heap with a slotted timer wheel for high-churn periodic
+  timers (``Simulator(use_timer_wheel=...)``, ``schedule(..., wheel=True)``),
+* per-member dict vector-clock state with slab-backed arrays
+  (``NewtopConfig.use_slab_state``), and
+* per-message receipt processing with per-instant delivery batches
+  (``NewtopConfig.batch_receipts``).
+
+All three must be *behaviour-preserving*: for a seeded churn run, every
+toggle combination has to produce byte-identical results -- same event
+count, same deliveries, same messages, same verdicts, same metrics.  These
+tests pin that, plus the O(1)-cancellation contract the wheel exists for.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.vectors import (
+    INFINITY,
+    DictMemberVector,
+    DictReceiveVector,
+    DictStabilityVector,
+    ReceiveVector,
+    SlabMemberVector,
+    StabilityVector,
+)
+from repro.net.simulator import Simulator
+from repro.scenarios import churn_scenario, run_scenario
+
+# ---------------------------------------------------------------------------
+# Scenario-level equivalence: every toggle combination, one seeded churn run
+# ---------------------------------------------------------------------------
+
+def _churn_config(**protocol):
+    config = churn_scenario(
+        n_processes=60,
+        n_groups=6,
+        group_size=8,
+        crashes=2,
+        leaves=2,
+        formations=1,
+        messages_per_sender=2,
+        seed=11,
+    )
+    config["protocol"] = dict(config.get("protocol") or {}, **protocol)
+    return config
+
+
+def _fingerprint(result):
+    """Everything observable about a run except where events were *stored*
+    (heap-vs-wheel placement legitimately changes pending-count peaks and
+    compaction counts, never behaviour)."""
+    return {
+        "events_processed": result.events_processed,
+        "deliveries": result.deliveries,
+        "messages_sent": result.messages_sent,
+        "delivery_events": result.delivery_events,
+        "sim_time": result.sim_time,
+        "trace_events": result.trace_events,
+        "agreement_sets": result.agreement_sets,
+        "passed": result.passed,
+        "violations": list(result.checks.violations),
+        "metrics": result.metrics,
+        "latency": (
+            result.latency_reservoir.summary()
+            if result.latency_reservoir is not None
+            else None
+        ),
+    }
+
+
+@pytest.mark.parametrize(
+    "protocol",
+    [
+        dict(timer_wheel=False),
+        dict(use_slab_state=False),
+        dict(batch_receipts=False),
+        dict(timer_wheel=False, use_slab_state=False, batch_receipts=False),
+    ],
+    ids=["heap-scheduler", "dict-vectors", "per-message-receipts", "all-reference"],
+)
+def test_churn_run_identical_across_hot_path_toggles(protocol):
+    fast = run_scenario(_churn_config(), analysis="online")
+    reference = run_scenario(_churn_config(**protocol), analysis="online")
+    assert fast.passed and reference.passed
+    assert _fingerprint(fast) == _fingerprint(reference)
+
+
+# ---------------------------------------------------------------------------
+# Timer wheel: firing order and O(1) cancellation
+# ---------------------------------------------------------------------------
+
+def _record_firing_order(sim, schedule):
+    fired = []
+    for delay, tag, wheel in schedule:
+        sim.schedule(delay, fired.append, (tag, round(sim.now + delay, 9)), wheel=wheel)
+    sim.run()
+    return fired
+
+
+def test_wheel_and_heap_fire_in_identical_order():
+    rng = random.Random(42)
+    schedule = [
+        (rng.uniform(0.0, 20.0), index, rng.random() < 0.5) for index in range(400)
+    ]
+    with_wheel = _record_firing_order(Simulator(use_timer_wheel=True), schedule)
+    heap_only = _record_firing_order(Simulator(use_timer_wheel=False), schedule)
+    assert len(with_wheel) == len(schedule)
+    assert with_wheel == heap_only
+
+
+def test_wheel_interleaves_with_heap_by_global_time_and_sequence():
+    sim = Simulator(use_timer_wheel=True)
+    fired = []
+    # Same instant, alternating stores: sequence order must win.
+    for index in range(10):
+        sim.schedule(5.0, fired.append, index, wheel=(index % 2 == 0))
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_wheel_rejects_current_slot_inserts_without_losing_events():
+    sim = Simulator(use_timer_wheel=True, wheel_slot_width=1.0)
+    fired = []
+
+    def reschedule():
+        fired.append(sim.now)
+        if len(fired) < 5:
+            # Zero-ish delay lands in the slot being served: the wheel must
+            # decline it (falls back to the heap) and it still fires now.
+            sim.schedule(0.0, reschedule, wheel=True)
+
+    sim.schedule(0.5, reschedule, wheel=True)
+    sim.run()
+    assert fired == [0.5] * 5
+
+
+def test_cancelled_wheel_timer_never_fires_and_costs_no_compaction():
+    sim = Simulator(use_timer_wheel=True)
+    fired = []
+    handles = [
+        sim.schedule(1.0 + 0.01 * index, fired.append, index, wheel=True)
+        for index in range(500)
+    ]
+    assert sim.live_pending_events == 500
+    for handle in handles[::2]:
+        handle.cancel()
+    # O(1) cancel: the live count drops immediately, nothing is rebuilt.
+    assert sim.live_pending_events == 250
+    assert sim.compactions == 0
+    sim.run()
+    assert fired == list(range(1, 500, 2))
+    assert sim.compactions == 0
+    assert sim.pending_events == 0
+
+
+def test_wheel_cancel_is_idempotent_and_counts_stay_consistent():
+    sim = Simulator(use_timer_wheel=True)
+    handle = sim.schedule(2.0, lambda: pytest.fail("cancelled timer fired"), wheel=True)
+    other = sim.schedule(3.0, lambda: None, wheel=True)
+    handle.cancel()
+    handle.cancel()
+    assert handle.cancelled
+    assert sim.live_pending_events == 1
+    sim.run()
+    assert not other.cancelled
+    assert sim.pending_events == 0
+
+
+# ---------------------------------------------------------------------------
+# Slab vectors vs the dict reference, under randomized operation sequences
+# ---------------------------------------------------------------------------
+
+def _assert_vectors_agree(slab, reference):
+    assert slab.as_dict() == reference.as_dict()
+    assert slab.members() == reference.members()
+    assert slab.minimum() == reference.minimum()
+    assert slab.finite_minimum() == reference.finite_minimum()
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23, 99])
+def test_slab_member_vector_matches_dict_reference(seed):
+    rng = random.Random(seed)
+    members = [f"P{index}" for index in range(8)]
+    slab = SlabMemberVector(members, initial=-1)
+    reference = DictMemberVector(members, initial=-1)
+    active = set(members)
+    removed = set()
+    for _ in range(600):
+        op = rng.random()
+        if op < 0.70 and active:
+            member = rng.choice(sorted(active))
+            value = rng.randrange(-1, 40)
+            assert slab.update(member, value) == reference.update(member, value)
+        elif op < 0.80 and active:
+            member = rng.choice(sorted(active))
+            slab.mark_infinite(member)
+            reference.mark_infinite(member)
+        elif op < 0.90 and len(active) > 1:
+            member = rng.choice(sorted(active))
+            slab.remove(member)
+            reference.remove(member)
+            active.discard(member)
+            removed.add(member)
+        elif removed:
+            member = rng.choice(sorted(removed))
+            slab.add_member(member, initial=rng.randrange(0, 5))
+            reference.add_member(member, initial=slab[member])
+            removed.discard(member)
+            active.add(member)
+        _assert_vectors_agree(slab, reference)
+    # Untracked members raise on both implementations.
+    with pytest.raises(KeyError):
+        slab.update("stranger", 3)
+    with pytest.raises(KeyError):
+        reference.update("stranger", 3)
+
+
+def test_slab_add_member_reactivates_with_dict_semantics():
+    members = ["A", "B", "C"]
+    slab = SlabMemberVector(members)
+    reference = DictMemberVector(members)
+    for vector in (slab, reference):
+        vector.update("A", 5)
+        vector.remove("B")
+        vector.add_member("B", initial=2)
+        vector.add_member("D", initial=7)
+    _assert_vectors_agree(slab, reference)
+
+
+def test_all_infinite_minimum_matches_reference():
+    slab = SlabMemberVector(["A", "B"])
+    reference = DictMemberVector(["A", "B"])
+    for vector in (slab, reference):
+        vector.update("A", 4)
+        vector.mark_infinite("A")
+        vector.mark_infinite("B")
+    assert slab.minimum() == reference.minimum() == INFINITY
+    assert math.isinf(slab.minimum())
+    # finite_minimum clamps to the last finite bound on both sides.
+    assert slab.finite_minimum() == reference.finite_minimum()
+
+
+@pytest.mark.parametrize(
+    "fast_cls, reference_cls, record, bound",
+    [
+        (ReceiveVector, DictReceiveVector, "record_receipt", "deliverable_bound"),
+        (StabilityVector, DictStabilityVector, "record_ldn", "stability_bound"),
+    ],
+)
+def test_protocol_vectors_match_dict_reference(fast_cls, reference_cls, record, bound):
+    rng = random.Random(5)
+    members = [f"P{index}" for index in range(6)]
+    fast = fast_cls(members)
+    reference = reference_cls(members)
+    for _ in range(300):
+        member = rng.choice(members)
+        clock = rng.randrange(0, 30)
+        assert getattr(fast, record)(member, clock) == getattr(
+            reference, record
+        )(member, clock)
+        assert getattr(fast, bound) == getattr(reference, bound)
+    _assert_vectors_agree(fast, reference)

@@ -10,7 +10,9 @@ from repro.analysis.checkers import (
     check_total_order,
     check_view_sequences,
 )
-from repro.core import NewtopCluster, NewtopConfig, OrderingMode
+from harness import NewtopCluster
+
+from repro.core import NewtopConfig, OrderingMode
 from repro.net.failures import FailureSchedule
 from repro.net.trace import CONFIRM, REFUTE, SUSPECT, VIEW_INSTALL
 

@@ -5,7 +5,9 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.checkers import check_all, check_total_order
-from repro.core import NewtopCluster, NewtopConfig, OrderingMode
+from harness import NewtopCluster
+
+from repro.core import NewtopConfig, OrderingMode
 from repro.core.clock import LamportClock
 from repro.core.delivery import DeliveryQueue
 from repro.core.messages import DataMessage

@@ -4,7 +4,9 @@ import pytest
 
 from repro.analysis import check_all
 from repro.analysis.checkers import check_total_order
-from repro.core import NewtopCluster, NewtopConfig, OrderingMode
+from harness import NewtopCluster
+
+from repro.core import NewtopConfig, OrderingMode
 from repro.net.latency import ExponentialLatency, UniformLatency
 from repro.net.trace import NULL_SEND
 
