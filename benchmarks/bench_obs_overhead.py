@@ -1,0 +1,180 @@
+"""E24 -- the observation-overhead gate: metrics must ride for ~free.
+
+The contract of :mod:`repro.obs` is that instrumentation is cheap enough
+to leave on: every hot-path touch point is a cached attribute bump (or an
+``is None`` check when observation is off), polled gauges are evaluated
+only at sampling instants, and the sampler itself schedules ordinary
+simulator events.  This benchmark *enforces* that contract in CI: it runs
+the same churn scenario with observation off and with the metrics
+registry + simulated-time sampler attached, interleaved, takes the
+**minimum of N rounds** per arm (minimum is the right wall-clock
+estimator -- noise only ever adds time), and fails when the observed arm
+is more than ``--tolerance`` (default 10%) slower.
+
+The two arms are seed-identical by construction (pinned functionally by
+``tests/test_hot_path_equivalence.py``); this gate pins the *cost* side,
+so a future change that accidentally turns a counter bump into a dict
+lookup per event shows up in the PR that introduces it.
+
+Run as a script for the CI gate::
+
+    python benchmarks/bench_obs_overhead.py --scale smoke \
+        --json BENCH_obs_overhead.json
+"""
+
+import time
+
+from common import benchmark_arg_parser, write_bench_json
+
+from repro.scenarios import churn_scenario, run_scenario
+
+#: The gate's workload: the E18 churn shape -- 100 processes across 10
+#: overlapping groups -- which runs a few wall-clock seconds per round,
+#: long enough for a 10% ratio to be meaningful on CI hardware.
+SMOKE_SCALE = dict(
+    n_processes=100,
+    n_groups=10,
+    group_size=12,
+    crashes=3,
+    leaves=3,
+    messages_per_sender=2,
+    seed=7,
+)
+
+#: The E19 thousand-process shape, for local deep measurement.
+FULL_SCALE = dict(
+    n_processes=1000,
+    n_groups=100,
+    group_size=12,
+    crashes=5,
+    leaves=5,
+    formations=3,
+    messages_per_sender=1,
+    seed=7,
+)
+
+SCALES = {"smoke": SMOKE_SCALE, "full": FULL_SCALE}
+
+#: The gate: metrics-enabled wall clock within 10% of the unobserved run.
+DEFAULT_TOLERANCE = 0.10
+
+#: Rounds per arm; the minimum is kept.  Five rounds rather than three:
+#: the true overhead measures ~3-4%, but with few rounds a noisy neighbour
+#: can gift the baseline arm one lucky-fast round and push the ratio past
+#: the ceiling; more rounds converge both minimums.
+DEFAULT_ROUNDS = 5
+
+
+def _run_once(scale, observe):
+    """One online churn run; returns (wall_seconds, behaviour fingerprint).
+
+    The fingerprint is what observation must NOT change: deliveries,
+    messages and trace events.  ``events_processed`` is deliberately
+    excluded -- the sampler's own ticks are simulator events, the one
+    addition observation is allowed.
+    """
+    config = churn_scenario(batch_window=0.25, **scale)
+    start = time.perf_counter()
+    result = run_scenario(config, analysis="online", observe=observe)
+    wall = time.perf_counter() - start
+    assert result.passed, result.checks.violations[:3]
+    return wall, (result.deliveries, result.messages_sent, result.trace_events)
+
+
+def measure(scale=None, rounds=DEFAULT_ROUNDS):
+    """Interleaved baseline/observed rounds; min-of-N per arm.
+
+    Interleaving (off, metrics, off, metrics, ...) rather than running
+    each arm in a block keeps slow drift -- thermal throttling, a noisy
+    CI neighbour -- from loading one arm more than the other.
+    """
+    scale = SMOKE_SCALE if scale is None else scale
+    baseline_walls, observed_walls = [], []
+    fingerprint = None
+    for _ in range(rounds):
+        wall, fingerprint = _run_once(scale, observe=None)
+        baseline_walls.append(wall)
+        wall, observed_fingerprint = _run_once(scale, observe="metrics")
+        observed_walls.append(wall)
+        assert observed_fingerprint == fingerprint, (
+            "observation changed the run: "
+            f"{observed_fingerprint} != {fingerprint}"
+        )
+    baseline = min(baseline_walls)
+    observed = min(observed_walls)
+    deliveries, messages_sent, trace_events = fingerprint
+    return {
+        "rounds": rounds,
+        "deliveries": deliveries,
+        "messages_sent": messages_sent,
+        "trace_events": trace_events,
+        "baseline_seconds": round(baseline, 4),
+        "observed_seconds": round(observed, 4),
+        "baseline_rounds": [round(w, 4) for w in baseline_walls],
+        "observed_rounds": [round(w, 4) for w in observed_walls],
+        "overhead_ratio": round(observed / baseline, 4) if baseline else None,
+    }
+
+
+def check_gate(payload, tolerance=DEFAULT_TOLERANCE):
+    """Assert the observed arm is within ``tolerance`` of the baseline."""
+    ratio = payload["overhead_ratio"]
+    ceiling = 1.0 + tolerance
+    assert ratio is not None and ratio <= ceiling, (
+        f"metrics+sampler overhead gate failed: observed run is {ratio:.3f}x "
+        f"the unobserved baseline (ceiling {ceiling:.2f}x) -- "
+        f"baseline min {payload['baseline_seconds']}s over "
+        f"{payload['baseline_rounds']}, observed min "
+        f"{payload['observed_seconds']}s over {payload['observed_rounds']}; "
+        "an instrument on the hot path got more expensive than a cached "
+        "attribute bump"
+    )
+    return ceiling
+
+
+def record_results(scale_name, json_path, parallel=None, observe=None,
+                   tolerance=DEFAULT_TOLERANCE, rounds=DEFAULT_ROUNDS):
+    """Measure, enforce the gate, write the JSON (CI hook)."""
+    scale = SCALES[scale_name]
+    start = time.time()
+    payload = measure(scale, rounds=rounds)
+    payload["tolerance"] = tolerance
+    payload["gate_ceiling"] = check_gate(payload, tolerance)
+    return write_bench_json(
+        json_path,
+        "obs_overhead",
+        scale_name,
+        payload,
+        config=dict(scale),
+        seed=scale["seed"],
+        wall_seconds=time.time() - start,
+    )
+
+
+def main():
+    parser = benchmark_arg_parser(__doc__, "BENCH_obs_overhead.json", SCALES)
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed fractional overhead of the observed arm "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=DEFAULT_ROUNDS,
+        help="rounds per arm; the minimum wall clock is kept "
+        "(default: %(default)s)",
+    )
+    args = parser.parse_args()
+    payload = record_results(
+        args.scale, args.json, tolerance=args.tolerance, rounds=args.rounds
+    )
+    print(
+        f"{payload['benchmark']} [{payload['scale']}]: baseline "
+        f"{payload['baseline_seconds']}s vs metrics+sampler "
+        f"{payload['observed_seconds']}s -> {payload['overhead_ratio']}x "
+        f"(gate {payload['gate_ceiling']:.2f}x) over "
+        f"{payload['messages_sent']} messages -> {args.json}"
+    )
+
+
+if __name__ == "__main__":
+    main()

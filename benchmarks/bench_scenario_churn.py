@@ -72,13 +72,17 @@ SMOKE_SCALE = dict(
 SCALES = {"smoke": SMOKE_SCALE, "full": FULL_SCALE, "thousand": THOUSAND_SCALE}
 
 
-def run_churn(scale=None, batch_window=0.25, analysis="offline", stack="newtop"):
+def run_churn(
+    scale=None, batch_window=0.25, analysis="offline", stack="newtop", observe=None
+):
     """Run one churn scenario and assert its guarantees held.
 
     Returns the :class:`~repro.scenarios.engine.ScenarioResult` so callers
     (benchmark tables below, smoke test in tier-1, the CI JSON recorder)
     can inspect the runtime metrics.  ``stack`` selects the protocol; see
     ``bench_protocol_comparison.py`` (E20) for the six-stack comparison.
+    ``observe`` ("metrics"/"full") attaches :mod:`repro.obs` and fills
+    ``result.obs`` without changing the run's numbers.
     """
     overrides = dict(FULL_SCALE if scale is None else scale)
     config = churn_scenario(batch_window=batch_window, **overrides)
@@ -87,6 +91,7 @@ def run_churn(scale=None, batch_window=0.25, analysis="offline", stack="newtop")
         analysis=analysis,
         stack=stack,
         on_unsupported="raise" if stack == "newtop" else "skip",
+        observe=observe,
     )
     assert result.passed, f"scenario guarantees violated: {result.checks.violations[:3]}"
     if analysis == "online":
@@ -157,7 +162,7 @@ def test_scenario_churn_1000_online(benchmark):
     assert result.metrics["by_kind"]["deliver"] == result.deliveries
 
 
-def record_results(scale_name, json_path, parallel=None):
+def record_results(scale_name, json_path, parallel=None, observe=None):
     """Run the named scale online and write a JSON result file (CI hook).
 
     This benchmark is a *single* scenario (one simulation cannot shard),
@@ -168,28 +173,33 @@ def record_results(scale_name, json_path, parallel=None):
     start = time.time()
     if (parallel or 1) > 1:
         config = churn_scenario(batch_window=0.25, **SCALES[scale_name])
-        result = run_scenarios([config], parallel=parallel, analysis="online")[0]
+        result = run_scenarios(
+            [config], parallel=parallel, analysis="online", observe=observe
+        )[0]
         assert result.passed, result.checks.violations[:3]
     else:
-        result = run_churn(scale=SCALES[scale_name], analysis="online")
+        result = run_churn(scale=SCALES[scale_name], analysis="online", observe=observe)
+    payload = {
+        "passed": result.passed,
+        "analysis": result.analysis,
+        "sim_time": result.sim_time,
+        "events_processed": result.events_processed,
+        "messages_sent": result.messages_sent,
+        "deliveries": result.deliveries,
+        "delivery_events": result.delivery_events,
+        "trace_events": result.trace_events,
+        "trace_events_stored": result.trace_events_stored,
+        "peak_pending_events": result.peak_pending_events,
+        "compactions": result.compactions,
+        "metrics": result.metrics,
+    }
+    if result.obs is not None:
+        payload["obs"] = result.obs
     return write_bench_json(
         json_path,
         "scenario_churn",
         scale_name,
-        {
-            "passed": result.passed,
-            "analysis": result.analysis,
-            "sim_time": result.sim_time,
-            "events_processed": result.events_processed,
-            "messages_sent": result.messages_sent,
-            "deliveries": result.deliveries,
-            "delivery_events": result.delivery_events,
-            "trace_events": result.trace_events,
-            "trace_events_stored": result.trace_events_stored,
-            "peak_pending_events": result.peak_pending_events,
-            "compactions": result.compactions,
-            "metrics": result.metrics,
-        },
+        payload,
         config=SCALES[scale_name],
         seed=SCALES[scale_name]["seed"],
         wall_seconds=time.time() - start,
@@ -199,7 +209,9 @@ def record_results(scale_name, json_path, parallel=None):
 def main():
     parser = benchmark_arg_parser(__doc__, "BENCH_scenario_churn.json", SCALES)
     args = parser.parse_args()
-    payload = record_results(args.scale, args.json, parallel=args.parallel)
+    payload = record_results(
+        args.scale, args.json, parallel=args.parallel, observe=args.observe
+    )
     print(
         f"{payload['benchmark']} [{payload['scale']}] "
         f"passed={payload['passed']} wall={payload['wall_seconds']}s "

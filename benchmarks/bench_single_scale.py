@@ -35,7 +35,7 @@ import json
 import os
 import time
 
-from common import RESULTS, benchmark_arg_parser, write_bench_json
+from common import RESULTS, benchmark_arg_parser, latency_block, write_bench_json
 
 from repro.scenarios import churn_scenario, run_scenario
 
@@ -101,17 +101,21 @@ def single_scale_config(scale):
     )
 
 
-def run_single_scale(scale=None):
-    """Run the single simulation online-verified; returns the summary."""
+def run_single_scale(scale=None, observe=None):
+    """Run the single simulation online-verified; returns the summary.
+
+    ``observe`` attaches a :mod:`repro.obs` observation ("metrics" or
+    "full") and adds its snapshot to the summary as ``"obs"`` -- the run's
+    numbers are identical either way (pinned by the equivalence tests).
+    """
     scale = SMOKE_SCALE if scale is None else scale
     config = single_scale_config(scale)
     start = time.time()
-    result = run_scenario(config, analysis="online")
+    result = run_scenario(config, analysis="online", observe=observe)
     wall = time.time() - start
     assert result.passed, (result.name, result.checks.violations[:3])
     assert result.trace_events_stored == 0, "online mode materialized a trace"
-    latency = result.latency_reservoir
-    return {
+    payload = {
         "scenario": result.name,
         "processes": scale["processes"],
         "groups": scale["groups"],
@@ -129,8 +133,11 @@ def run_single_scale(scale=None):
         "peak_pending_events": result.peak_pending_events,
         "peak_live_pending_events": result.peak_live_pending_events,
         "compactions": result.compactions,
-        "delivery_latency": latency.summary() if latency is not None else None,
+        "delivery_latency": latency_block(result),
     }
+    if result.obs is not None:
+        payload["obs"] = result.obs
+    return payload
 
 
 def load_baselines(path=BASELINE_PATH):
@@ -181,11 +188,11 @@ def test_single_scale(benchmark):
     assert payload["trace_events_stored"] == 0
 
 
-def record_results(scale_name, json_path, parallel=None):
+def record_results(scale_name, json_path, parallel=None, observe=None):
     """Run the named scale, enforce the baseline, write the JSON (CI hook)."""
     scale = SCALES[scale_name]
     start = time.time()
-    payload = run_single_scale(scale)
+    payload = run_single_scale(scale, observe=observe)
     floor = check_baseline(scale_name, payload["events_per_second"])
     payload["baseline_floor_events_per_second"] = floor
     return write_bench_json(
@@ -202,7 +209,9 @@ def record_results(scale_name, json_path, parallel=None):
 def main():
     parser = benchmark_arg_parser(__doc__, "BENCH_single_scale.json", SCALES)
     args = parser.parse_args()
-    payload = record_results(args.scale, args.json, parallel=args.parallel)
+    payload = record_results(
+        args.scale, args.json, parallel=args.parallel, observe=args.observe
+    )
     floor = payload["baseline_floor_events_per_second"]
     print(
         f"{payload['benchmark']} [{payload['scale']}]: "

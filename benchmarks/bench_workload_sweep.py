@@ -49,7 +49,7 @@ import time
 from common import RESULTS, benchmark_arg_parser, fmt, write_bench_json
 
 from repro.api import COMPARISON_STACKS
-from repro.experiments import SweepSpec, run_sweep
+from repro.experiments import SweepSpec, run_cell, run_sweep
 
 #: Every comparison stack holds its guarantees through the fault cells
 #: (newtop-asymmetric included since the view-cut marker fix).
@@ -277,7 +277,35 @@ def test_workload_sweep(benchmark):
     RESULTS.add_table("E21 open-loop load & availability sweep (six stacks)", table)
 
 
-def record_results(scale_name, json_path, parallel=None):
+def observed_cell(scale, observe):
+    """One representative fault-free Newtop cell re-run under observation.
+
+    The sweeps themselves stay unobserved (hundreds of cells would bloat
+    the artifact); one poisson cell at the fault load carries the obs
+    block -- sampler time series, messages-per-delivery curve and (with
+    ``observe="full"``) the profiler/span breakdowns -- for the E21 JSON.
+    Re-running the cell is sound because observation never changes a
+    cell's numbers (pinned by the hot-path equivalence tests).
+    """
+    spec = _spec(
+        scale,
+        stacks=("newtop-symmetric",),
+        profiles=("poisson",),
+        loads=(scale["fault_load"],),
+        faults=("none",),
+    )
+    row = run_cell(
+        spec, "newtop-symmetric", "poisson", scale["fault_load"], observe=observe
+    )
+    return {
+        "stack": row["stack"],
+        "profile": row["profile"],
+        "offered_load": row["offered_load"],
+        "obs": row.get("obs"),
+    }
+
+
+def record_results(scale_name, json_path, parallel=None, observe=None):
     """Run all four sweeps and write the shared-schema JSON (CI hook)."""
     scale = SCALES[scale_name]
     start = time.time()
@@ -293,18 +321,21 @@ def record_results(scale_name, json_path, parallel=None):
 
     reports = run_all(scale, progress, parallel)
     _assert_reports(reports, scale)
+    payload = {
+        "analysis": "online",
+        "parallel": parallel or 1,
+        "curves": reports["curves"].as_dict(),
+        "crash": reports["crash"].as_dict(),
+        "availability": reports["availability"].as_dict(),
+        "latency_models": reports["latency_models"].as_dict(),
+    }
+    if observe is not None:
+        payload["observed_cell"] = observed_cell(scale, observe)
     return write_bench_json(
         json_path,
         "workload_sweep",
         scale_name,
-        {
-            "analysis": "online",
-            "parallel": parallel or 1,
-            "curves": reports["curves"].as_dict(),
-            "crash": reports["crash"].as_dict(),
-            "availability": reports["availability"].as_dict(),
-            "latency_models": reports["latency_models"].as_dict(),
-        },
+        payload,
         config={key: list(value) if isinstance(value, tuple) else value
                 for key, value in scale.items()},
         seed=scale["seed"],
@@ -315,7 +346,9 @@ def record_results(scale_name, json_path, parallel=None):
 def main():
     parser = benchmark_arg_parser(__doc__, "BENCH_workload_sweep.json", SCALES)
     args = parser.parse_args()
-    payload = record_results(args.scale, args.json, parallel=args.parallel)
+    payload = record_results(
+        args.scale, args.json, parallel=args.parallel, observe=args.observe
+    )
     cells = sum(
         len(payload[key]["cells"])
         for key in ("curves", "crash", "availability", "latency_models")

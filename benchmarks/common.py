@@ -12,6 +12,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import platform
+import subprocess
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -51,6 +54,7 @@ def run_session(
     checks: Optional[Sequence[str]] = None,
     sinks: Optional[Sequence[TraceSink]] = None,
     view_agreement_sets: Optional[Dict[str, Sequence[str]]] = None,
+    observe: object = None,
 ) -> Session:
     """One :class:`repro.api.Session` with the benchmark-default protocol
     configuration, processes spawned and groups installed.
@@ -73,6 +77,7 @@ def run_session(
         checks=checks,
         analysis=analysis,
         view_agreement_sets=view_agreement_sets,
+        observe=observe,
     )
     session.spawn(names)
     for entry in groups if groups is not None else [("bench", None)]:
@@ -103,6 +108,25 @@ def assert_session_correct(session: Session) -> SessionResult:
     result = session.result()
     assert result.passed, f"protocol guarantees violated: {result.checks.violations[:3]}"
     return result
+
+
+def latency_block(result) -> Optional[Dict[str, object]]:
+    """The delivery-latency summary (count/mean/p50/p95/p99/...) of a run.
+
+    Reads the block straight off the rolling
+    :class:`~repro.net.trace.MetricsSink` snapshot -- which now carries the
+    percentiles -- rather than re-walking a reservoir in every benchmark.
+    Works on :class:`SessionResult` and ``ScenarioResult`` alike; falls
+    back to the exact reservoir for results without a metrics snapshot
+    (offline runs), and returns ``None`` when neither exists.
+    """
+    metrics = getattr(result, "metrics", None)
+    if metrics is not None and metrics.get("latency"):
+        return metrics["latency"]
+    reservoir = getattr(result, "latency_reservoir", None)
+    if reservoir is not None:
+        return reservoir.summary(percentiles=(50, 95, 99))
+    return None
 
 
 class EventProbe(TraceSink):
@@ -171,6 +195,30 @@ def newtop_run_metrics(
     return flattened
 
 
+#: Version of the shared BENCH_*.json header schema.  Bumped to 2 when the
+#: provenance stamps (``git_sha``, ``python_version``) and the optional
+#: per-run ``obs`` blocks were added.
+BENCH_SCHEMA_VERSION = 2
+
+
+def _git_sha() -> str:
+    """The repository HEAD sha, or ``"unknown"`` outside a git checkout.
+
+    Anchored at this file's directory, not the caller's cwd, so the stamp
+    is right even when a benchmark CLI is invoked from elsewhere.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=False,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
 def write_bench_json(
     json_path: str,
     benchmark: str,
@@ -186,8 +234,10 @@ def write_bench_json(
     Every emitter (E19 churn, E20 protocol comparison, E21 workload sweep)
     goes through here so the artifacts stay diffable across benchmarks:
     the header always carries ``benchmark``, ``scale``, ``config``,
-    ``seed`` and ``wall_seconds``, and the benchmark-specific rows ride in
-    ``payload``.  Returns the full document that was written.
+    ``seed``, ``wall_seconds`` and the provenance stamps
+    (``schema_version``, ``git_sha``, ``python_version``), and the
+    benchmark-specific rows ride in ``payload``.  Returns the full
+    document that was written.
     """
     document: Dict[str, object] = {
         "benchmark": benchmark,
@@ -195,6 +245,9 @@ def write_bench_json(
         "config": dict(config) if config is not None else {},
         "seed": seed,
         "wall_seconds": round(wall_seconds, 3) if wall_seconds is not None else None,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "git_sha": _git_sha(),
+        "python_version": platform.python_version(),
     }
     overlap = set(document) & set(payload)
     if overlap:
@@ -228,6 +281,14 @@ def benchmark_arg_parser(
     parser.add_argument(
         "--parallel", type=int, default=default_parallel, metavar="N",
         help="worker processes for independent units (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--observe", nargs="?", const="metrics", choices=("metrics", "full"),
+        default=None, metavar="LEVEL",
+        help="attach repro.obs to the runs and emit an 'obs' block into the "
+        "JSON: bare flag or 'metrics' enables the registry + simulated-time "
+        "sampler, 'full' adds the hot-path profiler and span breakdowns "
+        "(default: off)",
     )
     return parser
 

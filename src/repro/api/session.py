@@ -48,6 +48,7 @@ from repro.net.network import Network, NetworkConfig
 from repro.net.simulator import Simulator
 from repro.net.trace import EventTrace, MetricsSink, TraceRecorder, TraceSink
 from repro.net.transport import Transport
+from repro.obs import Observation
 
 
 @dataclass
@@ -66,10 +67,20 @@ class SessionResult:
     trace_events_stored: int
     protocol_bytes: Optional[int] = None
     metrics: Optional[Dict[str, object]] = None
+    #: The observation snapshot (``observe=`` was given), else ``None``.
+    obs: Optional[Dict[str, object]] = None
+    #: Sinks that raised during fan-out and were detached (see
+    #: :class:`~repro.net.trace.TraceRecorder`); each entry names the sink
+    #: and the error.  Non-empty errors fail :attr:`passed` -- a detached
+    #: verifier must not turn into a silent pass.
+    sink_errors: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
-        """Whether every selected check held (vacuously true with none)."""
+        """Whether every selected check held (vacuously true with none)
+        and no trace sink was detached mid-run."""
+        if self.sink_errors:
+            return False
         return self.checks is None or self.checks.passed
 
 
@@ -89,6 +100,7 @@ class Session:
         analysis: str = "offline",
         view_agreement_sets: Optional[Dict[str, Iterable[str]]] = None,
         timer_wheel: bool = True,
+        observe: object = None,
     ) -> None:
         if analysis not in ("offline", "online"):
             raise ValueError(f"unknown analysis mode {analysis!r}")
@@ -96,7 +108,18 @@ class Session:
         self.analysis = analysis
         self.view_agreement_sets = view_agreement_sets
         self._checks = tuple(checks) if checks is not None else None
-        self.sim = Simulator(seed=seed, use_timer_wheel=timer_wheel)
+        # Observation (repro.obs): ``True`` enables metrics + sampler,
+        # "full" adds the profiler and span breakdowns, a dict passes
+        # keyword arguments through.  Never changes behaviour or
+        # seed-determinism (pinned by the hot-path equivalence tests).
+        self.observation: Optional[Observation] = Observation.coerce(observe)
+        obs = self.observation
+        self.sim = Simulator(
+            seed=seed,
+            use_timer_wheel=timer_wheel,
+            metrics=obs.registry if obs is not None else None,
+            profiler=obs.profiler if obs is not None else None,
+        )
         network_config = NetworkConfig()
         if latency_model is not None:
             network_config.latency_model = latency_model
@@ -107,6 +130,8 @@ class Session:
         self.suite = None
         self.metrics_sink: Optional[MetricsSink] = None
         extra_sinks = list(sinks or ())
+        if obs is not None:
+            extra_sinks.extend(obs.trace_sinks())
         if analysis == "online":
             # checks=() disables verification; the metrics sink still runs.
             if self._checks is None or self._checks:
@@ -121,6 +146,9 @@ class Session:
             )
         else:
             self.recorder = TraceRecorder(sinks=extra_sinks)
+        if obs is not None:
+            self.recorder.profiler = obs.profiler
+            obs.bind(self.sim)
         self.stack.attach(
             StackContext(
                 sim=self.sim,
@@ -212,10 +240,14 @@ class Session:
     # ------------------------------------------------------------------
     def run(self, duration: float) -> None:
         """Advance simulated time by ``duration``."""
+        if self.observation is not None:
+            self.observation.ensure_sampling()
         self.sim.run(until=self.sim.now + duration)
 
     def run_until(self, predicate: Callable[[], bool], timeout: float) -> bool:
         """Run until ``predicate()`` holds or ``timeout`` simulated time passes."""
+        if self.observation is not None:
+            self.observation.ensure_sampling()
         return self.sim.run_until(predicate, timeout)
 
     # ------------------------------------------------------------------
@@ -281,6 +313,10 @@ class Session:
             metrics=(
                 self.metrics_sink.snapshot() if self.metrics_sink is not None else None
             ),
+            obs=(
+                self.observation.snapshot() if self.observation is not None else None
+            ),
+            sink_errors=list(self.recorder.sink_errors),
         )
         return self._result
 

@@ -112,7 +112,13 @@ class GroupEndpoint:
             retention_limit=config.retention_limit,
             use_slab=config.use_slab_state,
         )
-        self.flow = FlowController(config.flow_control_window)
+        metrics = process.sim.metrics
+        self.flow = FlowController(
+            config.flow_control_window,
+            blocked_gauge=(
+                metrics.push_gauge("flow.blocked_senders") if metrics is not None else None
+            ),
+        )
         self.suspector = FailureSuspector(
             sim=process.sim,
             own_id=own_id,

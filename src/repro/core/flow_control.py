@@ -33,7 +33,7 @@ from repro.core.errors import FlowControlError
 class FlowController:
     """Window-based flow control for one (process, group) pair."""
 
-    def __init__(self, window: Optional[int]) -> None:
+    def __init__(self, window: Optional[int], blocked_gauge=None) -> None:
         if window is not None and window < 1:
             raise ValueError("flow-control window must be >= 1 or None")
         self.window = window
@@ -43,6 +43,11 @@ class FlowController:
         self._queued: Deque[object] = deque()
         self.total_queued = 0
         self.max_queue_length = 0
+        #: Optional :class:`repro.obs.metrics.PushGauge` shared by every
+        #: controller of a run; adjusted only at empty<->nonempty queue
+        #: transitions, so it counts *senders currently blocked* (and
+        #: remembers the peak) with zero per-message cost.
+        self._blocked_gauge = blocked_gauge
 
     # ------------------------------------------------------------------
     # Send-side interface
@@ -63,6 +68,8 @@ class FlowController:
         self._queued.append(payload)
         self.total_queued += 1
         self.max_queue_length = max(self.max_queue_length, len(self._queued))
+        if len(self._queued) == 1 and self._blocked_gauge is not None:
+            self._blocked_gauge.adjust(1)
 
     def note_sent(self, clock: int) -> None:
         """Record that an own application message numbered ``clock`` left."""
@@ -91,7 +98,10 @@ class FlowController:
         """Pop the oldest queued payload (caller checked releasability)."""
         if not self._queued:
             raise FlowControlError("no queued payload to release")
-        return self._queued.popleft()
+        payload = self._queued.popleft()
+        if not self._queued and self._blocked_gauge is not None:
+            self._blocked_gauge.adjust(-1)
+        return payload
 
     # ------------------------------------------------------------------
     # Introspection

@@ -112,6 +112,13 @@ class NewtopProcess:
             )
         self.clock = LamportClock()
         self.delivery_queue = DeliveryQueue()
+        metrics = sim.metrics
+        if metrics is not None:
+            # One aggregate gauge over every process; polled at sampler
+            # ticks only, so joining it costs nothing on the hot path.
+            metrics.sum_gauge("process.delivery_queue_depth").add(
+                self.delivery_queue.pending_count
+            )
         self.formation = FormationCoordinator(
             self,
             sim,

@@ -75,6 +75,13 @@ class FailureSuspector:
         self._active = False
         self._timer: Optional[EventHandle] = None
         self.suspicions_raised = 0
+        metrics = sim.metrics
+        if metrics is not None:
+            self._c_probes = metrics.counter("suspector.probes")
+            self._c_suspicions = metrics.counter("suspector.suspicions")
+        else:
+            self._c_probes = None
+            self._c_suspicions = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -176,6 +183,8 @@ class FailureSuspector:
     def _on_check(self) -> None:
         if not self._active:
             return
+        if self._c_probes is not None:
+            self._c_probes.value += 1
         now = self.sim.now
         timeout = self.suspicion_timeout
         # Flat scan over the slabs; slot order equals the original member
@@ -194,6 +203,8 @@ class FailureSuspector:
             return
         self._suspected[slot] = True
         self.suspicions_raised += 1
+        if self._c_suspicions is not None:
+            self._c_suspicions.value += 1
         self._notify(Suspicion(target=member, last_number=self._clock[slot]))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -216,13 +216,17 @@ def run_cell(
     profile_name: str,
     load: float,
     fault: str = "none",
+    observe: object = None,
 ) -> Dict[str, object]:
     """Run one (stack, profile, load, fault) cell and return its row.
 
     Cells are self-contained: every random draw derives from the spec's
     seeds and the interpreter's message-id counter is reset up front, so a
     cell's row is identical whether it runs first or five-hundredth, in
-    this process or on a :mod:`repro.parallel` worker.
+    this process or on a :mod:`repro.parallel` worker.  ``observe``
+    attaches a :mod:`repro.obs` observation to the cell's session and adds
+    its snapshot to the row as ``"obs"`` (observation never changes the
+    numbers, only adds to the row).
     """
     wall_start = _time.time()
     reset_message_counter()
@@ -241,6 +245,7 @@ def run_cell(
             else None
         ),
         view_agreement_sets=agreement_sets,
+        observe=observe,
     )
     session.spawn(default_process_names(spec.processes))
     for group_id, members in topology:
@@ -340,6 +345,8 @@ def run_cell(
         "sim_time": round(result.sim_time, 3),
         "wall_seconds": round(_time.time() - wall_start, 3),
     }
+    if result.obs is not None:
+        row["obs"] = result.obs
     return row
 
 

@@ -125,6 +125,15 @@ class Network:
         # (src, payload, size_bytes) triple in send order.  One simulator
         # event is scheduled per key; it drains the whole list at once.
         self._open_batches: Dict[Tuple[str, float], List[Tuple[str, object, int]]] = {}
+        metrics = sim.metrics
+        if metrics is not None:
+            # Polled only at sampler ticks / snapshots -- never on the send
+            # or delivery path.
+            metrics.gauge("net.in_flight_batches", lambda: len(self._open_batches))
+            metrics.gauge(
+                "net.in_flight_messages",
+                lambda: sum(len(batch) for batch in self._open_batches.values()),
+            )
 
     # ------------------------------------------------------------------
     # Node management

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import heapq
 import random
+from time import perf_counter
 from typing import Any, Callable, List, Optional
 
 
@@ -265,6 +266,16 @@ class Simulator:
         Periodic protocol timers (suspector checks at 0.5-1.0, time-silence
         at omega ~1.5-2.0) land a handful of slots ahead, keeping per-slot
         sorts small.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry` (duck-typed --
+        the kernel never imports :mod:`repro.obs`).  When given, the kernel
+        counts events scheduled / fired / cancelled and registers polled
+        occupancy gauges for the heap and the wheel.  When ``None`` (the
+        default) the hot paths pay one ``is None`` check per event.
+    profiler:
+        Optional :class:`repro.obs.profiler.HotPathProfiler`.  When given,
+        :meth:`step` wall-clocks every callback and files it under the
+        category derived from its scheduling label.
     """
 
     #: Compact the heap once more than this fraction of it is cancelled
@@ -285,6 +296,8 @@ class Simulator:
         seed: int = 0,
         use_timer_wheel: bool = True,
         wheel_slot_width: float = 0.5,
+        metrics=None,
+        profiler=None,
     ) -> None:
         self._now: float = 0.0
         self._heap: list[_ScheduledEvent] = []
@@ -299,6 +312,32 @@ class Simulator:
         self._wheel: Optional[_TimerWheel] = (
             _TimerWheel(wheel_slot_width, self._recycle) if use_timer_wheel else None
         )
+        #: Observation hooks (see the class docstring); downstream layers
+        #: (network, transport, protocol) read ``sim.metrics`` at their own
+        #: construction time, so the registry rides the object everything
+        #: already holds.
+        self.metrics = metrics
+        self.profiler = profiler
+        if metrics is not None:
+            self._c_scheduled = metrics.counter("sim.events_scheduled")
+            self._c_fired = metrics.counter("sim.events_fired")
+            self._c_cancelled = metrics.counter("sim.events_cancelled")
+            metrics.gauge("sim.heap_pending", lambda: len(self._heap))
+            metrics.gauge(
+                "sim.heap_live", lambda: len(self._heap) - self._cancelled_in_heap
+            )
+            metrics.gauge(
+                "sim.wheel_pending",
+                lambda: self._wheel.count if self._wheel is not None else 0,
+            )
+            metrics.gauge(
+                "sim.wheel_live",
+                lambda: self._wheel.live if self._wheel is not None else 0,
+            )
+        else:
+            self._c_scheduled = None
+            self._c_fired = None
+            self._c_cancelled = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -357,6 +396,8 @@ class Simulator:
                 raise SimulatorError(
                     f"cannot schedule an event in the past (delay={delay})"
                 )
+        if self._c_scheduled is not None:
+            self._c_scheduled.value += 1
         event = self._new_event()
         event.time = self._now + delay
         event.sequence = self._next_sequence
@@ -415,6 +456,17 @@ class Simulator:
         args = event.args
         self._now = event.time
         self._events_processed += 1
+        if self._c_fired is not None:
+            self._c_fired.value += 1
+        profiler = self.profiler
+        if profiler is not None:
+            # The label must be captured before recycling clears it.
+            label = event.label
+            self._recycle(event)
+            start = perf_counter()
+            callback(*args)
+            profiler.record_event(label, perf_counter() - start)
+            return True
         # Recycle before invoking: the callback frequently schedules new
         # events, which can then reuse this record immediately.
         self._recycle(event)
@@ -523,6 +575,8 @@ class Simulator:
         if event.generation != generation or event.cancelled:
             return
         event.cancelled = True
+        if self._c_cancelled is not None:
+            self._c_cancelled.value += 1
         # Release the references right away; the record itself stays in its
         # store until its turn comes (heap: lazy deletion with compaction;
         # wheel: dropped when its slot's instant passes -- O(1), no

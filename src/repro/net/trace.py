@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Dict, IO, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.stats import LatencyReservoir
@@ -292,17 +293,30 @@ class MetricsSink(TraceSink):
         return self._latency_m2 / self.latency.count
 
     def snapshot(self) -> Dict[str, Any]:
-        """A JSON-shaped summary of everything aggregated so far."""
+        """A JSON-shaped summary of everything aggregated so far.
+
+        The ``latency`` block carries the reservoir's p50/p95/p99 alongside
+        the exact moments, so consumers (benchmark tables, BENCH JSONs)
+        read percentiles straight from here instead of recomputing them
+        from raw samples.
+        """
+        has_latency = self.latency_count > 0
+        percentiles = (
+            self.latency.summary(percentiles=(50, 95, 99)) if has_latency else {}
+        )
         return {
             "events_total": self.events_total,
             "by_kind": dict(self.by_kind),
             "deliveries_by_group": dict(self.deliveries_by_group),
             "latency": {
                 "count": self.latency_count,
-                "mean": self.latency_mean if self.latency_count else None,
-                "min": self.latency_min if self.latency_count else None,
-                "max": self.latency_max if self.latency_count else None,
+                "mean": self.latency_mean if has_latency else None,
+                "min": self.latency_min if has_latency else None,
+                "max": self.latency_max if has_latency else None,
                 "variance": self.latency_variance,
+                "p50": percentiles.get("p50"),
+                "p95": percentiles.get("p95"),
+                "p99": percentiles.get("p99"),
             },
         }
 
@@ -315,16 +329,38 @@ class TraceRecorder:
     ``keep_events=False`` no event is retained: everything is pushed to the
     registered sinks only, and :meth:`trace` raises -- this is the
     streaming/online mode used for runs too large to materialize.
+
+    Fan-out is *isolated* by default (``on_sink_error="detach"``): a sink
+    raising from :meth:`TraceSink.on_event` is detached from the recorder
+    and the failure recorded in :attr:`sink_errors` -- one broken observer
+    must not kill a multi-minute simulation, but it also must not silently
+    keep "verifying".  ``on_sink_error="raise"`` restores the strict
+    behaviour (the exception propagates to the simulator loop), for tests
+    and debugging where a sink bug should be loud.
     """
 
     def __init__(
         self,
         sinks: Optional[Iterable[TraceSink]] = None,
         keep_events: bool = True,
+        on_sink_error: str = "detach",
     ) -> None:
+        if on_sink_error not in ("detach", "raise"):
+            raise ValueError(
+                f"on_sink_error must be 'detach' or 'raise', got {on_sink_error!r}"
+            )
         self._memory: Optional[MemorySink] = MemorySink() if keep_events else None
         self._sinks: List[TraceSink] = list(sinks or ())
         self._seq = 0
+        self._on_sink_error = on_sink_error
+        #: One entry per detached sink: sink type, error string, event seq.
+        self.sink_errors: List[Dict[str, Any]] = []
+        #: The sink objects removed after raising (inspection/tests).
+        self.detached_sinks: List[TraceSink] = []
+        #: Optional :class:`repro.obs.profiler.HotPathProfiler`; when set,
+        #: the sink fan-out loop is timed as the nested ``sink_fanout``
+        #: section.
+        self.profiler = None
 
     def add_sink(self, sink: TraceSink) -> TraceSink:
         """Register a sink; returns it for chaining."""
@@ -363,8 +399,33 @@ class TraceRecorder:
         self._seq += 1
         if self._memory is not None:
             self._memory.on_event(event)
+        profiler = self.profiler
+        start = perf_counter() if profiler is not None else 0.0
+        failed: Optional[List[TraceSink]] = None
         for sink in self._sinks:
-            sink.on_event(event)
+            try:
+                sink.on_event(event)
+            except Exception as exc:
+                if self._on_sink_error == "raise":
+                    raise
+                self.sink_errors.append(
+                    {
+                        "sink": type(sink).__name__,
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "at_seq": event.seq,
+                        "at_time": event.time,
+                    }
+                )
+                if failed is None:
+                    failed = []
+                failed.append(sink)
+        if failed is not None:
+            # Detach outside the loop; the remaining sinks saw the event.
+            for sink in failed:
+                self._sinks.remove(sink)
+                self.detached_sinks.append(sink)
+        if profiler is not None:
+            profiler.record("sink_fanout", perf_counter() - start)
         return event
 
     @property

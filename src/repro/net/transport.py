@@ -21,6 +21,7 @@ transport but are logically distinct streams.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.net.network import Network
@@ -145,6 +146,15 @@ class Endpoint:
         self.stats.sent += 1
         self.stats.bytes_sent += size_bytes
         self.stats.per_channel_sent[channel] = self.stats.per_channel_sent.get(channel, 0) + 1
+        kind_counters = self.transport._sent_kind_counters
+        if kind_counters is not None:
+            kind = getattr(payload, "kind", None) or type(payload).__name__
+            counter = kind_counters.get(kind)
+            if counter is None:
+                counter = kind_counters[kind] = self.transport._metrics.counter(
+                    "transport.sent." + kind
+                )
+            counter.value += 1
         return self.transport.network.send(self.node_id, dst, message, size_bytes=size_bytes)
 
     def multicast(
@@ -191,6 +201,9 @@ class Endpoint:
         per-message channels dispatched (in practice all protocol traffic
         shares one channel, so a batch is single-channel).
         """
+        batch_hist = self.transport._batch_hist
+        if batch_hist is not None:
+            batch_hist.record(len(items))
         grouped: Optional[Dict[str, List[TransportMessage]]] = None
         for src, raw in items:
             if self._crashed:
@@ -209,10 +222,21 @@ class Endpoint:
             grouped.setdefault(message.channel, []).append(message)
         if grouped is None:
             return
+        profiler = self.transport._profiler
+        if profiler is None:
+            for channel, messages in grouped.items():
+                if self._crashed:
+                    return
+                self._batch_handlers[channel](messages)
+            return
+        # Timed as a *nested* section: this wall time is a subset of the
+        # enclosing delivery callback's category, not additive with it.
+        start = perf_counter()
         for channel, messages in grouped.items():
             if self._crashed:
-                return
+                break
             self._batch_handlers[channel](messages)
+        profiler.record("protocol_receive", perf_counter() - start)
 
     def _on_network_delivery(self, src: str, raw: object) -> None:
         message = self._ingest(src, raw)
@@ -260,6 +284,19 @@ class Transport:
     def __init__(self, network: Network) -> None:
         self.network = network
         self._endpoints: Dict[str, Endpoint] = {}
+        # Observation wiring (``sim.metrics`` / ``sim.profiler`` are None
+        # unless the run is observed): per-kind send counters are created
+        # lazily as kinds appear; the batch histogram sizes same-instant
+        # delivery batches.
+        metrics = network.sim.metrics
+        self._metrics = metrics
+        self._profiler = network.sim.profiler
+        if metrics is not None:
+            self._sent_kind_counters: Optional[Dict[str, object]] = {}
+            self._batch_hist = metrics.histogram("transport.delivery_batch_size")
+        else:
+            self._sent_kind_counters = None
+            self._batch_hist = None
 
     def endpoint(self, node_id: str) -> Endpoint:
         """Create (or return the existing) endpoint for ``node_id``."""

@@ -1,0 +1,171 @@
+"""``repro.obs`` -- observability for every layer of the reproduction.
+
+One :class:`Observation` object bundles the four instruments:
+
+* a :class:`~repro.obs.metrics.MetricsRegistry` of counters / gauges /
+  histograms the simulator, transport, network, suspector and flow
+  controller report into (they pay a single ``is None`` check when
+  observation is off);
+* a :class:`~repro.obs.sampler.SimTimeSampler` snapshotting the registry
+  every few simulated time units into a columnar time series
+  (null-vs-app traffic per interval, messages-per-delivery curves);
+* a :class:`~repro.obs.profiler.HotPathProfiler` attributing wall clock
+  to callback categories (timer fire, delivery batch, protocol receive,
+  sink fan-out);
+* a :class:`~repro.obs.spans.SpanBreakdownSink` computing per-message
+  lifecycle breakdowns (transit / ordering wait / latency / spread) as
+  exact reservoirs.
+
+Usage::
+
+    session = Session("newtop", observe=True)      # metrics + sampler
+    session = Session("newtop", observe="full")    # + profiler + spans
+    ...
+    result = session.result()
+    print(render_obs(result.obs))
+
+The contract, pinned by ``tests/test_hot_path_equivalence.py``: observing
+a run never changes its behaviour -- no RNG draws, no trace events, no
+protocol decisions -- so the trace event stream is byte-identical with
+observation on or off.
+
+``python -m repro.obs report BENCH_file.json`` renders any benchmark JSON
+(or result dump) containing ``obs`` blocks into a readable report.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.net.trace import TraceSink
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    PolledGauge,
+    PushGauge,
+)
+from repro.obs.profiler import HotPathProfiler
+from repro.obs.report import render_document, render_obs
+from repro.obs.sampler import SimTimeSampler, TraceCounterSink
+from repro.obs.spans import SpanBreakdownSink
+
+__all__ = [
+    "Observation",
+    "MetricsRegistry",
+    "Counter",
+    "PolledGauge",
+    "PushGauge",
+    "Histogram",
+    "SimTimeSampler",
+    "TraceCounterSink",
+    "HotPathProfiler",
+    "SpanBreakdownSink",
+    "render_obs",
+    "render_document",
+]
+
+
+class Observation:
+    """One run's observation bundle; coerced from the ``observe=`` argument.
+
+    ``observe=True`` enables the cheap instruments (registry + sampler);
+    ``observe="full"`` adds the wall-clock profiler and the span sink;
+    a mapping passes keyword arguments straight through (e.g.
+    ``observe={"profiler": True, "sample_interval": 2.0}``); an existing
+    :class:`Observation` is used as-is (callers may pre-build one to read
+    instruments mid-run).
+    """
+
+    def __init__(
+        self,
+        *,
+        metrics: bool = True,
+        sampler: bool = True,
+        profiler: bool = False,
+        spans: bool = False,
+        sample_interval: float = 5.0,
+        spans_max_tracked: int = 100_000,
+        top_n: int = 10,
+    ) -> None:
+        # The registry always exists: the sampler and the trace counters
+        # feed from it, and instrumented layers only check one attribute.
+        self.registry = MetricsRegistry()
+        self.metrics_enabled = metrics
+        self.sampler: Optional[SimTimeSampler] = (
+            SimTimeSampler(self.registry, interval=sample_interval) if sampler else None
+        )
+        self.profiler: Optional[HotPathProfiler] = HotPathProfiler() if profiler else None
+        self.spans: Optional[SpanBreakdownSink] = (
+            SpanBreakdownSink(max_tracked=spans_max_tracked) if spans else None
+        )
+        self._trace_counters = TraceCounterSink(self.registry)
+        self.top_n = top_n
+        self._sim = None
+
+    # ------------------------------------------------------------------
+    # Coercion
+    # ------------------------------------------------------------------
+    @staticmethod
+    def coerce(value: Any) -> Optional["Observation"]:
+        """Normalize a user-facing ``observe=`` value (None/bool/str/dict)."""
+        if value is None or value is False:
+            return None
+        if isinstance(value, Observation):
+            return value
+        if value is True:
+            return Observation()
+        if isinstance(value, str):
+            if value == "full":
+                return Observation(profiler=True, spans=True)
+            if value in ("metrics", "true", "on"):
+                return Observation()
+            raise ValueError(f"unknown observe mode {value!r} (try True or 'full')")
+        if isinstance(value, Mapping):
+            return Observation(**value)
+        raise ValueError(f"cannot interpret observe={value!r}")
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def trace_sinks(self) -> List[TraceSink]:
+        """The sinks to register on the run's :class:`TraceRecorder`."""
+        sinks: List[TraceSink] = [self._trace_counters]
+        if self.spans is not None:
+            sinks.append(self.spans)
+        return sinks
+
+    def bind(self, sim) -> None:
+        """Attach the sampler to the run's simulator (idempotent)."""
+        self._sim = sim
+        if self.sampler is not None:
+            self.sampler.attach(sim)
+
+    def ensure_sampling(self) -> None:
+        """Un-park the sampler; call before pushing more simulated time."""
+        if self.sampler is not None:
+            self.sampler.ensure_running()
+
+    def finalize(self) -> None:
+        """Take the closing sample and seal the span reservoirs."""
+        sampler = self.sampler
+        if sampler is not None and self._sim is not None:
+            if not sampler.times or sampler.times[-1] < self._sim.now:
+                sampler.sample_now()
+        if self.spans is not None:
+            self.spans.close()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """The JSON-able ``obs`` block embedded in results and BENCH files."""
+        self.finalize()
+        block: Dict[str, object] = {"metrics": self.registry.snapshot()}
+        if self.sampler is not None:
+            block["samples"] = self.sampler.snapshot()
+        if self.profiler is not None:
+            block["profile"] = self.profiler.snapshot(self.top_n)
+        if self.spans is not None:
+            block["spans"] = self.spans.snapshot()
+        return block

@@ -1,0 +1,44 @@
+"""CLI: render observation reports from benchmark / result JSON files.
+
+Usage::
+
+    python -m repro.obs report BENCH_single_scale.json
+    python -m repro.obs report BENCH_scenario_churn.json BENCH_workload_sweep.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.report import render_document
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Render human-readable reports from bench/result JSONs.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    report = subparsers.add_parser("report", help="render one or more JSON files")
+    report.add_argument("files", nargs="+", help="BENCH_*.json or result dumps")
+    args = parser.parse_args(argv)
+
+    first = True
+    try:
+        for path in args.files:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            if not first:
+                print()
+            first = False
+            print(render_document(document, source=path))
+    except BrokenPipeError:
+        # Piping into `head` closes stdout early; that is not an error.
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Wall-clock attribution of simulator callbacks by category.
+
+The profiler answers ROADMAP item 2's "profile the FULL-scale E23 run"
+without an external tool: the simulator's :meth:`step` hot loop, when a
+profiler is installed, times each callback with ``perf_counter`` and files
+the elapsed wall time under a *category* derived from the event's label
+("deliver ->p17" → ``delivery_batch``, "suspector" → a timer-fire
+category, ...).  Two nested sections are timed inside their enclosing
+callbacks -- ``protocol_receive`` (the transport's per-batch protocol
+dispatch) and ``sink_fanout`` (the trace recorder's sink loop) -- so their
+seconds are *subsets* of the enclosing category, not additive with it;
+:meth:`snapshot` marks them as such.
+
+The profiler is wall-clock only: it never reads simulated time, never
+touches the RNG and never schedules events, so attaching it cannot perturb
+determinism -- only wall-clock speed (roughly two ``perf_counter`` calls
+per event).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Tuple
+
+__all__ = ["HotPathProfiler", "perf_counter"]
+
+#: Sections timed *inside* another callback; their time double-counts with
+#: the enclosing category and is excluded from share-of-total maths.
+NESTED_SECTIONS = frozenset({"protocol_receive", "sink_fanout"})
+
+
+class _Section:
+    __slots__ = ("calls", "seconds", "max_seconds")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.seconds = 0.0
+        self.max_seconds = 0.0
+
+
+class HotPathProfiler:
+    """Accumulates per-category call counts and wall seconds."""
+
+    def __init__(self) -> None:
+        self._sections: Dict[str, _Section] = {}
+        #: Label -> category memo; label strings repeat heavily (every
+        #: process reuses its own "deliver ->X" string object), so this is
+        #: one dict hit per event after warm-up.
+        self._category_cache: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Recording (hot path)
+    # ------------------------------------------------------------------
+    def record(self, section: str, elapsed: float) -> None:
+        """File ``elapsed`` wall seconds under ``section``."""
+        record = self._sections.get(section)
+        if record is None:
+            record = self._sections[section] = _Section()
+        record.calls += 1
+        record.seconds += elapsed
+        if elapsed > record.max_seconds:
+            record.max_seconds = elapsed
+
+    def record_event(self, label: str, elapsed: float) -> None:
+        """File one simulator-callback execution under its label's category."""
+        category = self._category_cache.get(label)
+        if category is None:
+            category = self._category_cache[label] = self._categorize(label)
+        self.record(category, elapsed)
+
+    @staticmethod
+    def _categorize(label: str) -> str:
+        if not label:
+            return "uncategorized"
+        if label.startswith("deliver"):
+            return "delivery_batch"
+        if label == "suspector":
+            return "timer_fire:suspector"
+        if label == "time-silence":
+            return "timer_fire:time_silence"
+        if label.startswith("scenario"):
+            return "scenario_event"
+        if label.startswith("obs"):
+            return "obs_sampler"
+        if label.startswith("workload"):
+            return "workload"
+        head = label.split(" ", 1)[0].rstrip(":")
+        return "timer_fire:" + head
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def total_seconds(self) -> float:
+        """Attributed wall seconds, nested (double-counted) sections excluded."""
+        return sum(
+            section.seconds
+            for name, section in self._sections.items()
+            if name not in NESTED_SECTIONS
+        )
+
+    def top(self, n: int = 10) -> List[Tuple[str, float]]:
+        """The ``n`` most expensive categories as ``(name, seconds)``."""
+        ranked = sorted(
+            self._sections.items(), key=lambda item: item[1].seconds, reverse=True
+        )
+        return [(name, section.seconds) for name, section in ranked[:n]]
+
+    def snapshot(self, top_n: int = 10) -> Dict[str, object]:
+        total = self.total_seconds
+        sections = {}
+        for name, section in sorted(self._sections.items()):
+            sections[name] = {
+                "calls": section.calls,
+                "seconds": round(section.seconds, 6),
+                "mean_us": round(section.seconds / section.calls * 1e6, 3)
+                if section.calls
+                else 0.0,
+                "max_us": round(section.max_seconds * 1e6, 3),
+                "share": round(section.seconds / total, 4)
+                if total and name not in NESTED_SECTIONS
+                else None,
+                "nested": name in NESTED_SECTIONS,
+            }
+        return {
+            "total_seconds": round(total, 6),
+            "top": [
+                {"section": name, "seconds": round(seconds, 6)}
+                for name, seconds in self.top(top_n)
+            ],
+            "sections": sections,
+        }

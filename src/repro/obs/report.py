@@ -1,0 +1,263 @@
+"""Human-readable rendering of observation snapshots and bench JSONs.
+
+``render_obs`` turns one observation snapshot (the ``obs`` block a
+:class:`~repro.obs.Observation` emits) into aligned text tables;
+``render_document`` walks any JSON document produced by the benchmark
+harness (session results, scenario shards, sweep grids, BENCH files),
+renders its header, and finds every embedded ``obs`` block wherever it
+rides.  ``python -m repro.obs report FILE`` is the CLI front end.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = ["render_obs", "render_document", "find_obs_blocks"]
+
+_BAR_WIDTH = 30
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return f"{value:.5f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _table(rows: List[Tuple[str, ...]], indent: str = "  ") -> List[str]:
+    if not rows:
+        return []
+    widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
+    lines = []
+    for row in rows:
+        cells = [cell.ljust(width) for cell, width in zip(row, widths)]
+        lines.append(indent + "  ".join(cells).rstrip())
+    return lines
+
+
+def _sparkline(values: List[Optional[float]]) -> str:
+    """One-character-per-sample curve; gaps (``None``) render as ``.``."""
+    present = [value for value in values if value is not None]
+    if not present:
+        return ""
+    low, high = min(present), max(present)
+    span = (high - low) or 1.0
+    chars = []
+    for value in values:
+        if value is None:
+            chars.append(".")
+        else:
+            chars.append(_BLOCKS[1 + int((value - low) / span * (len(_BLOCKS) - 2))])
+    return "".join(chars)
+
+
+# ----------------------------------------------------------------------
+# Section renderers
+# ----------------------------------------------------------------------
+def _render_metrics(metrics: Mapping[str, Any]) -> List[str]:
+    lines = ["metrics"]
+    counters = metrics.get("counters") or {}
+    if counters:
+        lines.append("  counters")
+        lines.extend(_table([(name, _fmt(value)) for name, value in counters.items()], "    "))
+    gauges = metrics.get("gauges") or {}
+    if gauges:
+        lines.append("  gauges (at snapshot)")
+        rows = []
+        for name, value in gauges.items():
+            if isinstance(value, Mapping):
+                rows.append((name, _fmt(value.get("value")), f"peak {_fmt(value.get('peak'))}"))
+            else:
+                rows.append((name, _fmt(value), ""))
+        lines.extend(_table(rows, "    "))
+    histograms = metrics.get("histograms") or {}
+    for name, hist in histograms.items():
+        lines.append(
+            f"  histogram {name}: count={_fmt(hist.get('count'))} "
+            f"mean={_fmt(hist.get('mean'))} max={_fmt(hist.get('max'))}"
+        )
+        buckets = hist.get("buckets") or {}
+        total = sum(buckets.values()) or 1
+        rows = []
+        # JSON round-trips sort keys lexicographically (le_1, le_128,
+        # le_16 ...); restore numeric bucket order, overflow last.
+
+        def _edge_key(edge: str) -> Tuple[int, float]:
+            if edge.startswith("le_"):
+                try:
+                    return (0, float(edge[3:]))
+                except ValueError:
+                    pass
+            return (1, 0.0)
+
+        for edge in sorted(buckets, key=_edge_key):
+            hits = buckets[edge]
+            bar = "#" * int(round(hits / total * _BAR_WIDTH))
+            rows.append((edge, _fmt(hits), bar))
+        lines.extend(_table(rows, "    "))
+    return lines
+
+
+def _render_samples(samples: Mapping[str, Any]) -> List[str]:
+    times = samples.get("times") or []
+    lines = [
+        f"sampler: {len(times)} samples at interval {_fmt(samples.get('interval'))}"
+        + (f" (t={_fmt(times[0])}..{_fmt(times[-1])})" if times else "")
+    ]
+    curve = samples.get("messages_per_delivery") or []
+    present = [value for value in curve if value is not None]
+    if present:
+        lines.append("  messages per delivery over time (ROADMAP item 1 baseline)")
+        lines.append(f"    {_sparkline(curve)}")
+        lines.append(
+            f"    min={_fmt(min(present))}  max={_fmt(max(present))}  "
+            f"last={_fmt(present[-1])}  intervals_with_deliveries={len(present)}/{len(curve)}"
+        )
+    gauges = samples.get("gauges") or {}
+    rows = []
+    for name, column in gauges.items():
+        if not column:
+            continue
+        rows.append(
+            (name, f"last {_fmt(column[-1])}", f"peak {_fmt(max(column))}",
+             _sparkline(list(column)))
+        )
+    if rows:
+        lines.append("  gauge series")
+        lines.extend(_table(rows, "    "))
+    return lines
+
+
+def _render_profile(profile: Mapping[str, Any]) -> List[str]:
+    lines = [f"profiler: {_fmt(profile.get('total_seconds'))}s attributed wall time"]
+    sections = profile.get("sections") or {}
+    top = profile.get("top") or []
+    if top:
+        lines.append("  top hotspots")
+        rows = []
+        for entry in top:
+            name = entry.get("section", "?")
+            detail = sections.get(name, {})
+            share = detail.get("share")
+            rows.append(
+                (
+                    name,
+                    f"{_fmt(entry.get('seconds'))}s",
+                    f"{_fmt(detail.get('calls'))} calls",
+                    f"{_fmt(detail.get('mean_us'))}us/call",
+                    f"{share * 100:.1f}%" if share is not None else "(nested)",
+                )
+            )
+        lines.extend(_table(rows, "    "))
+    return lines
+
+
+def _render_spans(spans: Mapping[str, Any]) -> List[str]:
+    lines = [
+        f"spans: {_fmt(spans.get('tracked_messages'))} messages tracked"
+        + (
+            f", {_fmt(spans.get('dropped_messages'))} dropped"
+            if spans.get("dropped_messages")
+            else ""
+        )
+    ]
+    stages = spans.get("stages") or {}
+    rows = [("stage", "count", "mean", "p50", "p95", "p99", "max")]
+    for name, summary in stages.items():
+        if summary is None:
+            rows.append((name, "0", "-", "-", "-", "-", "-"))
+            continue
+        rows.append(
+            (
+                name,
+                _fmt(summary.get("count")),
+                _fmt(summary.get("mean")),
+                _fmt(summary.get("p50")),
+                _fmt(summary.get("p95")),
+                _fmt(summary.get("p99")),
+                _fmt(summary.get("max")),
+            )
+        )
+    if len(rows) > 1:
+        lines.extend(_table(rows, "  "))
+    return lines
+
+
+def render_obs(obs: Mapping[str, Any], title: str = "") -> str:
+    """Render one observation snapshot into a text block."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    if obs.get("metrics"):
+        lines.extend(_render_metrics(obs["metrics"]))
+    if obs.get("samples"):
+        lines.extend(_render_samples(obs["samples"]))
+    if obs.get("profile"):
+        lines.extend(_render_profile(obs["profile"]))
+    if obs.get("spans"):
+        lines.extend(_render_spans(obs["spans"]))
+    if obs.get("sink_errors"):
+        lines.append(f"sink errors: {obs['sink_errors']}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Whole-document rendering
+# ----------------------------------------------------------------------
+def find_obs_blocks(node: Any, path: str = "") -> Iterator[Tuple[str, Dict[str, Any]]]:
+    """Yield every ``obs`` block in a JSON document as ``(path, block)``."""
+    if isinstance(node, Mapping):
+        for key, value in node.items():
+            child_path = f"{path}.{key}" if path else str(key)
+            if key == "obs" and isinstance(value, Mapping):
+                yield child_path, dict(value)
+            else:
+                yield from find_obs_blocks(value, child_path)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            yield from find_obs_blocks(value, f"{path}[{index}]")
+
+
+_HEADER_KEYS = (
+    "benchmark", "scale", "seed", "wall_seconds",
+    "schema_version", "git_sha", "python_version",
+)
+
+
+def render_document(document: Mapping[str, Any], source: str = "") -> str:
+    """Render a bench/result JSON: header summary + every obs block."""
+    lines: List[str] = []
+    title = document.get("benchmark") or source or "result"
+    lines.append(f"== {title} ==")
+    header_rows = [
+        (key, _fmt(document[key])) for key in _HEADER_KEYS if key in document
+    ]
+    lines.extend(_table(header_rows))
+    summary_keys = [
+        key
+        for key in ("events_per_second", "deliveries", "messages_sent", "events_processed")
+        if key in document
+    ]
+    if summary_keys:
+        lines.extend(_table([(key, _fmt(document[key])) for key in summary_keys]))
+    blocks = list(find_obs_blocks(document))
+    if not blocks:
+        lines.append("")
+        lines.append("(no obs blocks in this document -- rerun with --observe)")
+    for path, block in blocks:
+        lines.append("")
+        lines.append(render_obs(block, title=f"obs @ {path}"))
+    return "\n".join(lines)

@@ -59,6 +59,7 @@ from repro.api import (
 )
 from repro.core.messages import reset_message_counter
 from repro.net.latency import LatencyModel
+from repro.obs import Observation
 from repro.parallel import WorkUnit, run_units
 from repro.net.trace import TraceSink
 from repro.scenarios.spec import (
@@ -129,11 +130,15 @@ class ScenarioResult:
     #: summary -- is what lets a sharded batch merge percentiles exactly:
     #: the object is picklable and rides back from pool workers intact.
     latency_reservoir: Optional[LatencyReservoir] = None
+    #: Observation snapshot (``observe=`` was given), else ``None``.
+    obs: Optional[Dict[str, object]] = None
+    #: Trace sinks detached after raising mid-run (fails :attr:`passed`).
+    sink_errors: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
-        """Whether every checked guarantee held."""
-        return self.checks.passed
+        """Whether every checked guarantee held and no sink was detached."""
+        return self.checks.passed and not self.sink_errors
 
     def summary(self) -> List[str]:
         """Human-readable result rows (used by the benchmark report)."""
@@ -171,6 +176,7 @@ class ScenarioEngine:
         sinks: Optional[List[TraceSink]] = None,
         stack: Union[str, ProtocolStack] = "newtop",
         on_unsupported: str = "raise",
+        observe: object = None,
     ) -> None:
         if analysis not in ("offline", "online"):
             raise ValueError(f"unknown analysis mode {analysis!r}")
@@ -201,6 +207,7 @@ class ScenarioEngine:
             analysis=analysis,
             view_agreement_sets=self._agreement_sets,
             timer_wheel=timer_wheel,
+            observe=observe,
         )
         self.stack = self.session.stack
         self.skipped_events: List[str] = []
@@ -478,6 +485,8 @@ class ScenarioEngine:
         try:
             self._install()
             sim = session.sim
+            if session.observation is not None:
+                session.observation.ensure_sampling()
             sim.run(until=self.spec.horizon())
             session_result = session.result()
         finally:
@@ -507,6 +516,8 @@ class ScenarioEngine:
             skipped_events=list(self.skipped_events),
             workload=self._workload_stats(),
             latency_reservoir=self._latency_reservoir(),
+            obs=session_result.obs,
+            sink_errors=session_result.sink_errors,
         )
 
     def _latency_reservoir(self) -> Optional[LatencyReservoir]:
@@ -542,6 +553,7 @@ def run_scenario(
     sinks: Optional[List[TraceSink]] = None,
     stack: Union[str, ProtocolStack] = "newtop",
     on_unsupported: str = "raise",
+    observe: object = None,
 ) -> ScenarioResult:
     """Parse a scenario config dict, run it on ``stack``, and return the
     result.  See :class:`ScenarioEngine` for the knobs."""
@@ -553,6 +565,7 @@ def run_scenario(
         sinks=sinks,
         stack=stack,
         on_unsupported=on_unsupported,
+        observe=observe,
     ).run()
 
 
@@ -565,6 +578,7 @@ def run_scenarios(
     stack: Union[str, ProtocolStack] = "newtop",
     on_unsupported: str = "raise",
     progress=None,
+    observe: object = None,
 ) -> List[ScenarioResult]:
     """Run a batch of scenarios, optionally sharded across worker processes.
 
@@ -592,6 +606,7 @@ def run_scenarios(
                 analysis=analysis,
                 stack=stack,
                 on_unsupported=on_unsupported,
+                observe=observe,
             )
             results.append(result)
             if progress is not None:
@@ -616,6 +631,10 @@ def run_scenarios(
                 "analysis": analysis,
                 "stack": stack,
                 "on_unsupported": on_unsupported,
+                # Shipped as the raw coercible value (bool/str/dict): an
+                # Observation instance holds simulator-bound callables and
+                # would not survive the pickle boundary.
+                "observe": observe if not isinstance(observe, Observation) else "full",
             },
         )
         for index, config in enumerate(configs)

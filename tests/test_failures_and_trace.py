@@ -7,6 +7,7 @@ from repro.net.latency import ConstantLatency
 from repro.net.network import Network, NetworkConfig
 from repro.net.simulator import Simulator
 from repro.net.trace import (
+    JsonlSink,
     DELIVER,
     EventTrace,
     RECEIVE,
@@ -157,3 +158,130 @@ def test_trace_event_detail_lookup():
     event = recorder.record(0.0, VIEW_INSTALL, "p1", group="g", members=("a",), index=3)
     assert event.detail("index") == 3
     assert event.detail("missing", "fallback") == "fallback"
+
+
+# ----------------------------------------------------------------------
+# Sink fan-out isolation (on_sink_error="detach" / "raise")
+# ----------------------------------------------------------------------
+class _BoomSink:
+    """Raises on its Nth event; counts what it saw before that."""
+
+    def __init__(self, explode_at=0):
+        self.explode_at = explode_at
+        self.seen = 0
+
+    def on_event(self, event):
+        if self.seen == self.explode_at:
+            raise RuntimeError("sink exploded")
+        self.seen += 1
+
+    def close(self):
+        pass
+
+
+class _CountingSink:
+    def __init__(self):
+        self.seen = 0
+
+    def on_event(self, event):
+        self.seen += 1
+
+    def close(self):
+        pass
+
+
+def test_detach_policy_isolates_raising_sink_and_records_error():
+    boom = _BoomSink(explode_at=1)
+    after = _CountingSink()
+    recorder = TraceRecorder(sinks=[boom, after])
+    recorder.record(1.0, SEND, "p1", group="g", message_id="m1", sender="p1")
+    recorder.record(2.0, SEND, "p1", group="g", message_id="m2", sender="p1")
+    # The sink behind the raising one still saw the event that killed it.
+    assert after.seen == 2
+    assert recorder.detached_sinks == [boom]
+    assert len(recorder.sink_errors) == 1
+    error = recorder.sink_errors[0]
+    assert error["sink"] == "_BoomSink"
+    assert "RuntimeError" in error["error"]
+    assert error["at_seq"] == 1
+    assert error["at_time"] == 2.0
+    # Later events no longer reach the detached sink, but flow on.
+    recorder.record(3.0, SEND, "p1", group="g", message_id="m3", sender="p1")
+    assert boom.seen == 1
+    assert after.seen == 3
+    assert len(recorder.sink_errors) == 1
+
+
+def test_raise_policy_propagates_sink_exceptions():
+    boom = _BoomSink(explode_at=0)
+    recorder = TraceRecorder(sinks=[boom], on_sink_error="raise")
+    with pytest.raises(RuntimeError, match="sink exploded"):
+        recorder.record(1.0, SEND, "p1", group="g", message_id="m1", sender="p1")
+    # Strict mode never detaches: the bug should stay loud.
+    assert recorder.detached_sinks == []
+    assert recorder.sink_errors == []
+
+
+def test_recorder_rejects_unknown_sink_error_policy():
+    with pytest.raises(ValueError):
+        TraceRecorder(on_sink_error="ignore")
+
+
+def test_session_fails_when_a_sink_was_detached():
+    from repro.api import Session
+
+    session = Session("newtop", seed=1, sinks=[_BoomSink(explode_at=2)])
+    session.spawn(["P1", "P2", "P3"])
+    session.group("g")
+    session.multicast("P1", "g", "payload")
+    session.run(20)
+    result = session.result()
+    # The protocol checks hold, but the detached observer fails the run.
+    assert result.checks is not None and result.checks.passed
+    assert result.sink_errors and result.sink_errors[0]["sink"] == "_BoomSink"
+    assert not result.passed
+
+
+# ----------------------------------------------------------------------
+# JsonlSink round-trips
+# ----------------------------------------------------------------------
+def test_jsonl_sink_round_trips_rich_details(tmp_path):
+    import json
+
+    path = str(tmp_path / "trace.jsonl")
+    sink = JsonlSink(path)
+    recorder = TraceRecorder(sinks=[sink], on_sink_error="raise")
+    recorder.record(
+        0.0, VIEW_INSTALL, "p1", group="g",
+        members=frozenset({"p2", "p1"}), index=0,
+    )
+    recorder.record(
+        1.5, SEND, "p1", group="g", message_id="m1", sender="p1", clock=4,
+        targets={"p3", "p2"}, route=("p1", "p2"),
+    )
+    recorder.close()
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [json.loads(line) for line in handle]
+    assert sink.events_written == 2
+    assert [line["seq"] for line in lines] == [0, 1]
+    # Sets and frozensets serialize as sorted lists; tuples as lists.
+    assert lines[0]["details"]["members"] == ["p1", "p2"]
+    assert lines[1]["details"]["targets"] == ["p2", "p3"]
+    assert lines[1]["details"]["route"] == ["p1", "p2"]
+    assert lines[1]["clock"] == 4
+
+
+def test_jsonl_sink_leaves_borrowed_files_open():
+    import io
+    import json
+
+    buffer = io.StringIO()
+    sink = JsonlSink(buffer)
+    recorder = TraceRecorder(sinks=[sink], on_sink_error="raise")
+    recorder.record(0.5, SEND, "p1", group="g", message_id="m1", sender="p1")
+    recorder.close()
+    # Borrowed handle: flushed, not closed -- the caller still owns it.
+    assert not buffer.closed
+    payload = json.loads(buffer.getvalue().strip())
+    assert payload["kind"] == SEND and payload["message_id"] == "m1"
+    buffer.write("still writable\n")

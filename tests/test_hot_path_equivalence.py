@@ -266,3 +266,55 @@ def test_protocol_vectors_match_dict_reference(fast_cls, reference_cls, record, 
         )(member, clock)
         assert getattr(fast, bound) == getattr(reference, bound)
     _assert_vectors_agree(fast, reference)
+
+
+# ---------------------------------------------------------------------------
+# Observation (repro.obs) must never change a run
+# ---------------------------------------------------------------------------
+
+def _observation_fingerprint(result):
+    """The toggle fingerprint, minus ``events_processed``: the sampler
+    schedules its own simulator events, which is exactly the one thing
+    observation is *allowed* to add."""
+    fingerprint = _fingerprint(result)
+    fingerprint.pop("events_processed")
+    return fingerprint
+
+
+@pytest.mark.parametrize("observe", ["metrics", "full"], ids=["metrics", "full"])
+def test_churn_run_identical_with_observation_attached(observe):
+    plain = run_scenario(_churn_config(), analysis="online")
+    observed = run_scenario(_churn_config(), analysis="online", observe=observe)
+    assert plain.passed and observed.passed
+    assert _observation_fingerprint(plain) == _observation_fingerprint(observed)
+    assert plain.obs is None and observed.obs is not None
+    # The trace counters agree with the totals the run itself reported.
+    counters = observed.obs["metrics"]["counters"]
+    assert counters["trace.deliver"] == observed.deliveries
+
+
+def test_observation_leaves_trace_stream_byte_identical():
+    """Stronger than the fingerprint: the full offline event stream --
+    every (seq, time, kind, process, message, details) tuple -- must be
+    identical with metrics + sampler + profiler + spans attached."""
+    from repro.api import Session
+    from repro.core.messages import reset_message_counter
+
+    def stream(observe):
+        reset_message_counter()
+        session = Session("newtop", seed=9, observe=observe)
+        session.spawn([f"P{index}" for index in range(6)])
+        session.group("g")
+        for index in range(5):
+            session.multicast(f"P{index % 3}", "g", f"m-{index}")
+            session.run(0.7)
+        session.crash("P5")
+        session.run(30.0)
+        session.result()
+        return [
+            (e.seq, e.time, e.kind, e.process, e.group, e.message_id,
+             e.sender, e.clock, e.details)
+            for e in session.trace().events()
+        ]
+
+    assert stream(None) == stream("full")

@@ -1,0 +1,398 @@
+"""Unit and integration tests for :mod:`repro.obs` (PR 7).
+
+Covers the metrics registry, the simulated-time sampler (including its
+park/resume contract with unbounded ``sim.run()``), the hot-path profiler's
+label categorization, the span-breakdown sink, the ``observe=`` coercion
+and session wiring, and the report renderer / CLI.  The determinism half of
+the contract -- observation never changes a run -- is pinned separately in
+``tests/test_hot_path_equivalence.py``.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.api import Session
+from repro.net.simulator import Simulator
+from repro.net.trace import DELIVER, RECEIVE, SEND, TraceEvent
+from repro.obs import (
+    HotPathProfiler,
+    MetricsRegistry,
+    Observation,
+    SimTimeSampler,
+    SpanBreakdownSink,
+    TraceCounterSink,
+    render_document,
+    render_obs,
+)
+from repro.obs.profiler import NESTED_SECTIONS
+from repro.obs.report import find_obs_blocks
+
+
+def _benchmarks_on_path():
+    benchmarks_dir = os.path.join(os.path.dirname(__file__), "..", "benchmarks")
+    if benchmarks_dir not in sys.path:
+        sys.path.insert(0, benchmarks_dir)
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+def test_registry_instruments_are_idempotent_by_name():
+    registry = MetricsRegistry()
+    counter = registry.counter("a.count")
+    counter.value += 3
+    assert registry.counter("a.count") is counter
+    assert registry.read_counters() == {"a.count": 3}
+    gauge = registry.gauge("a.depth", lambda: 7)
+    assert registry.gauge("a.depth", lambda: 99) is gauge
+    assert registry.read_gauges()["a.depth"] == 7
+
+
+def test_push_gauge_tracks_value_and_peak():
+    registry = MetricsRegistry()
+    gauge = registry.push_gauge("blocked")
+    gauge.adjust(+1)
+    gauge.adjust(+1)
+    gauge.adjust(-1)
+    gauge.adjust(+1)
+    assert gauge.value == 2
+    assert gauge.peak == 2
+    snapshot = registry.snapshot()
+    assert snapshot["gauges"]["blocked"] == {"value": 2, "peak": 2}
+
+
+def test_histogram_buckets_mean_and_overflow():
+    registry = MetricsRegistry()
+    hist = registry.histogram("batch", bounds=[1, 2, 4])
+    for value in (1, 1, 2, 3, 4, 9):
+        hist.record(value)
+    snap = hist.snapshot()
+    assert snap["count"] == 6
+    assert snap["max"] == 9
+    assert snap["mean"] == pytest.approx(20 / 6, abs=1e-3)
+    assert snap["buckets"] == {"le_1": 2, "le_2": 1, "le_4": 2, "overflow": 1}
+
+
+def test_sum_gauge_aggregates_contributors():
+    registry = MetricsRegistry()
+    roster = registry.sum_gauge("queues.depth")
+    queues = [[1, 2], [3], []]
+    for queue in queues:
+        roster.add(lambda q=queue: len(q))
+    assert registry.read_gauges()["queues.depth"] == 3
+    queues[2].append("x")
+    assert registry.read_gauges()["queues.depth"] == 4
+    # Same name returns the same roster (no double registration).
+    assert registry.sum_gauge("queues.depth") is roster
+
+
+# ----------------------------------------------------------------------
+# Simulated-time sampler
+# ----------------------------------------------------------------------
+def test_sampler_samples_on_interval_and_parks_when_idle():
+    registry = MetricsRegistry()
+    counter = registry.counter("work.done")
+    sampler = SimTimeSampler(registry, interval=2.0)
+    sim = Simulator(seed=0)
+    sampler.attach(sim)
+    for at in (1.0, 3.0, 5.0):
+        sim.schedule_at(at, lambda: setattr(counter, "value", counter.value + 10))
+    sim.run()  # must terminate: the sampler parks once the queue drains
+    assert sampler.times == [2.0, 4.0, 6.0]
+    assert sampler.counter_columns["work.done"] == [10, 20, 30]
+    assert sampler._deltas("work.done") == [10, 10, 10]
+    # Parked: pushing more time through resumes sampling from "now".
+    sim.schedule(1.5, lambda: None)
+    sampler.ensure_running()
+    sim.run()
+    assert sampler.times == [2.0, 4.0, 6.0, 8.0]
+
+
+def test_sampler_backfills_late_instruments():
+    registry = MetricsRegistry()
+    sampler = SimTimeSampler(registry, interval=1.0)
+    sim = Simulator(seed=0)
+    sampler.attach(sim)
+    sim.schedule_at(1.5, lambda: registry.counter("late").__setattr__("value", 5))
+    sim.schedule_at(2.5, lambda: None)
+    sim.run()
+    # The late counter's column is padded with zeros for missed samples.
+    assert sampler.counter_columns["late"] == [0, 5, 5][: len(sampler.times)]
+
+
+def test_sampler_rejects_nonpositive_interval():
+    with pytest.raises(ValueError):
+        SimTimeSampler(MetricsRegistry(), interval=0.0)
+
+
+def test_trace_counter_sink_and_messages_per_delivery():
+    registry = MetricsRegistry()
+    sink = TraceCounterSink(registry)
+    sampler = SimTimeSampler(registry, interval=10.0)
+    sim = Simulator(seed=0)
+    sampler.attach(sim)
+
+    def emit(kind, mid):
+        sink.on_event(
+            TraceEvent(time=sim.now, kind=kind, process="p1", group="g",
+                       message_id=mid, sender="p1", clock=1, details=(), seq=0)
+        )
+
+    # Interval 1: 6 sends (2 app + 4 null) and 2 deliveries -> 3.0.
+    sim.schedule_at(1.0, lambda: [emit(SEND, "m1"), emit(SEND, "m2")])
+    sim.schedule_at(2.0, lambda: [emit("null_send", f"n{i}") for i in range(4)])
+    sim.schedule_at(3.0, lambda: [emit(DELIVER, "m1"), emit(DELIVER, "m2")])
+    # Interval 2: 2 null sends, no deliveries -> None.
+    sim.schedule_at(12.0, lambda: [emit("null_send", "n9"), emit("null_send", "n10")])
+    sim.schedule_at(13.0, lambda: None)
+    sim.run()
+    assert registry.read_counters()["trace.send"] == 2
+    assert registry.read_counters()["trace.null_send"] == 6
+    assert sampler.messages_per_delivery_series() == [3.0, None]
+
+
+# ----------------------------------------------------------------------
+# Hot-path profiler
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "label, category",
+    [
+        ("deliver ->P17", "delivery_batch"),
+        ("suspector", "timer_fire:suspector"),
+        ("time-silence", "timer_fire:time_silence"),
+        ("scenario crash P3", "scenario_event"),
+        ("obs:sample", "obs_sampler"),
+        ("workload arrivals", "workload"),
+        ("", "uncategorized"),
+        ("retransmit: m17", "timer_fire:retransmit"),
+    ],
+)
+def test_profiler_categorizes_labels(label, category):
+    assert HotPathProfiler._categorize(label) == category
+
+
+def test_profiler_totals_exclude_nested_sections():
+    profiler = HotPathProfiler()
+    profiler.record_event("deliver ->P1", 0.5)
+    profiler.record_event("deliver ->P2", 0.3)
+    profiler.record_event("suspector", 0.2)
+    profiler.record("protocol_receive", 0.4)  # nested inside deliveries
+    profiler.record("sink_fanout", 0.1)
+    assert profiler.total_seconds == pytest.approx(1.0)
+    snap = profiler.snapshot(top_n=2)
+    assert snap["total_seconds"] == pytest.approx(1.0)
+    assert [entry["section"] for entry in snap["top"]] == [
+        "delivery_batch", "protocol_receive",
+    ]
+    assert snap["sections"]["delivery_batch"]["calls"] == 2
+    assert snap["sections"]["delivery_batch"]["share"] == pytest.approx(0.8)
+    for name in NESTED_SECTIONS:
+        assert snap["sections"][name]["nested"] is True
+        assert snap["sections"][name]["share"] is None
+
+
+# ----------------------------------------------------------------------
+# Span breakdowns
+# ----------------------------------------------------------------------
+def _span_event(time, kind, process, mid):
+    return TraceEvent(time=time, kind=kind, process=process, group="g",
+                      message_id=mid, sender="p1", clock=1, details=(), seq=0)
+
+
+def test_span_sink_computes_lifecycle_stages():
+    sink = SpanBreakdownSink()
+    sink.on_event(_span_event(0.0, SEND, "p1", "m1"))
+    sink.on_event(_span_event(1.0, RECEIVE, "p2", "m1"))
+    sink.on_event(_span_event(2.0, RECEIVE, "p3", "m1"))
+    sink.on_event(_span_event(3.0, DELIVER, "p2", "m1"))
+    sink.on_event(_span_event(5.0, DELIVER, "p3", "m1"))
+    snap = sink.snapshot()
+    assert snap["tracked_messages"] == 1
+    assert snap["stages"]["transit"]["count"] == 1
+    assert snap["stages"]["transit"]["mean"] == pytest.approx(1.0)
+    # ordering_wait: p2 waited 2.0, p3 waited 3.0.
+    assert snap["stages"]["ordering_wait"]["count"] == 2
+    assert snap["stages"]["ordering_wait"]["mean"] == pytest.approx(2.5)
+    # latency: 3.0 and 5.0 after the send.
+    assert snap["stages"]["latency"]["mean"] == pytest.approx(4.0)
+    # spread: last minus first delivery.
+    assert snap["stages"]["spread"]["count"] == 1
+    assert snap["stages"]["spread"]["mean"] == pytest.approx(2.0)
+    assert snap["stages"]["spread"]["p50"] == pytest.approx(2.0)
+
+
+def test_span_sink_caps_tracked_messages():
+    sink = SpanBreakdownSink(max_tracked=2)
+    for index in range(4):
+        sink.on_event(_span_event(float(index), SEND, "p1", f"m{index}"))
+    assert sink.tracked_messages == 2
+    assert sink.dropped_messages == 2
+    # Untracked messages are ignored downstream, not crashed on.
+    sink.on_event(_span_event(9.0, DELIVER, "p2", "m3"))
+    snap = sink.snapshot()
+    assert snap["stages"]["latency"] is None
+
+
+def test_span_sink_close_is_idempotent():
+    sink = SpanBreakdownSink()
+    sink.on_event(_span_event(0.0, SEND, "p1", "m1"))
+    sink.on_event(_span_event(1.0, DELIVER, "p2", "m1"))
+    sink.close()
+    sink.close()
+    assert sink.snapshot()["stages"]["spread"]["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# Observation coercion and session wiring
+# ----------------------------------------------------------------------
+def test_observation_coercion_modes():
+    assert Observation.coerce(None) is None
+    assert Observation.coerce(False) is None
+    basic = Observation.coerce(True)
+    assert basic.sampler is not None and basic.profiler is None and basic.spans is None
+    full = Observation.coerce("full")
+    assert full.profiler is not None and full.spans is not None
+    custom = Observation.coerce({"sampler": False, "profiler": True})
+    assert custom.sampler is None and custom.profiler is not None
+    prebuilt = Observation(spans=True)
+    assert Observation.coerce(prebuilt) is prebuilt
+    with pytest.raises(ValueError):
+        Observation.coerce("loud")
+    with pytest.raises(ValueError):
+        Observation.coerce(3.14)
+
+
+def _observed_session(observe):
+    session = Session("newtop", seed=5, analysis="online", observe=observe)
+    session.spawn(["P1", "P2", "P3"])
+    session.group("g")
+    for index in range(4):
+        session.multicast("P1", "g", f"m-{index}")
+        session.run(1.0)
+    session.run(25.0)
+    return session.result()
+
+
+def test_session_observe_metrics_block():
+    result = _observed_session(True)
+    assert result.passed
+    obs = result.obs
+    assert set(obs) == {"metrics", "samples"}
+    counters = obs["metrics"]["counters"]
+    assert counters["trace.deliver"] == result.deliveries
+    assert counters["sim.events_fired"] > 0
+    assert counters["transport.sent.data"] > 0
+    assert "sim.heap_live" in obs["metrics"]["gauges"]
+    samples = obs["samples"]
+    assert samples["times"], "sampler took no samples"
+    assert len(samples["counters"]["trace.deliver"]) == len(samples["times"])
+    assert any(v is not None for v in samples["messages_per_delivery"])
+
+
+def test_session_observe_full_block():
+    result = _observed_session("full")
+    obs = result.obs
+    assert set(obs) == {"metrics", "samples", "profile", "spans"}
+    assert obs["profile"]["total_seconds"] > 0
+    top_sections = [entry["section"] for entry in obs["profile"]["top"]]
+    assert "delivery_batch" in top_sections
+    spans = obs["spans"]
+    assert spans["tracked_messages"] == 4
+    assert spans["stages"]["latency"]["count"] == result.deliveries
+    # Transport batch sizes were histogrammed.
+    assert obs["metrics"]["histograms"]["transport.delivery_batch_size"]["count"] > 0
+
+
+def test_unobserved_session_has_no_obs_and_no_instruments():
+    session = Session("newtop", seed=5)
+    assert session.observation is None
+    assert session.sim.metrics is None and session.sim.profiler is None
+    session.spawn(["P1", "P2"])
+    session.group("g")
+    session.run(5.0)
+    assert session.result().obs is None
+
+
+# ----------------------------------------------------------------------
+# Report rendering and CLI
+# ----------------------------------------------------------------------
+def test_render_obs_mentions_every_section():
+    result = _observed_session("full")
+    text = render_obs(result.obs, title="obs")
+    assert "metrics" in text
+    assert "messages per delivery over time" in text
+    assert "top hotspots" in text
+    assert "delivery_batch" in text
+    assert "ordering_wait" in text
+
+
+def test_render_document_walks_nested_obs_blocks():
+    result = _observed_session(True)
+    document = {
+        "benchmark": "unit",
+        "scale": "tiny",
+        "schema_version": 2,
+        "cells": [{"stack": "newtop", "obs": result.obs}],
+    }
+    assert [path for path, _ in find_obs_blocks(document)] == ["cells[0].obs"]
+    text = render_document(document)
+    assert "== unit ==" in text
+    assert "obs @ cells[0].obs" in text
+    bare = render_document({"benchmark": "empty"})
+    assert "no obs blocks" in bare
+
+
+def test_report_cli_renders_file(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    result = _observed_session(True)
+    path = tmp_path / "BENCH_unit.json"
+    path.write_text(json.dumps({"benchmark": "unit", "obs": result.obs}))
+    assert main(["report", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "== unit ==" in out and "obs @ obs" in out
+
+
+# ----------------------------------------------------------------------
+# Benchmark harness integration (latency percentiles + JSON stamps)
+# ----------------------------------------------------------------------
+def test_metrics_sink_snapshot_carries_percentiles():
+    result = _observed_session(True)
+    latency = result.metrics["latency"]
+    assert latency["count"] == result.deliveries
+    assert latency["min"] <= latency["p50"] <= latency["p95"] <= latency["p99"]
+    assert latency["p99"] <= latency["max"]
+
+
+def test_latency_block_prefers_metrics_snapshot():
+    _benchmarks_on_path()
+    from common import latency_block
+
+    result = _observed_session(True)
+    assert latency_block(result) is result.metrics["latency"]
+
+    class _Bare:
+        metrics = None
+        latency_reservoir = None
+
+    assert latency_block(_Bare()) is None
+
+
+def test_write_bench_json_stamps_provenance(tmp_path):
+    _benchmarks_on_path()
+    from common import BENCH_SCHEMA_VERSION, write_bench_json
+
+    path = tmp_path / "BENCH_stamp.json"
+    document = write_bench_json(
+        str(path), "unit", "tiny", {"rows": []}, seed=7, wall_seconds=0.25
+    )
+    on_disk = json.loads(path.read_text())
+    assert on_disk == document
+    assert document["schema_version"] == BENCH_SCHEMA_VERSION == 2
+    assert document["python_version"].count(".") == 2
+    assert isinstance(document["git_sha"], str) and document["git_sha"]
+    with pytest.raises(ValueError):
+        write_bench_json(str(path), "unit", "tiny", {"git_sha": "collision"})
