@@ -87,6 +87,32 @@ def _subsequence_of_common(first: Sequence[str], second: Sequence[str]) -> Optio
     return None
 
 
+def _delivery_records(
+    trace: EventTrace, process: str, group: Optional[str]
+) -> List[Tuple[str, Optional[frozenset]]]:
+    """``(message_id, view members at delivery)`` per delivery at ``process``.
+
+    The members are those of the delivering process's view of the
+    *message's* group in force at the delivery; ``None`` when no view was
+    ever installed (stacks without membership record no installs -- their
+    deliveries stay unconditionally order-constrained).
+    """
+    timelines = _view_timelines(trace, process)
+    records: List[Tuple[str, Optional[frozenset]]] = []
+    for event in trace.events(kind=DELIVER, process=process):
+        if event.message_id is None:
+            continue
+        if group is not None and event.group != group:
+            continue
+        members: Optional[frozenset] = None
+        if event.group is not None:
+            timeline = timelines.get(event.group)
+            if timeline:
+                members = _view_at(timeline, event.time, event.seq)
+        records.append((event.message_id, members))
+    return records
+
+
 def check_total_order(trace: EventTrace, group: Optional[str] = None) -> CheckResult:
     """MD4/MD4': pairwise identical relative delivery order, plus causal
     consistency of each process's own delivery order.
@@ -94,16 +120,38 @@ def check_total_order(trace: EventTrace, group: Optional[str] = None) -> CheckRe
     With ``group`` given, only that group's deliveries are compared (MD4);
     without it, each process's *entire* cross-group delivery sequence is
     compared (MD4').
+
+    The pairwise comparison is scoped by mutual view membership: a delivery
+    at ``p`` constrains the pair ``(p, q)`` only while ``p``'s view of the
+    message's group still contains ``q`` (and vice versa).  Processes that
+    have mutually excluded each other -- the two sides of a partition --
+    proceed independently, exactly as the paper's Example 3 permits;
+    requiring their post-divergence sequences to agree would reject correct
+    executions.  Deliveries without any installed view stay constrained,
+    so stacks that record no membership are checked in full.
     """
     violations: List[str] = []
     processes = trace.processes()
+    records = {
+        process: _delivery_records(trace, process, group) for process in processes
+    }
     sequences = {
-        process: trace.delivered_ids(process, group) for process in processes
+        process: [message for message, _ in records[process]]
+        for process in processes
     }
     for i, first_process in enumerate(processes):
         for second_process in processes[i + 1 :]:
             witness = _subsequence_of_common(
-                sequences[first_process], sequences[second_process]
+                [
+                    message
+                    for message, members in records[first_process]
+                    if members is None or second_process in members
+                ],
+                [
+                    message
+                    for message, members in records[second_process]
+                    if members is None or first_process in members
+                ],
             )
             if witness is not None:
                 violations.append(

@@ -107,21 +107,32 @@ class OnlineTotalOrder(OnlineChecker):
     per-group one: a group's delivery sequence is a projection of the
     process's full sequence, so any per-group inversion is a full-sequence
     inversion.
+
+    Like the post-hoc checker, the pairwise constraint is scoped by mutual
+    view membership: a delivery at ``p`` constrains the pair ``(p, q)``
+    only while ``p``'s view of the message's group still contains ``q``
+    (and symmetrically).  Partitioned sides that have mutually excluded
+    each other proceed independently (the paper's Example 3); deliveries
+    without any installed view stay constrained.
     """
 
     name = "total_order"
-    KINDS = frozenset({DELIVER})
+    KINDS = frozenset({DELIVER, VIEW_INSTALL})
 
     def __init__(self) -> None:
         super().__init__()
+        self._timeline = _ViewTimeline()
         #: The arbiter's output: message id -> global position in the
         #: reference delivery order (first-delivery rank).  Every process's
         #: delivery sequence must embed into this order on its common
         #: messages; exposed for observability and debugging.
         self.arbiter_position: Dict[str, int] = {}
         self._next_position = 0
-        #: message id -> {process: local delivery position}
-        self._deliverers: Dict[str, Dict[str, int]] = {}
+        #: message id -> {process: (local delivery position, members of the
+        #: process's view of the message's group at that delivery, or None)}
+        self._deliverers: Dict[
+            str, Dict[str, Tuple[int, Optional[FrozenSet[str]]]]
+        ] = {}
         #: process -> number of deliveries so far (its local position counter)
         self._local_count: Dict[str, int] = {}
         #: (p, q) -> (max local position in q of a message delivered by both,
@@ -129,20 +140,32 @@ class OnlineTotalOrder(OnlineChecker):
         self._watermark: Dict[Tuple[str, str], Tuple[int, str]] = {}
 
     def on_event(self, event: TraceEvent) -> None:
+        if event.kind == VIEW_INSTALL:
+            self._timeline.on_event(event)
+            return
         if event.kind != DELIVER or event.message_id is None:
             return
         self.events_seen += 1
         process, message = event.process, event.message_id
         local_pos = self._local_count.get(process, 0)
         self._local_count[process] = local_pos + 1
+        view: Optional[FrozenSet[str]] = None
+        if event.group is not None:
+            view = self._timeline.current.get((process, event.group))
         deliverers = self._deliverers.get(message)
         if deliverers is None:
             # First delivery anywhere: the arbiter assigns the global slot.
             self.arbiter_position[message] = self._next_position
             self._next_position += 1
-            self._deliverers[message] = {process: local_pos}
+            self._deliverers[message] = {process: (local_pos, view)}
             return
-        for other, other_pos in deliverers.items():
+        for other, (other_pos, other_view) in deliverers.items():
+            # Mutual-view scoping: this common message binds the pair only
+            # if each side still saw the other in its view at delivery.
+            if view is not None and other not in view:
+                continue
+            if other_view is not None and process not in other_view:
+                continue
             mark = self._watermark.get((process, other))
             if mark is not None and mark[0] > other_pos:
                 self.violations.append(
@@ -159,7 +182,7 @@ class OnlineTotalOrder(OnlineChecker):
             reverse = self._watermark.get((other, process))
             if reverse is None or local_pos > reverse[0]:
                 self._watermark[(other, process)] = (local_pos, message)
-        deliverers[process] = local_pos
+        deliverers[process] = (local_pos, view)
 
 
 class _ViewTimeline:

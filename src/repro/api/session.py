@@ -43,6 +43,7 @@ from repro.analysis.checkers import CheckResult
 from repro.api.stack import ProtocolStack, StackContext, StackError
 from repro.api.stacks import get_stack
 from repro.net.failures import FailureSchedule, FaultInjector
+from repro.net.faults import get_link_faults
 from repro.net.latency import LatencyModel
 from repro.net.network import Network, NetworkConfig
 from repro.net.simulator import Simulator
@@ -95,6 +96,7 @@ class Session:
         seed: int = 0,
         latency_model: Optional[LatencyModel] = None,
         batch_window: float = 0.0,
+        link_faults: object = None,
         sinks: Optional[Sequence[TraceSink]] = None,
         checks: Optional[Iterable[str]] = None,
         analysis: str = "offline",
@@ -124,6 +126,9 @@ class Session:
         if latency_model is not None:
             network_config.latency_model = latency_model
         network_config.batch_window = batch_window
+        # ``link_faults`` accepts a LinkFaultModel or its JSON-shaped dict
+        # (the form scenario specs carry); ``None`` disables link faults.
+        network_config.link_faults = get_link_faults(link_faults)
         self.network = Network(self.sim, network_config)
         self.transport = Transport(self.network)
         self.injector = FaultInjector(self.sim, self.network)

@@ -194,10 +194,15 @@ class AsymmetricOrdering(OrderingEngine):
             message.origin_request is not None
             and message.sender == self.endpoint.process.process_id
         ):
+            # Receipt of the sequenced copy ends the failover-resend
+            # obligation, but deliberately NOT the Send-Blocking-Rule
+            # bookkeeping: a received-yet-undelivered copy can still be
+            # discarded by a failure agreement (its clocks die with the
+            # removed sequencer) and re-sequenced later, so receipt is not
+            # final.  The blocking rule releases on *delivery* (see
+            # ``NewtopProcess._handle_delivery``), the point past which the
+            # message can no longer lose its place in the total order.
             self._unsequenced.pop(message.origin_request, None)
-            self.endpoint.process.note_unicast_sequenced(
-                self.endpoint.group_id, message.origin_request
-            )
 
     # ------------------------------------------------------------------
     # Deliverability
@@ -227,6 +232,22 @@ class AsymmetricOrdering(OrderingEngine):
             self._unsequenced[request_id] = (message.payload, message.kind)
             process.note_unicast_outstanding(self.endpoint.group_id, request_id)
 
+    def _unsequenced_in_send_order(self) -> List[Tuple[str, Tuple[object, str]]]:
+        """Outstanding requests ordered by original send time.
+
+        Dict insertion order is *not* send order here: step (viii) of the
+        failure agreement re-adds own messages whose sequenced copies were
+        discarded (:meth:`on_own_messages_discarded`), and those were sent
+        *before* any request that never came back.  Re-sequencing in
+        insertion order would invert the origin's FIFO.  Request ids carry
+        a monotonically increasing counter, so the numeric suffix recovers
+        the true send order.
+        """
+        return sorted(
+            self._unsequenced.items(),
+            key=lambda item: int(item[0].rsplit("#", 1)[1]),
+        )
+
     def on_view_installed(self) -> None:
         """Sequencer failover: if the sequencer changed, re-send requests
         that were never sequenced (or whose sequenced copies were discarded
@@ -242,11 +263,11 @@ class AsymmetricOrdering(OrderingEngine):
         if self.is_sequencer():
             # We just became the sequencer; sequence our unsequenced
             # requests locally, under their original request ids.  The
-            # loopback receipt clears the Send-Blocking-Rule bookkeeping --
-            # clearing it up front would let deferred sends in *other*
+            # loopback *delivery* clears the Send-Blocking-Rule bookkeeping
+            # -- clearing it up front would let deferred sends in *other*
             # groups flush with Lamport clocks below these messages',
             # violating the causal order the blocking rule exists for.
-            pending = list(self._unsequenced.items())
+            pending = self._unsequenced_in_send_order()
             self._unsequenced.clear()
             for request_id, (payload, kind) in pending:
                 self._sequence_and_multicast(
@@ -263,7 +284,7 @@ class AsymmetricOrdering(OrderingEngine):
         # identity from the origin's send to every delivery (receivers that
         # saw a pre-crash copy dedup instead of delivering twice), and the
         # Send-Blocking-Rule bookkeeping simply stays outstanding.
-        for request_id, (payload, kind) in list(self._unsequenced.items()):
+        for request_id, (payload, kind) in self._unsequenced_in_send_order():
             request = SequencerRequest(
                 request_id=request_id,
                 origin=process.process_id,

@@ -87,6 +87,15 @@ class NewtopConfig:
     #: Approximate payload-independent byte cost of headers added by the
     #: transport; used only for overhead accounting.
     transport_header_bytes: int = 20
+    #: Sequence an end-of-view ``view_cut`` marker when an asymmetric group
+    #: excludes a non-sequencer member, so every survivor cuts the delivery
+    #: stream at the same sequencer number.  Disabling it reverts to the
+    #: failed member's ``lnmn`` as the cut -- a position the sequencer
+    #: stream never agrees on, which virtual synchrony checkers catch under
+    #: faults + load.  This switch exists ONLY as a known-bug target for the
+    #: fuzz mutation harness (tests prove the fuzzer re-finds the violation);
+    #: never disable it in real runs.
+    use_view_cut_marker: bool = True
 
     def validate(self) -> "NewtopConfig":
         """Raise :class:`ConfigurationError` if the parameters are inconsistent."""

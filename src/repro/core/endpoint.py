@@ -22,7 +22,7 @@ global order (safe2) -- that is how Newtop gets cross-group total order
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.asymmetric import AsymmetricOrdering
 from repro.core.config import NewtopConfig, OrderingMode
@@ -126,6 +126,7 @@ class GroupEndpoint:
             suspicion_timeout=config.suspicion_timeout,
             check_interval=config.suspector_check_interval,
             notify=self._on_suspector_notification,
+            on_tick=self._on_suspector_tick,
         )
         self.gv = GroupViewProcess(self, own_id, group_id)
         self.time_silence = TimeSilence(process.sim, config.omega, self._send_null)
@@ -142,6 +143,11 @@ class GroupEndpoint:
         #: Deliveries keep flowing (the pre-marker stream belongs to the
         #: old view); the view change is created when the marker lands.
         self._detections_awaiting_cut: List[Tuple[frozenset, int]] = []
+        #: Asymmetric groups only -- members whose suspicion was deferred
+        #: once while the sequencer itself stood suspected (see
+        #: :meth:`_on_suspector_notification`); a second silent timeout
+        #: after that is accepted as failure evidence.
+        self._failover_deferred: Set[str] = set()
         #: Application payloads deferred by the blocking rules / formation
         #: wait / flow control, in submission order.
         self.deferred_sends: List[object] = []
@@ -235,23 +241,33 @@ class GroupEndpoint:
         """Time-silence callback: multicast a null message (§4.1).
 
         In an asymmetric group a member's nulls normally travel via the
-        sequencer.  While the sequencer itself is under suspicion (a
-        failover is in progress), that path is dead, so the member
-        multicasts a plain (unsequenced) null directly -- it carries no
-        ordering weight (it never advances ``D_x``) but keeps the remaining
-        members' failure suspectors fed so they do not cascade into
-        suspecting each other while agreeing on the sequencer's failure.
+        sequencer.  While that relay path looks dead -- the sequencer has
+        been silent past the suspicion window, stands suspected, or is
+        already excluded -- the member multicasts a plain (unsequenced)
+        null directly: it carries no ordering weight (it never advances
+        ``D_x``) but keeps the remaining members' failure suspectors fed so
+        they do not cascade into suspecting each other while agreeing on
+        the sequencer's failure.  Keying on silence rather than formal
+        suspicion matters: a refutation can clear the sequencer suspicion
+        (shipping one recovered message) without reviving the relay, and
+        members must not fall mutually silent during the re-suspicion
+        window that follows.
         """
         if not self.active:
             return
-        if (
-            self.mode == OrderingMode.ASYMMETRIC
-            and not self.engine.is_sequencer()
-            and (
-                self.gv.is_suspected(self.engine.sequencer())
-                or self.gv.is_excluded(self.engine.sequencer())
+        sequencer_dead_path = False
+        if self.mode == OrderingMode.ASYMMETRIC and not self.engine.is_sequencer():
+            sequencer = self.engine.sequencer()
+            heard = self.suspector.last_activity(sequencer)
+            silent_for = (
+                self.process.sim.now - heard if heard is not None else 0.0
             )
-        ):
+            sequencer_dead_path = (
+                self.gv.is_suspected(sequencer)
+                or self.gv.is_excluded(sequencer)
+                or silent_for >= self.suspector.suspicion_timeout
+            )
+        if sequencer_dead_path:
             clock = self.process.clock.tick()
             message = DataMessage.null(
                 sender=self.process.process_id,
@@ -299,10 +315,18 @@ class GroupEndpoint:
         self.on_data_message(message, local_origin=True)
 
     def send_to_member(self, member: str, payload: object) -> None:
-        """Unicast a protocol message (e.g. a sequencer request) to ``member``."""
+        """Unicast a protocol message (e.g. a sequencer request) to ``member``.
+
+        Deliberately does NOT reset the time-silence timer: a unicast
+        request is inaudible to the group until the sequencer multicasts
+        it, so counting it as "sending" would let a member whose sequencer
+        is unreachable fall silent for everyone else while busily unicasting
+        into the void -- peers would (wrongly, but irrefutably) suspect it.
+        The timer resets when our request comes back sequenced, the moment
+        the group actually heard us (:meth:`on_data_message`).
+        """
         size = payload.wire_size_bytes() if hasattr(payload, "wire_size_bytes") else 0
         self.process.transport_endpoint.send(member, payload, channel="newtop", size_bytes=size)
-        self.time_silence.notify_sent()
 
     def mcast_membership(self, message: object) -> None:
         """The GV process's ``mcast`` primitive: transmit to every view
@@ -334,6 +358,12 @@ class GroupEndpoint:
                 self.gv.hold_pending(filter_key, message)
                 return
             self.process.clock.observe(message.clock)
+        if not local_origin and message.sender == self.process.process_id:
+            # Our unicast request came back as a sequenced multicast: the
+            # group just heard from us, so push the next liveness null out
+            # by omega (see :meth:`send_to_member` for why the unicast
+            # itself does not count).
+            self.time_silence.notify_sent()
         # Liveness evidence for the suspector: both the logical sender and,
         # in asymmetric groups, the sequencer that relayed the message.
         self.suspector.heard_from(message.sender, message.clock)
@@ -450,25 +480,64 @@ class GroupEndpoint:
         removed = frozenset(suspicion.target for suspicion in detection)
         lnmn = min(suspicion.last_number for suspicion in detection)
         own_id = self.process.process_id
+        # The discard bound depends on where the old view's stream ends.
+        # When the cut is in *sequencer numbering* (the end-of-view marker,
+        # or -- for a detection that removes the sequencer itself -- the
+        # dead sequencer's agreed last number), each target's messages
+        # survive up to *its own* agreed last number, clamped at the cut: a
+        # multi-target detection must not cut one target's stream at
+        # another (laggard) target's ln, because members that already
+        # delivered the in-between messages cannot take them back, so
+        # virtual synchrony would split.  When the cut is ``lnmn`` itself
+        # (symmetric groups or marker disabled), everything above ``lnmn``
+        # belongs to the next view and a removed member's messages there
+        # can never be delivered again -- they are discarded exactly as in
+        # the paper's step (viii).
+        asymmetric = self.mode == OrderingMode.ASYMMETRIC
+        sequencer_removed = asymmetric and self.view.sequencer() in removed
+        sequencer_cut = (
+            asymmetric
+            and self.config.use_view_cut_marker
+        )
+        last_numbers: Dict[str, int] = {}
+        for suspicion in detection:
+            last_numbers[suspicion.target] = max(
+                last_numbers.get(suspicion.target, 0), suspicion.last_number
+            )
+        failover_cut = (
+            last_numbers[self.view.sequencer()] if sequencer_removed else None
+        )
         for target in removed:
+            if not sequencer_cut:
+                above = lnmn
+            elif sequencer_removed:
+                above = min(last_numbers[target], failover_cut)
+            else:
+                above = last_numbers[target]
             discarded = self.process.delivery_queue.discard_from_sender(
-                self.group_id, target, above_clock=lnmn
+                self.group_id, target, above_clock=above
             )
             self.discarded_from_excluded += len(discarded)
             own_discards = [m for m in discarded if m.sender == own_id]
             if own_discards:
                 self.engine.on_own_messages_discarded(own_discards)
-            self.stability.handle_member_removed(target, discard_above=lnmn)
+            self.stability.handle_member_removed(target, discard_above=above)
         self.engine.on_members_removed(removed, lnmn)
-        threshold = self._view_change_threshold(removed, lnmn)
+        threshold = self._view_change_threshold(removed, lnmn, failover_cut)
         if threshold is not None:
             self.pending_view_changes.append(
                 PendingViewChange(removed=removed, threshold=threshold)
             )
             self.pending_view_changes.sort(key=lambda change: change.threshold)
         self.process.attempt_delivery()
+        self.process.flush_deferred_sends()
 
-    def _view_change_threshold(self, removed: frozenset, lnmn: int) -> Optional[int]:
+    def _view_change_threshold(
+        self,
+        removed: frozenset,
+        lnmn: int,
+        failover_cut: Optional[int] = None,
+    ) -> Optional[int]:
         """Where the view excluding ``removed`` cuts the delivery stream.
 
         Symmetric groups use ``lnmn`` directly: the receive-vector bound
@@ -486,18 +555,35 @@ class GroupEndpoint:
           marker lands (``None``: no pending change yet) -- deliveries keep
           flowing because everything the sequencer numbers before the
           marker still belongs to the old view;
-        * a detection that removes the sequencer falls back to the ``lnmn``
-          cut (failover: the old stream is truncated at ``lnmn`` and the
-          markers of the failed sequencer will never come, so parked
-          detections are flushed the same way).
+        * a detection that removes the sequencer cannot wait for a marker.
+          It cuts at ``failover_cut`` -- the dead sequencer's *agreed* last
+          number, which rule-(iii) refutation convergence makes identical
+          at every survivor.  Survivors may already have delivered
+          sequenced messages well past ``lnmn`` (another target's stale
+          number), so cutting there would retroactively move delivered
+          messages into the next view; everything the dead sequencer
+          numbered is old-view at everyone.  Parked detections flush at the
+          same cut, since their markers will never come.
         """
-        if self.mode != OrderingMode.ASYMMETRIC or self.view.sequencer() in removed:
-            for awaiting, fallback in self._detections_awaiting_cut:
+        if self.mode != OrderingMode.ASYMMETRIC or not self.config.use_view_cut_marker:
+            return lnmn
+        if self.view.sequencer() in removed:
+            cut = failover_cut if failover_cut is not None else lnmn
+            for awaiting, _fallback in self._detections_awaiting_cut:
+                # The marker these detections were parked for will never
+                # come; their old-view stream now truncates at the failover
+                # cut, so re-discard what the per-target bound kept above it.
+                for target in awaiting:
+                    discarded = self.process.delivery_queue.discard_from_sender(
+                        self.group_id, target, above_clock=cut
+                    )
+                    self.discarded_from_excluded += len(discarded)
+                    self.stability.buffer.discard_sender_above(target, cut)
                 self.pending_view_changes.append(
-                    PendingViewChange(removed=awaiting, threshold=fallback)
+                    PendingViewChange(removed=awaiting, threshold=cut)
                 )
             self._detections_awaiting_cut.clear()
-            return lnmn
+            return cut
         if self.engine.is_sequencer():
             return self.engine.emit_view_cut(removed)
         cut = self._pending_cut_points.pop(removed, None)
@@ -583,6 +669,7 @@ class GroupEndpoint:
         if self.mode == OrderingMode.ASYMMETRIC:
             # Give the remaining members a fresh suspicion window so the
             # sequencer change does not cascade into further suspicions.
+            self._failover_deferred.clear()
             for member in self.view.members:
                 if member != self.process.process_id:
                     self.suspector.clear_suspicion(member)
@@ -655,17 +742,37 @@ class GroupEndpoint:
             if suspicion.target != sequencer and self.process.process_id != sequencer:
                 # In an asymmetric group a member is only heard *through*
                 # the sequencer, so its silence is meaningful evidence only
-                # while the sequencer itself is demonstrably alive.  If the
-                # sequencer is suspected, or has itself gone quiet for a
-                # substantial fraction of the suspicion timeout, defer the
-                # member's suspicion until the sequencer question settles
-                # (a failover resets the timers).
+                # while the sequencer itself is demonstrably alive.  While
+                # the sequencer has gone quiet but is not yet suspected,
+                # defer the member's suspicion until the sequencer question
+                # settles.  Once the sequencer *is* suspected the failover
+                # agreement runs over direct membership traffic, so a live
+                # member proves its own liveness (suspect/refute/confirm
+                # arrivals refresh the suspector).  Grant each member one
+                # further full timeout of that traffic; a member still
+                # silent after it is accepted as failed -- deferring
+                # forever would deadlock the failover whenever a member
+                # crashed together with the sequencer (the agreement would
+                # await its confirmation indefinitely).
                 sequencer_silent_for = self.process.sim.now - self._last_heard_sequencer()
                 sequencer_fresh = sequencer_silent_for < 0.5 * self.suspector.suspicion_timeout
-                if self.gv.is_suspected(sequencer) or not sequencer_fresh:
+                if not self.gv.is_suspected(sequencer):
+                    if not sequencer_fresh:
+                        self.suspector.clear_suspicion(suspicion.target)
+                        return
+                elif suspicion.target not in self._failover_deferred:
+                    self._failover_deferred.add(suspicion.target)
                     self.suspector.clear_suspicion(suspicion.target)
                     return
         self.gv.on_suspector_notification(suspicion)
+
+    def _on_suspector_tick(self) -> None:
+        """Periodic heartbeat from the suspector's check loop: re-announce
+        suspicions that have sat unresolved for a full timeout, so gossip
+        lost to a transient partition converges after the heal."""
+        if not self.active:
+            return
+        self.gv.regossip_unresolved(self.suspector.suspicion_timeout)
 
     def _last_heard_sequencer(self) -> float:
         sequencer = self.view.sequencer()

@@ -227,6 +227,29 @@ class FormationCoordinator:
                 group_id, handle.members, handle.mode
             )
 
+    def on_activation_evidence(self, group_id: str) -> bool:
+        """A ``start-group`` message arrived while we are still VOTING.
+
+        Its sender activated, and step 4 only fires on a ``yes`` from
+        *every* intended member -- and since each member diffuses exactly
+        one vote, a single ``no`` anywhere makes activation impossible for
+        everyone.  The start-group message is therefore proof that the vote
+        was unanimous, even if some of the ``yes`` messages were lost on
+        their way to us (e.g. to a transient partition).  Adopt the
+        outcome, provided we voted ``yes`` ourselves (which also means the
+        invitation's membership and mode are authoritative here).
+        """
+        handle = self._attempts.get(group_id)
+        if handle is None or handle.status != FormationStatus.VOTING:
+            return False
+        own_id = self.process.process_id
+        if not self._own_vote_sent.get(group_id) or handle.votes.get(own_id) is not True:
+            return False
+        for member in handle.members:
+            handle.votes.setdefault(member, True)
+        self._check_activation(group_id)
+        return handle.formed
+
     # ------------------------------------------------------------------
     # Failure paths
     # ------------------------------------------------------------------

@@ -109,6 +109,9 @@ class GroupViewProcess:
         self._pending: Dict[str, List[object]] = {}
         #: Detection sets confirmed so far, in confirmation order.
         self.detection_history: List[frozenset] = []
+        #: When each active suspicion was last announced to the group
+        #: (simulated time), for the re-gossip keep-alive.
+        self._announced: Dict[Suspicion, float] = {}
 
     # ------------------------------------------------------------------
     # Queries used by the endpoint's receive path
@@ -149,10 +152,45 @@ class GroupViewProcess:
             trace_events.SUSPECT, target=target, last_number=suspicion.last_number
         )
         self.stats.suspect_messages_sent += 1
+        self._announced[suspicion] = self.endpoint.process.sim.now
         self.endpoint.mcast_membership(
             SuspectMessage(origin=self.own_id, group=self.group_id, suspicion=suspicion)
         )
         self._try_confirm()
+
+    def regossip_unresolved(self, interval: float) -> None:
+        """Re-announce suspicions that have sat unresolved for ``interval``.
+
+        The paper multicasts each suspicion exactly once, which suffices in
+        its crash-stop model where membership traffic is never lost.  Under
+        transient partitions (a scenario-engine extension) a suspect
+        message can vanish with the partition, leaving the group's gossip
+        permanently split: each side waits forever for supporters that
+        never heard the record, and the agreement -- and with it the
+        delivery bound of every overlapping group -- wedges.  Periodic
+        re-announcement makes the gossip converge once links heal; it is
+        idempotent at receivers that already support the record.
+        """
+        now = self.endpoint.process.sim.now
+        stale = [
+            suspicion
+            for suspicion in self._suspicions
+            if now - self._announced.get(suspicion, now) >= interval
+        ]
+        # Drop bookkeeping for suspicions resolved in the meantime.
+        self._announced = {
+            suspicion: when
+            for suspicion, when in self._announced.items()
+            if suspicion in self._suspicions
+        }
+        for suspicion in stale:
+            self.stats.suspect_messages_sent += 1
+            self._announced[suspicion] = now
+            self.endpoint.mcast_membership(
+                SuspectMessage(
+                    origin=self.own_id, group=self.group_id, suspicion=suspicion
+                )
+            )
 
     # ------------------------------------------------------------------
     # Incoming membership traffic
@@ -162,6 +200,29 @@ class GroupViewProcess:
         if sender in self._excluded or sender not in self.endpoint.view.members:
             return
         if self.is_suspected(sender):
+            if (
+                isinstance(message, RefuteMessage)
+                and message.suspicion.target == sender
+            ):
+                # A self-refutation from the suspected process is the very
+                # evidence the suspicion is wrong; parking it as pending
+                # would deadlock (nothing else could refute a member whose
+                # messages nobody holds, e.g. one heard only through a
+                # failed asymmetric sequencer relay).
+                self._on_refute(sender, message)
+                return
+            if (
+                isinstance(message, SuspectMessage)
+                and message.suspicion.target == self.own_id
+            ):
+                # A suspicion naming *us* must reach us even from a sender
+                # we suspect, or two live processes that suspect each other
+                # simultaneously (mutual relay silence) would each park the
+                # other's suspect message and neither would ever learn it
+                # needs to refute -- both sides would vacuously confirm and
+                # the group would split.
+                self._on_suspect(sender, message)
+                return
             # "once suspicion {Pk, ln} has been added to suspicions, GVi
             # will keep the messages received from Pk and GVk as pending"
             self.hold_pending(sender, message)
@@ -195,21 +256,32 @@ class GroupViewProcess:
     def _on_suspect(self, sender: str, message: SuspectMessage) -> None:
         suspicion = message.suspicion
         if suspicion.target == self.own_id:
-            # "If GVi ever receives a message (k, suspect, {Pi, ln}), it
-            # takes no action in the hope that some GVj will refute it."
+            # The paper lets the target wait "in the hope that some GVj
+            # will refute it" -- which presumes somebody holds a message of
+            # ours above ln.  When nobody does (an asymmetric member whose
+            # every message died with the sequencer relay has ln = 0
+            # everywhere), that hope is vain and the suspicion would
+            # confirm against a live, connected process.  Refute it
+            # ourselves: we are definitionally alive, and the refutation
+            # ships our retained messages above ln so the suspecting side
+            # also recovers anything it missed.
+            self._send_refute(suspicion)
             return
         if suspicion.target in self._excluded:
             return
         supporters = self._gossip.setdefault(suspicion, set())
         supporters.add(message.origin)
         # Rule (iii): refute immediately if we already hold something newer
-        # from the target (unless we suspect the target ourselves).
-        if not self.is_suspected(suspicion.target):
-            held_clock = self.endpoint.membership_clock_of(suspicion.target)
-            if held_clock > suspicion.last_number:
-                self._send_refute(suspicion)
-                self._try_confirm()
-                return
+        # from the target.  This applies even when we suspect the target
+        # ourselves (at a higher ln): the refutation does not assert the
+        # target is alive, it ships the messages the suspecting process is
+        # missing so both sides converge on the same {Pk, ln} record --
+        # without it, two processes suspecting the same dead member at
+        # different ln values would each wait forever for the other to
+        # support its own record, and the detection would never confirm.
+        held_clock = self.endpoint.membership_clock_of(suspicion.target)
+        if held_clock > suspicion.last_number:
+            self._send_refute(suspicion)
         self._try_confirm()
 
     def _send_refute(self, suspicion: Suspicion) -> None:
@@ -286,8 +358,18 @@ class GroupViewProcess:
             # non-intersecting ones (Example 3).
             self.endpoint.suspector.force_suspect(sender)
             return
-        if detection and detection <= self._suspicions:
-            self._confirm(detection)
+        # Rule (vi): a peer's confirmed detection is final.  Adopt it even
+        # when our matching suspicions were refuted in the meantime -- a
+        # refutation that races a confirmation loses, because the
+        # confirming side has already cut its delivery stream and
+        # declining to follow would leave the group's views split forever.
+        remaining = frozenset(
+            suspicion
+            for suspicion in detection
+            if suspicion.target not in self._excluded
+        )
+        if remaining:
+            self._confirm(remaining)
 
     # ------------------------------------------------------------------
     # Rule (v): local confirmation

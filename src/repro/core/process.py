@@ -219,6 +219,7 @@ class NewtopProcess:
         )
         endpoint.shutdown()
         self.attempt_delivery()
+        self.flush_deferred_sends()
 
     def crash(self) -> None:
         """Crash-stop this process: all memberships cease immediately."""
@@ -361,16 +362,15 @@ class NewtopProcess:
         self._outstanding_unicasts.setdefault(group_id, set()).add(request_id)
 
     def note_unicast_sequenced(self, group_id: str, request_id: str) -> None:
-        """A previously unicast message came back from the sequencer.
+        """A previously unicast message came back sequenced *and was
+        delivered* (called from :meth:`_handle_delivery`).
 
-        Deliberately does NOT flush deferred sends: this is called from
-        ``engine.on_data`` *before* the sequenced message has entered the
-        delivery queue, and a flush here can re-enter the delivery loop --
-        if the flushed send makes this process sequence a message in
-        another group, the loopback delivery runs under a deliverable
-        bound that already covers the not-yet-enqueued message, inverting
-        the total order (safe2).  The receive path flushes once the
-        message is enqueued and delivery has been attempted.
+        Deliberately does NOT flush deferred sends: this runs inside the
+        delivery loop, and a flush here can re-enter it -- if the flushed
+        send makes this process sequence a message in another group, the
+        loopback delivery runs under a deliverable bound that already
+        covers the not-yet-enqueued message, inverting the total order
+        (safe2).  Callers of :meth:`attempt_delivery` flush afterwards.
         """
         outstanding = self._outstanding_unicasts.get(group_id)
         if outstanding is not None:
@@ -425,6 +425,10 @@ class NewtopProcess:
                 endpoint.on_data_message(payload)
             elif self.formation.attempt(payload.group) is not None:
                 self._pre_activation_buffer.setdefault(payload.group, []).append(payload)
+                if payload.is_start_group:
+                    # Proof the vote was unanimous even if some yes votes
+                    # never reached us; activation replays the buffer.
+                    self.formation.on_activation_evidence(payload.group)
         elif isinstance(payload, SequencerRequest):
             endpoint = self._endpoints.get(payload.group)
             if endpoint is not None:
@@ -491,6 +495,14 @@ class NewtopProcess:
         self._handle_delivery(message)
 
     def _handle_delivery(self, message: DataMessage) -> None:
+        if message.origin_request is not None and message.sender == self.process_id:
+            # Our unicast came back sequenced and is now *delivered*: only
+            # here may the Send Blocking Rule release.  Releasing on mere
+            # receipt is unsound -- a received-but-undelivered sequenced
+            # copy can still be discarded by a failure agreement and
+            # re-sequenced with a later clock, after causally-later sends
+            # in other groups already went out and delivered.
+            self.note_unicast_sequenced(message.group, message.origin_request)
         endpoint = self._endpoints.get(message.group)
         view_index = endpoint.view.index if endpoint is not None else -1
         record = DeliveredMessage(

@@ -47,6 +47,7 @@ class FailureSuspector:
         suspicion_timeout: float,
         check_interval: float,
         notify: NotifyCallback,
+        on_tick: Optional[Callable[[], None]] = None,
     ) -> None:
         if suspicion_timeout <= 0 or check_interval <= 0:
             raise ValueError("suspicion_timeout and check_interval must be positive")
@@ -55,10 +56,19 @@ class FailureSuspector:
         self.suspicion_timeout = suspicion_timeout
         self.check_interval = check_interval
         self._notify = notify
+        #: Invoked at the end of every periodic check -- a convenient
+        #: group-paced heartbeat for owners (the endpoint uses it to
+        #: re-gossip long-unresolved suspicions).
+        self._on_tick = on_tick
         # Slab state: pid -> slot, plus parallel arrays indexed by slot.
         self._slot: Dict[str, int] = {}
         self._pids: List[str] = []
         self._heard: List[float] = []
+        #: Time of the last *actual* message from the member.  Unlike
+        #: ``_heard`` it is never refreshed by :meth:`clear_suspicion`, so
+        #: it answers "how long has this member truly been silent" across
+        #: deferred/refuted suspicions.
+        self._activity: List[float] = []
         self._clock: List[int] = []
         self._suspected: List[bool] = []
         self._monitored: List[bool] = []
@@ -69,6 +79,7 @@ class FailureSuspector:
             self._slot[member] = len(self._pids)
             self._pids.append(member)
             self._heard.append(now)
+            self._activity.append(now)
             self._clock.append(0)
             self._suspected.append(False)
             self._monitored.append(True)
@@ -95,6 +106,7 @@ class FailureSuspector:
         for slot, monitored in enumerate(self._monitored):
             if monitored:
                 self._heard[slot] = now
+                self._activity[slot] = now
         self._schedule_check()
 
     def stop(self) -> None:
@@ -122,6 +134,7 @@ class FailureSuspector:
         if slot is None or member == self.own_id or not self._monitored[slot]:
             return
         self._heard[slot] = self.sim.now
+        self._activity[slot] = self.sim.now
         if clock > self._clock[slot]:
             self._clock[slot] = clock
 
@@ -170,6 +183,16 @@ class FailureSuspector:
             return None
         return self._heard[slot]
 
+    def last_activity(self, member: str) -> Optional[float]:
+        """Time of the last *actual* message from ``member`` (``None`` when
+        not monitored).  Unlike :meth:`last_heard` this is not refreshed by
+        :meth:`clear_suspicion`, so it measures true silence across
+        deferred or refuted suspicions."""
+        slot = self._slot.get(member)
+        if slot is None or not self._monitored[slot]:
+            return None
+        return self._activity[slot]
+
     # ------------------------------------------------------------------
     # Internal machinery
     # ------------------------------------------------------------------
@@ -195,6 +218,8 @@ class FailureSuspector:
                 continue
             if now - self._heard[slot] >= timeout:
                 self._raise_suspicion(self._pids[slot])
+        if self._on_tick is not None:
+            self._on_tick()
         self._schedule_check()
 
     def _raise_suspicion(self, member: str) -> None:

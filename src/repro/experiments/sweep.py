@@ -43,7 +43,7 @@ least one process.
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.api import Session
@@ -415,7 +415,10 @@ def _failed_cell_row(
     status: str, error: Optional[str],
 ) -> Dict[str, object]:
     """Row for a cell whose worker crashed or timed out: the grid position
-    survives (so lookups work) with ``passed=False`` and the diagnosis."""
+    survives (so lookups work) with ``passed=False``, the diagnosis, and a
+    ``replay`` block carrying the exact seed and constructor kwargs --
+    ``run_cell(SweepSpec(**row["replay"]["spec"]), stack, profile, load,
+    fault)`` reproduces the casualty standalone, outside the pool."""
     return {
         "stack": stack,
         "profile": profile_name,
@@ -424,6 +427,21 @@ def _failed_cell_row(
         "passed": False,
         "violations": [f"cell {status}: {error or 'no diagnostic'}"],
         "execution_status": status,
+        "replay": {
+            "seed": spec.seed,
+            "spec": asdict(spec),
+            "cell": {
+                "stack": stack,
+                "profile": profile_name,
+                "offered_load": load,
+                "fault": fault,
+            },
+            "how": (
+                "repro.experiments.run_cell(SweepSpec(**replay['spec']), "
+                "cell['stack'], cell['profile'], cell['offered_load'], "
+                "cell['fault'])"
+            ),
+        },
     }
 
 

@@ -19,6 +19,9 @@ deterministic, seedable discrete-event simulation:
   by protocol processes.
 * :mod:`repro.net.failures` -- declarative fault-injection schedules
   (crashes, crash-during-multicast, partitions, heals).
+* :mod:`repro.net.faults` -- probabilistic link-fault models (seeded
+  per-message drop / reorder / duplicate, global or per directed link),
+  the message-level fault space the scenario fuzzer explores.
 * :mod:`repro.net.trace` -- the event trace recorder and its pluggable
   sink architecture (in-memory trace, JSONL file writer, rolling metrics
   aggregator, null sink), consumed by the post-hoc and streaming property
@@ -26,6 +29,12 @@ deterministic, seedable discrete-event simulation:
 """
 
 from repro.net.failures import FailureSchedule, FaultInjector
+from repro.net.faults import (
+    LinkFaultConfigError,
+    LinkFaultModel,
+    LinkFaultRates,
+    get_link_faults,
+)
 from repro.net.latency import (
     LATENCY_MODELS,
     ConstantLatency,
@@ -63,6 +72,9 @@ __all__ = [
     "JitteredLatency",
     "JsonlSink",
     "LatencyModel",
+    "LinkFaultConfigError",
+    "LinkFaultModel",
+    "LinkFaultRates",
     "LogNormalLatency",
     "MemorySink",
     "MetricsSink",
@@ -80,4 +92,5 @@ __all__ = [
     "TransportMessage",
     "UniformLatency",
     "get_latency_model",
+    "get_link_faults",
 ]

@@ -28,6 +28,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.net.faults import LinkFaultModel
 from repro.net.latency import LatencyModel, UniformLatency
 from repro.net.partitions import PartitionManager
 from repro.net.simulator import Simulator
@@ -66,6 +67,11 @@ class NetworkConfig:
     #: quantisation is monotone and same-instant messages are handed over
     #: in send order.
     batch_window: float = 0.0
+    #: Optional :class:`~repro.net.faults.LinkFaultModel`: seeded
+    #: probabilistic drop / reorder / duplicate faults, global or per
+    #: directed link.  Decisions draw from the model's own RNG, so a model
+    #: with all-zero rates leaves the run byte-identical to no model.
+    link_faults: Optional[LinkFaultModel] = None
 
 
 @dataclass
@@ -77,6 +83,12 @@ class NetworkStats:
     messages_dropped_partition: int = 0
     messages_dropped_crash: int = 0
     messages_dropped_filter: int = 0
+    #: Messages lost to a probabilistic link-fault drop.
+    messages_dropped_fault: int = 0
+    #: Messages held back by a link-fault reorder delay.
+    messages_reordered: int = 0
+    #: Extra copies injected by link-fault duplication.
+    messages_duplicated: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
     #: Scheduled delivery events; with batching this is at most one per
@@ -90,6 +102,7 @@ class NetworkStats:
             self.messages_dropped_partition
             + self.messages_dropped_crash
             + self.messages_dropped_filter
+            + self.messages_dropped_fault
         )
 
     def snapshot(self) -> Dict[str, int]:
@@ -100,6 +113,9 @@ class NetworkStats:
             "messages_dropped_partition": self.messages_dropped_partition,
             "messages_dropped_crash": self.messages_dropped_crash,
             "messages_dropped_filter": self.messages_dropped_filter,
+            "messages_dropped_fault": self.messages_dropped_fault,
+            "messages_reordered": self.messages_reordered,
+            "messages_duplicated": self.messages_duplicated,
             "bytes_sent": self.bytes_sent,
             "bytes_delivered": self.bytes_delivered,
             "delivery_events": self.delivery_events,
@@ -118,6 +134,12 @@ class Network:
         self._batch_callbacks: Dict[str, DeliverBatchCallback] = {}
         self._crashed: set[str] = set()
         self._filters: List[MessageFilter] = []
+        # Link-fault decisions draw from the model's own stream so the
+        # simulator's RNG (latency samples, protocol timers) is untouched:
+        # a zero-rate model triggers nothing and changes nothing.
+        faults = self.config.link_faults
+        self._fault_model = faults
+        self._fault_rng = faults.make_rng() if faults is not None else None
         # Per directed channel: the simulated time of the latest scheduled
         # delivery, used to preserve FIFO order.
         self._last_delivery_time: Dict[Tuple[str, str], float] = {}
@@ -166,6 +188,13 @@ class Network:
     def nodes(self) -> List[str]:
         """Identifiers of all attached nodes."""
         return sorted(self._deliver_callbacks)
+
+    @property
+    def link_fault_model(self) -> Optional[LinkFaultModel]:
+        """The attached link-fault model, if any.  Transport endpoints use
+        its presence to tolerate (count and suppress) duplicate frames
+        instead of treating a stale sequence number as a substrate bug."""
+        return self._fault_model
 
     def crash(self, node_id: str) -> None:
         """Mark ``node_id`` as crashed (crash-stop: it never recovers)."""
@@ -220,7 +249,59 @@ class Network:
                 self.stats.messages_dropped_filter += 1
                 return False
 
+        # Link faults.  Decision order (drop, reorder, duplicate) is fixed
+        # so runs are deterministic from the fault seed; each draw happens
+        # only when its rate is non-zero, keeping zero-rate models free.
+        fault_hold = 0.0
+        duplicate_delay: Optional[float] = None
+        model = self._fault_model
+        if model is not None:
+            rates = model.rates_for(src, dst)
+            rng = self._fault_rng
+            if rates.drop > 0.0 and rng.random() < rates.drop:
+                self.stats.messages_dropped_fault += 1
+                return False
+            if rates.reorder > 0.0 and rng.random() < rates.reorder:
+                fault_hold = rng.uniform(*model.reorder_delay)
+                self.stats.messages_reordered += 1
+            if rates.duplicate > 0.0 and rng.random() < rates.duplicate:
+                duplicate_delay = rng.uniform(*model.duplicate_delay)
+                self.stats.messages_duplicated += 1
+
         delay = self.config.latency_model.sample(self.sim.rng, src, dst)
+        raw_time = self.sim.now + delay + fault_hold
+        delivered_at = self._schedule_delivery(src, dst, payload, size_bytes, raw_time)
+        if duplicate_delay is not None:
+            # The copy travels after the original and never advances the
+            # channel's FIFO clamp: genuine traffic is not displaced, and
+            # the transport endpoint recognises the stale sequence number.
+            self._schedule_delivery(
+                src,
+                dst,
+                payload,
+                size_bytes,
+                delivered_at + duplicate_delay,
+                advance_fifo=False,
+            )
+        return True
+
+    def _schedule_delivery(
+        self,
+        src: str,
+        dst: str,
+        payload: object,
+        size_bytes: int,
+        raw_time: float,
+        advance_fifo: bool = True,
+    ) -> float:
+        """Place one message on the wire at ``raw_time``, clamped into the
+        per-channel FIFO order, and return the delivery instant.
+
+        ``advance_fifo=False`` (duplicate copies) clamps against the
+        channel's last genuine delivery without moving it, so later real
+        messages may land at or before the copy -- harmless, the copy is
+        suppressed by its stale sequence number at the endpoint.
+        """
         channel = (src, dst)
         window = self.config.batch_window
         if window > 0.0:
@@ -228,14 +309,17 @@ class Network:
             # (the batch preserves send order), so no epsilon spacing --
             # otherwise every message in a burst would slip a full window.
             earliest = self._last_delivery_time.get(channel, -1.0)
-            delivery_time = max(self.sim.now + delay, earliest)
+            delivery_time = max(raw_time, earliest)
             # Quantise *up* so the message is never early; monotone in the
             # raw delivery time, so per-channel FIFO order is preserved.
             delivery_time = math.ceil(delivery_time / window) * window
-        else:
+        elif advance_fifo:
             earliest = self._last_delivery_time.get(channel, -1.0) + self.config.fifo_epsilon
-            delivery_time = max(self.sim.now + delay, earliest)
-        self._last_delivery_time[channel] = delivery_time
+            delivery_time = max(raw_time, earliest)
+        else:
+            delivery_time = max(raw_time, self._last_delivery_time.get(channel, -1.0))
+        if advance_fifo:
+            self._last_delivery_time[channel] = delivery_time
         key = (dst, delivery_time)
         batch = self._open_batches.get(key)
         if batch is None:
@@ -248,7 +332,7 @@ class Network:
                 label=f"deliver ->{dst}",
             )
         batch.append((src, payload, size_bytes))
-        return True
+        return delivery_time
 
     def multicast(
         self, src: str, dsts: Iterable[str], payload: object, size_bytes: int = 0

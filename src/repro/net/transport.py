@@ -71,6 +71,9 @@ class TransportStats:
     received: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
+    #: Stale-seqno frames suppressed because a link-fault model duplicated
+    #: them on the wire (only counted while such a model is attached).
+    duplicates_suppressed: int = 0
     per_channel_sent: Dict[str, int] = field(default_factory=dict)
     per_channel_received: Dict[str, int] = field(default_factory=dict)
 
@@ -257,6 +260,12 @@ class Endpoint:
         key = (src, message.channel)
         expected = self._next_expected.get(key, 1)
         if message.seqno < expected:
+            if self.transport.network.link_fault_model is not None:
+                # A duplicated frame: the fault model re-delivers copies of
+                # frames the channel has already moved past.  A sequenced
+                # transport absorbs those silently -- suppress and count.
+                self.stats.duplicates_suppressed += 1
+                return None
             raise FifoViolationError(
                 f"{self.node_id}: duplicate/out-of-order message from {src} "
                 f"on {message.channel}: seqno {message.seqno} < expected {expected}"

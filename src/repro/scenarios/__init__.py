@@ -35,6 +35,7 @@ from repro.scenarios.engine import (
     RuntimeSample,
     ScenarioEngine,
     ScenarioExecutionError,
+    ScenarioFailure,
     ScenarioResult,
     run_scenario,
     run_scenarios,
@@ -50,20 +51,25 @@ from repro.scenarios.library import (
 )
 from repro.scenarios.spec import (
     FORMATION_WORKLOAD_GRACE,
+    SCENARIO_SCHEMA_VERSION,
     GroupSpec,
+    InvalidScenarioSpec,
     ScenarioConfigError,
     ScenarioEvent,
     ScenarioSpec,
     WorkloadSpec,
     from_config,
+    to_config,
 )
 
 __all__ = [
     "FORMATION_WORKLOAD_GRACE",
     "SCENARIO_PROTOCOL_DEFAULTS",
+    "SCENARIO_SCHEMA_VERSION",
     "RuntimeSample",
     "ScenarioEngine",
     "ScenarioExecutionError",
+    "ScenarioFailure",
     "ScenarioResult",
     "RollingReport",
     "VIOLATION_LIMIT",
@@ -76,9 +82,11 @@ __all__ = [
     "mixed_modes_scenario",
     "ring_overlap_groups",
     "GroupSpec",
+    "InvalidScenarioSpec",
     "ScenarioConfigError",
     "ScenarioEvent",
     "ScenarioSpec",
     "WorkloadSpec",
     "from_config",
+    "to_config",
 ]

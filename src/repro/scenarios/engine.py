@@ -58,7 +58,8 @@ from repro.api import (
     UnsupportedScenarioEvent,
 )
 from repro.core.messages import reset_message_counter
-from repro.net.latency import LatencyModel
+from repro.net.faults import LinkFaultModel
+from repro.net.latency import LatencyModel, get_latency_model
 from repro.obs import Observation
 from repro.parallel import WorkUnit, run_units
 from repro.net.trace import TraceSink
@@ -66,7 +67,9 @@ from repro.scenarios.spec import (
     FORMATION_WORKLOAD_GRACE,
     ScenarioEvent,
     ScenarioSpec,
+    WorkloadSpec,
     from_config,
+    to_config,
 )
 from repro.workloads.client import LatencyReservoir, OpenLoopClient, aggregate_counters
 from repro.workloads.profiles import get_profile
@@ -197,12 +200,22 @@ class ScenarioEngine:
         # rides in the protocol dict so scenario configs (and the
         # equivalence tests) can toggle it declaratively.
         timer_wheel = bool(overrides.pop("timer_wheel", True))
+        # A spec-declared latency model ("latency": {"model": ...}) applies
+        # when the caller did not pass one explicitly -- an explicit
+        # ``latency_model`` argument (e.g. a sweep cell) wins, so a batch
+        # can still sweep a latency axis over latency-declaring specs.
+        if latency_model is None and spec.latency is not None:
+            options = {
+                key: value for key, value in spec.latency.items() if key != "model"
+            }
+            latency_model = get_latency_model(spec.latency["model"], **options)
         self.session = Session(
             stack,
             config=overrides,
             seed=spec.seed,
             latency_model=latency_model,
             batch_window=spec.batch_window,
+            link_faults=spec.link_faults,
             sinks=sinks,
             analysis=analysis,
             view_agreement_sets=self._agreement_sets,
@@ -217,6 +230,13 @@ class ScenarioEngine:
         #: Open-loop clients (one per group) when the spec names a profile.
         self.clients: List[OpenLoopClient] = []
         self._installed = False
+        # The network's PartitionManager holds a single layout (installing
+        # a new one replaces the old), but scenario events compose: an
+        # isolate landing while a partition is up must not silently reheal
+        # the partition.  The engine therefore tracks the composed fault
+        # topology and reinstalls the combined layout on every change.
+        self._partition_components: List[Set[str]] = []
+        self._isolated: Set[str] = set()
 
     @property
     def cluster(self) -> Session:
@@ -273,41 +293,61 @@ class ScenarioEngine:
         self._schedule_sample()
 
     def _schedule_workload(self) -> None:
-        workload = self.spec.workload
-        # Open-loop mode (``profile`` set): one reactive client per group,
-        # arrivals scheduled inside sim time -- the crash/membership guards
-        # live in the client itself.  Closed-loop mode keeps the historical
-        # fixed rounds.  Dynamically formed groups get the same workload
-        # shape either way, starting a grace period after formation so the
-        # §5.3 voting and start-number agreement can complete first (early
-        # sends are skipped harmlessly by the membership guards).
+        # Every phase -- the primary workload plus each entry of
+        # ``load_phases`` -- is driven through every group over its own
+        # (validated non-overlapping) time window.  Open-loop phases
+        # (``profile`` set) attach one reactive client per group per
+        # phase, arrivals scheduled inside sim time -- the crash/membership
+        # guards live in the client itself.  Closed-loop phases keep the
+        # historical fixed rounds.  Dynamically formed groups get the
+        # *primary* workload shape, starting a grace period after formation
+        # so the §5.3 voting and start-number agreement can complete first
+        # (early sends are skipped harmlessly by the membership guards).
         # Formations the stack cannot perform were filtered with their
         # events.
-        if workload.profile is not None:
-            for group in self.spec.groups:
-                self._attach_client(group.group_id, group.members, start=workload.start)
-            for event in self._events:
-                if event.kind == "form_group":
+        for phase_index, workload in enumerate(self.spec.phases()):
+            if workload.profile is not None:
+                for group in self.spec.groups:
                     self._attach_client(
-                        event.group,
-                        event.targets,
-                        start=event.time + FORMATION_WORKLOAD_GRACE,
+                        group.group_id,
+                        group.members,
+                        start=workload.start,
+                        workload=workload,
+                        phase_index=phase_index,
                     )
-            return
-        for group in self.spec.groups:
-            self._schedule_group_sends(
-                group.group_id, group.members, start=workload.start
-            )
+            else:
+                for group in self.spec.groups:
+                    self._schedule_group_sends(
+                        group.group_id,
+                        group.members,
+                        start=workload.start,
+                        workload=workload,
+                        phase_index=phase_index,
+                    )
+        primary = self.spec.workload
         for event in self._events:
-            if event.kind == "form_group":
+            if event.kind != "form_group":
+                continue
+            start = event.time + FORMATION_WORKLOAD_GRACE
+            if primary.profile is not None:
+                self._attach_client(
+                    event.group, event.targets, start=start, workload=primary,
+                    phase_index=0,
+                )
+            else:
                 self._schedule_group_sends(
-                    event.group,
-                    event.targets,
-                    start=event.time + FORMATION_WORKLOAD_GRACE,
+                    event.group, event.targets, start=start, workload=primary,
+                    phase_index=0,
                 )
 
-    def _attach_client(self, group_id: str, members: Sequence[str], start: float) -> None:
-        workload = self.spec.workload
+    def _attach_client(
+        self,
+        group_id: str,
+        members: Sequence[str],
+        start: float,
+        workload: WorkloadSpec,
+        phase_index: int,
+    ) -> None:
         senders = (
             list(members[: workload.senders_per_group])
             if workload.senders_per_group > 0
@@ -319,6 +359,14 @@ class ScenarioEngine:
             payload_bytes=workload.payload_bytes,
             **dict(workload.profile_options),
         )
+        # Phase 0 keeps the historical "<group>-client" name (and the
+        # seed derivation below keeps phase-0-only specs byte-identical to
+        # the pre-load_phases engine: seeds follow attachment order).
+        name = (
+            f"{group_id}-client"
+            if phase_index == 0
+            else f"{group_id}-client-p{phase_index}"
+        )
         client = self.session.attach_client(
             OpenLoopClient(
                 profile,
@@ -327,21 +375,28 @@ class ScenarioEngine:
                 seed=self.spec.seed * 9973 + len(self.clients),
                 start=start,
                 duration=workload.duration,
-                name=f"{group_id}-client",
+                name=name,
             )
         )
         client.start()
         self.clients.append(client)
 
     def _schedule_group_sends(
-        self, group_id: str, members: Sequence[str], start: float
+        self,
+        group_id: str,
+        members: Sequence[str],
+        start: float,
+        workload: WorkloadSpec,
+        phase_index: int,
     ) -> None:
-        workload = self.spec.workload
         senders = (
             members[: workload.senders_per_group]
             if workload.senders_per_group > 0
             else members
         )
+        # Phase 0 keeps the historical payload tag; later phases are
+        # prefixed so payload strings stay unique across phases.
+        tag = "" if phase_index == 0 else f"p{phase_index}:"
         for round_index in range(workload.messages_per_sender):
             send_time = start + round_index * workload.gap
             for sender in senders:
@@ -350,7 +405,7 @@ class ScenarioEngine:
                     self._send,
                     sender,
                     group_id,
-                    f"{group_id}:{sender}:{round_index}",
+                    f"{tag}{group_id}:{sender}:{round_index}",
                     label="scenario:send",
                 )
 
@@ -373,11 +428,15 @@ class ScenarioEngine:
                 ):
                     session.leave(target, event.group)
         elif event.kind == "partition":
-            session.partition([list(side) for side in event.components])
+            self._partition_components = [set(side) for side in event.components]
+            self._install_topology()
         elif event.kind == "heal":
+            self._partition_components = []
+            self._isolated = set()
             session.heal()
         elif event.kind == "isolate":
-            session.isolate(event.targets)
+            self._isolated.update(event.targets)
+            self._install_topology()
         elif event.kind == "form_group":
             # §5.3: the first listed (live) target initiates formation with
             # every live target as an intended member.  Crashed targets are
@@ -406,6 +465,20 @@ class ScenarioEngine:
         else:  # pragma: no cover - spec parsing rejects unknown kinds
             raise ValueError(f"unknown scenario event kind {event.kind!r}")
 
+    def _install_topology(self) -> None:
+        """Install the composed fault topology (partition + isolations).
+
+        Components listed by the active partition event lose their isolated
+        members; every isolated process becomes a singleton component; the
+        remaining processes form the implicit leftover component.
+        """
+        components = [
+            side - self._isolated for side in self._partition_components
+        ]
+        components = [side for side in components if side]
+        components.extend({name} for name in sorted(self._isolated))
+        self.session.partition([sorted(side) for side in components])
+
     def _schedule_sample(self) -> None:
         sim = self.session.sim
         self.samples.append(
@@ -433,8 +506,19 @@ class ScenarioEngine:
         excluded from that group's agreement set.  Dynamically formed
         groups (``form_group`` events) are held to the same agreement as
         static ones, over their intended members.
+
+        Probabilistic link faults shrink the core the same way: processes
+        on the endpoints of disruptive (drop/reorder) fault links can
+        suffer genuine one-sided suspicion, so they are excluded up front;
+        a globally disruptive model conservatively empties the core
+        (delivery-level checks still run over every process).  Duplicate
+        faults never perturb the protocol (the sequenced transport absorbs
+        them) and cost nothing here.
         """
         core: Set[str] = set(self.spec.processes)
+        if self.spec.link_faults is not None:
+            model = LinkFaultModel.from_config(self.spec.link_faults)
+            core -= model.disruptive_processes(self.spec.processes)
         leavers: Dict[str, Set[str]] = {}
         memberships: List[Tuple[str, Tuple[str, ...]]] = [
             (group.group_id, group.members) for group in self.spec.groups
@@ -540,8 +624,19 @@ class ScenarioEngine:
         stats: Dict[str, object] = dict(aggregate_counters(self.clients))
         stats["profile"] = self.spec.workload.profile
         stats["rate_per_group"] = self.spec.workload.rate
+        # With extra load phases a group can host several clients; its
+        # per_group entry then aggregates them (a single client keeps its
+        # exact counters dict, preserving the historical shape).
+        by_group: Dict[str, List[OpenLoopClient]] = {}
+        for client in self.clients:
+            by_group.setdefault(client.groups[0], []).append(client)
         stats["per_group"] = {
-            client.groups[0]: client.counters() for client in self.clients
+            group_id: (
+                clients[0].counters()
+                if len(clients) == 1
+                else dict(aggregate_counters(clients))
+            )
+            for group_id, clients in by_group.items()
         }
         return stats
 
@@ -640,15 +735,76 @@ def run_scenarios(
         for index, config in enumerate(configs)
     ]
     outcomes = run_units(units, parallel=parallel, timeout=timeout, on_event=on_event)
-    failures = [outcome for outcome in outcomes if not outcome.ok]
-    if failures:
+    bad = [
+        (index, outcome) for index, outcome in enumerate(outcomes) if not outcome.ok
+    ]
+    if bad:
+        failures = []
+        for index, outcome in bad:
+            config = configs[index]
+            spec = config if isinstance(config, ScenarioSpec) else None
+            if spec is None:
+                try:
+                    spec = from_config(config)
+                except Exception:  # replay info is best-effort on bad configs
+                    spec = None
+            if spec is not None:
+                name, seed = spec.name, spec.seed
+            elif isinstance(config, Mapping):
+                # The config would not even parse; salvage whatever identity
+                # it carries so the failure row still names its replay seed.
+                raw_name, raw_seed = config.get("name"), config.get("seed")
+                name = str(raw_name) if raw_name is not None else None
+                seed = raw_seed if isinstance(raw_seed, int) else None
+            else:
+                name = seed = None
+            failures.append(
+                ScenarioFailure(
+                    unit_id=outcome.unit_id,
+                    status=outcome.status,
+                    error=str(outcome.error),
+                    index=index,
+                    name=name,
+                    seed=seed,
+                    config=to_config(spec) if spec is not None else config,
+                )
+            )
         worst = failures[0]
         raise ScenarioExecutionError(
             f"{len(failures)} of {len(outcomes)} scenarios did not complete; "
-            f"first: {worst.unit_id} {worst.status}: {worst.error}"
+            f"first: {worst.unit_id} {worst.status}: {worst.error} "
+            f"[name={worst.name!r} seed={worst.seed!r}; replay standalone with "
+            f"repro.scenarios.run_scenario(failure.config)]",
+            failures=failures,
         )
     return [outcome.value for outcome in outcomes]
 
 
+@dataclass(frozen=True)
+class ScenarioFailure:
+    """One casualty of a parallel scenario batch, with everything needed to
+    replay it standalone: ``run_scenario(failure.config)`` reproduces the
+    exact simulation (the config carries the seed)."""
+
+    unit_id: str
+    status: str
+    error: str
+    #: Position of the scenario in the submitted batch.
+    index: int
+    name: Optional[str]
+    seed: Optional[int]
+    #: The scenario's canonical config dict (or the raw submitted config
+    #: when it failed to parse).
+    config: Mapping
+
+
 class ScenarioExecutionError(RuntimeError):
-    """A scenario in a parallel batch crashed, timed out or errored."""
+    """A scenario in a parallel batch crashed, timed out or errored.
+
+    :attr:`failures` lists every casualty as a :class:`ScenarioFailure`,
+    each carrying the exact ``(seed, config)`` for standalone replay.
+    """
+
+    def __init__(self, message: str, failures: Sequence[ScenarioFailure] = ()) -> None:
+        super().__init__(message)
+        self.failures: List[ScenarioFailure] = list(failures)

@@ -1,0 +1,78 @@
+"""``repro.scenarios.fuzz`` -- checker-oracle scenario fuzzing.
+
+The protocol's correctness predicates (total order MD4/MD4', causality,
+view agreement VC1, virtual synchrony) double as a *test oracle*: any
+scenario the generator can express is a test case, and "the checkers
+found a violation" is a failure -- no expected output needs writing.
+This package turns that into a practical fuzzer in three parts:
+
+* :mod:`~repro.scenarios.fuzz.generator` -- seeded composition of valid
+  :class:`~repro.scenarios.spec.ScenarioSpec` configs from the full event
+  vocabulary (churn, partitions + delayed heals, isolations, drop
+  windows, §5.3 formations, open-loop bursts, latency swaps, link
+  faults) under tunable :class:`GeneratorTuning` weights and budgets;
+  every spec is byte-reproducible from ``(corpus_seed, index)``.
+* :mod:`~repro.scenarios.fuzz.campaign` -- fans a corpus across
+  :mod:`repro.parallel` workers with per-unit timeouts, streams
+  pass/violation/stall/crash/timeout tallies through a
+  :class:`~repro.obs.metrics.MetricsRegistry`, and reports every failure
+  with full standalone-replay information.
+* :mod:`~repro.scenarios.fuzz.shrink` -- delta-debugs a failing config
+  (events, processes, groups, load phases) to a locally-minimal repro
+  that still violates the *same* checker kind, written as a JSON
+  artifact replayable via ``python -m repro.scenarios.fuzz replay``.
+
+Quick start::
+
+    from repro.scenarios.fuzz import run_campaign
+
+    report = run_campaign(corpus_seed=7, count=50, parallel=4)
+    assert report.passed, report.failures[0].violations
+
+    # CLI equivalents:
+    #   python -m repro.scenarios.fuzz run --seed 7 --count 50 --parallel 4
+    #   python -m repro.scenarios.fuzz gen --seed 7 --index 3
+    #   python -m repro.scenarios.fuzz replay artifacts/fuzz-7-00003-violation.json
+"""
+
+from repro.scenarios.fuzz.campaign import (
+    ARTIFACT_SCHEMA_VERSION,
+    CampaignReport,
+    FuzzFailure,
+    replay_artifact,
+    run_campaign,
+    run_fuzz_unit,
+    write_artifact,
+)
+from repro.scenarios.fuzz.generator import (
+    DEFAULT_EVENT_WEIGHTS,
+    GeneratorTuning,
+    generate_config,
+    generate_spec,
+    spec_rng,
+)
+from repro.scenarios.fuzz.shrink import (
+    VIOLATION_KINDS,
+    ShrinkResult,
+    classify_violations,
+    shrink_config,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "DEFAULT_EVENT_WEIGHTS",
+    "VIOLATION_KINDS",
+    "CampaignReport",
+    "FuzzFailure",
+    "GeneratorTuning",
+    "ShrinkResult",
+    "classify_violations",
+    "generate_config",
+    "generate_spec",
+    "replay_artifact",
+    "run_campaign",
+    "run_fuzz_unit",
+    "shrink_config",
+    "spec_rng",
+    "write_artifact",
+]

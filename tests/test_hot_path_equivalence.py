@@ -269,6 +269,23 @@ def test_protocol_vectors_match_dict_reference(fast_cls, reference_cls, record, 
 
 
 # ---------------------------------------------------------------------------
+# Link-fault models at zero rates must never change a run
+# ---------------------------------------------------------------------------
+
+def test_churn_run_identical_with_zero_rate_link_faults_attached():
+    """A :class:`repro.net.faults.LinkFaultModel` draws every decision from
+    its own RNG, so attaching one whose rates are all zero is byte-identical
+    to no model at all -- the invariant that keeps fault-free fuzz corpora
+    comparable with the rest of the suite."""
+    config = _churn_config()
+    config["link_faults"] = {"seed": 11}
+    plain = run_scenario(_churn_config(), analysis="online")
+    attached = run_scenario(config, analysis="online")
+    assert plain.passed and attached.passed
+    assert _fingerprint(plain) == _fingerprint(attached)
+
+
+# ---------------------------------------------------------------------------
 # Observation (repro.obs) must never change a run
 # ---------------------------------------------------------------------------
 
