@@ -283,11 +283,13 @@ def benchmark_arg_parser(
         help="worker processes for independent units (default: %(default)s)",
     )
     parser.add_argument(
-        "--observe", nargs="?", const="metrics", choices=("metrics", "full"),
+        "--observe", nargs="?", const="metrics",
+        choices=("metrics", "journeys", "full"),
         default=None, metavar="LEVEL",
         help="attach repro.obs to the runs and emit an 'obs' block into the "
         "JSON: bare flag or 'metrics' enables the registry + simulated-time "
-        "sampler, 'full' adds the hot-path profiler and span breakdowns "
+        "sampler, 'journeys' adds sampled per-message journey tracing, "
+        "'full' adds the hot-path profiler, span breakdowns and journeys "
         "(default: off)",
     )
     return parser

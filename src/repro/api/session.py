@@ -111,9 +111,10 @@ class Session:
         self.view_agreement_sets = view_agreement_sets
         self._checks = tuple(checks) if checks is not None else None
         # Observation (repro.obs): ``True`` enables metrics + sampler,
-        # "full" adds the profiler and span breakdowns, a dict passes
-        # keyword arguments through.  Never changes behaviour or
-        # seed-determinism (pinned by the hot-path equivalence tests).
+        # "journeys" adds sampled per-message journey tracing, "full" adds
+        # the profiler, span breakdowns and journeys, a dict passes keyword
+        # arguments through.  Never changes behaviour or seed-determinism
+        # (pinned by the hot-path equivalence tests).
         self.observation: Optional[Observation] = Observation.coerce(observe)
         obs = self.observation
         self.sim = Simulator(
@@ -121,6 +122,7 @@ class Session:
             use_timer_wheel=timer_wheel,
             metrics=obs.registry if obs is not None else None,
             profiler=obs.profiler if obs is not None else None,
+            journeys=obs.journeys if obs is not None else None,
         )
         network_config = NetworkConfig()
         if latency_model is not None:

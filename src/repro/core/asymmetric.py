@@ -26,8 +26,23 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.messages import DataMessage, KIND_NULL, KIND_VIEW_CUT, SequencerRequest
+from repro.core.messages import (
+    DataMessage,
+    KIND_NULL,
+    KIND_START_GROUP,
+    KIND_VIEW_CUT,
+    SequencerRequest,
+)
 from repro.core.ordering import OrderingEngine
+
+
+def _cause_for_kind(kind: str) -> str:
+    """Root cause of a send, derived from the message kind."""
+    if kind == KIND_START_GROUP:
+        return "formation"
+    if kind == KIND_NULL:
+        return "null_time_silence"
+    return "app_multicast"
 
 
 class AsymmetricOrdering(OrderingEngine):
@@ -76,12 +91,14 @@ class AsymmetricOrdering(OrderingEngine):
         pointless network round-trip to self.
         """
         process = self.endpoint.process
+        cause = _cause_for_kind(kind)
         if self.is_sequencer():
             message = self._sequence_and_multicast(
                 origin=process.process_id,
                 payload=payload,
                 kind=kind,
                 origin_request=None,
+                cause=cause,
             )
             return message.msg_id
         origin_clock = process.clock.tick()
@@ -98,7 +115,16 @@ class AsymmetricOrdering(OrderingEngine):
             # no application causality), so they are not tracked.
             self._unsequenced[request.request_id] = (payload, kind)
             process.note_unicast_outstanding(self.endpoint.group_id, request.request_id)
-        self.endpoint.send_to_member(self.sequencer(), request)
+        journeys = self.endpoint.journeys
+        if journeys is not None:
+            journeys.created(
+                request.request_id, cause, process.process_id,
+                self.endpoint.group_id, process.sim.now,
+            )
+            journeys.sent_to_sequencer(
+                request.request_id, process.sim.now, self.sequencer()
+            )
+        self.endpoint.send_to_member(self.sequencer(), request, cause=cause)
         return request.request_id
 
     def on_sequencer_request(self, request: SequencerRequest) -> None:
@@ -115,6 +141,7 @@ class AsymmetricOrdering(OrderingEngine):
             payload=request.payload,
             kind=request.kind,
             origin_request=request.request_id,
+            cause=_cause_for_kind(request.kind),
         )
 
     def _sequence_and_multicast(
@@ -123,6 +150,7 @@ class AsymmetricOrdering(OrderingEngine):
         payload: object,
         kind: str,
         origin_request: Optional[str],
+        cause: Optional[str] = None,
     ) -> DataMessage:
         process = self.endpoint.process
         clock = process.clock.tick()
@@ -136,7 +164,21 @@ class AsymmetricOrdering(OrderingEngine):
             sequencer=process.process_id,
             origin_request=origin_request,
         )
-        self.endpoint.broadcast_data(message)
+        journeys = self.endpoint.journeys
+        if journeys is not None:
+            if origin_request is None:
+                # A sequencer-local send: no unicast leg, so the journey
+                # starts here.  (Sequenced copies of member requests reuse
+                # the request id as msg_id, continuing the same journey.)
+                journeys.created(
+                    message.msg_id,
+                    cause or _cause_for_kind(kind),
+                    origin,
+                    self.endpoint.group_id,
+                    process.sim.now,
+                )
+            journeys.sequenced(message.msg_id, process.sim.now, process.process_id)
+        self.endpoint.broadcast_data(message, cause=cause)
         return message
 
     def emit_view_cut(self, removed: frozenset) -> int:
@@ -167,7 +209,14 @@ class AsymmetricOrdering(OrderingEngine):
             sequencer=process.process_id,
             origin_request=None,
         )
-        self.endpoint.broadcast_data(message)
+        journeys = self.endpoint.journeys
+        if journeys is not None:
+            journeys.created(
+                message.msg_id, "view_cut", process.process_id,
+                self.endpoint.group_id, process.sim.now,
+            )
+            journeys.sequenced(message.msg_id, process.sim.now, process.process_id)
+        self.endpoint.broadcast_data(message, cause="view_cut")
         return clock
 
     def _aggregate_ldn(self) -> int:
@@ -275,6 +324,7 @@ class AsymmetricOrdering(OrderingEngine):
                     payload=payload,
                     kind=kind,
                     origin_request=request_id,
+                    cause="failover_resend",
                 )
             return
         if not self._unsequenced:
@@ -284,6 +334,7 @@ class AsymmetricOrdering(OrderingEngine):
         # identity from the origin's send to every delivery (receivers that
         # saw a pre-crash copy dedup instead of delivering twice), and the
         # Send-Blocking-Rule bookkeeping simply stays outstanding.
+        journeys = self.endpoint.journeys
         for request_id, (payload, kind) in self._unsequenced_in_send_order():
             request = SequencerRequest(
                 request_id=request_id,
@@ -294,7 +345,13 @@ class AsymmetricOrdering(OrderingEngine):
                 kind=kind,
                 origin_ldn=self.ldn(),
             )
-            self.endpoint.send_to_member(self.sequencer(), request)
+            if journeys is not None:
+                journeys.sent_to_sequencer(
+                    request_id, process.sim.now, self.sequencer()
+                )
+            self.endpoint.send_to_member(
+                self.sequencer(), request, cause="failover_resend"
+            )
 
     def unsequenced_requests(self) -> List[str]:
         """Request ids awaiting sequencing (introspection for tests)."""

@@ -151,6 +151,12 @@ class GroupEndpoint:
         #: Application payloads deferred by the blocking rules / formation
         #: wait / flow control, in submission order.
         self.deferred_sends: List[object] = []
+        #: Journey tracing (``sim.journeys`` is None unless the run asked
+        #: for it); ``deferred_since`` parallels ``deferred_sends`` with the
+        #: simulated time each payload was deferred, maintained only while
+        #: tracing is on.
+        self.journeys = process.sim.journeys
+        self.deferred_since: List[float] = []
         self._formation_wait: Optional[_FormationWait] = _FormationWait() if formation_wait else None
         #: Messages dropped because their sender was excluded or unknown.
         self.discarded_from_excluded = 0
@@ -235,7 +241,12 @@ class GroupEndpoint:
             clock=clock,
             ldn=0,
         )
-        self.broadcast_data(message)
+        if self.journeys is not None:
+            self.journeys.created(
+                message.msg_id, "formation", process.process_id, self.group_id,
+                process.sim.now,
+            )
+        self.broadcast_data(message, cause="formation")
 
     def _send_null(self) -> None:
         """Time-silence callback: multicast a null message (§4.1).
@@ -275,7 +286,12 @@ class GroupEndpoint:
                 clock=clock,
                 ldn=self.engine.ldn(),
             )
-            self.broadcast_data(message)
+            if self.journeys is not None:
+                self.journeys.created(
+                    message.msg_id, "null_time_silence", self.process.process_id,
+                    self.group_id, self.process.sim.now,
+                )
+            self.broadcast_data(message, cause="null_time_silence")
         else:
             self.engine.send(None, KIND_NULL)
         self.process.recorder.record(
@@ -289,6 +305,8 @@ class GroupEndpoint:
     def defer_send(self, payload: object, reason: str) -> None:
         """Queue an application payload blocked by ``reason``."""
         self.deferred_sends.append(payload)
+        if self.journeys is not None:
+            self.deferred_since.append(self.process.sim.now)
         self.process.recorder.record(
             self.process.sim.now,
             trace_events.BLOCKED_SEND,
@@ -301,7 +319,7 @@ class GroupEndpoint:
     # ------------------------------------------------------------------
     # Raw transmission helpers
     # ------------------------------------------------------------------
-    def broadcast_data(self, message: DataMessage) -> None:
+    def broadcast_data(self, message: DataMessage, cause: Optional[str] = None) -> None:
         """Transmit ``message`` to every other view member and loop it back
         to ourselves (a process delivers its own messages by executing the
         protocol)."""
@@ -309,12 +327,14 @@ class GroupEndpoint:
         for member in self.view.sorted_members():
             if member != self.process.process_id:
                 self.process.transport_endpoint.send(
-                    member, message, channel="newtop", size_bytes=size
+                    member, message, channel="newtop", size_bytes=size, cause=cause
                 )
         self.time_silence.notify_sent()
         self.on_data_message(message, local_origin=True)
 
-    def send_to_member(self, member: str, payload: object) -> None:
+    def send_to_member(
+        self, member: str, payload: object, cause: Optional[str] = None
+    ) -> None:
         """Unicast a protocol message (e.g. a sequencer request) to ``member``.
 
         Deliberately does NOT reset the time-silence timer: a unicast
@@ -326,16 +346,18 @@ class GroupEndpoint:
         the group actually heard us (:meth:`on_data_message`).
         """
         size = payload.wire_size_bytes() if hasattr(payload, "wire_size_bytes") else 0
-        self.process.transport_endpoint.send(member, payload, channel="newtop", size_bytes=size)
+        self.process.transport_endpoint.send(
+            member, payload, channel="newtop", size_bytes=size, cause=cause
+        )
 
-    def mcast_membership(self, message: object) -> None:
+    def mcast_membership(self, message: object, cause: Optional[str] = None) -> None:
         """The GV process's ``mcast`` primitive: transmit to every view
         member's GV process (delivered in sent order by the transport)."""
         size = message.wire_size_bytes() if hasattr(message, "wire_size_bytes") else 0
         for member in self.view.sorted_members():
             if member != self.process.process_id:
                 self.process.transport_endpoint.send(
-                    member, message, channel="newtop", size_bytes=size
+                    member, message, channel="newtop", size_bytes=size, cause=cause
                 )
 
     # ------------------------------------------------------------------
@@ -353,9 +375,19 @@ class GroupEndpoint:
         if not local_origin:
             if self.gv.is_excluded(filter_key) or filter_key not in self.view.members:
                 self.discarded_from_excluded += 1
+                if self.journeys is not None:
+                    self.journeys.discarded(
+                        message.msg_id, self.process.sim.now,
+                        self.process.process_id, "excluded_sender",
+                    )
                 return
             if self.gv.is_suspected(filter_key):
                 self.gv.hold_pending(filter_key, message)
+                if self.journeys is not None:
+                    self.journeys.held(
+                        message.msg_id, self.process.sim.now,
+                        self.process.process_id, "suspected:" + filter_key,
+                    )
                 return
             self.process.clock.observe(message.clock)
         if not local_origin and message.sender == self.process.process_id:
@@ -419,9 +451,19 @@ class GroupEndpoint:
             return
         if self.gv.is_excluded(request.origin) or request.origin not in self.view.members:
             self.discarded_from_excluded += 1
+            if self.journeys is not None:
+                self.journeys.discarded(
+                    request.request_id, self.process.sim.now,
+                    self.process.process_id, "excluded_sender",
+                )
             return
         if self.gv.is_suspected(request.origin):
             self.gv.hold_pending(request.origin, request)
+            if self.journeys is not None:
+                self.journeys.held(
+                    request.request_id, self.process.sim.now,
+                    self.process.process_id, "suspected:" + request.origin,
+                )
             return
         self.suspector.heard_from(request.origin, request.origin_clock)
         self.engine.on_sequencer_request(request)
@@ -435,7 +477,12 @@ class GroupEndpoint:
 
     def replay_pending(self, sender: str, items: List[object]) -> None:
         """Re-inject messages held while ``sender`` was under suspicion."""
+        journeys = self.journeys
         for item in items:
+            if journeys is not None:
+                journeys.released_payload(
+                    item, self.process.sim.now, self.process.process_id
+                )
             if isinstance(item, DataMessage):
                 self.on_data_message(item)
             elif isinstance(item, SequencerRequest):
@@ -518,6 +565,12 @@ class GroupEndpoint:
                 self.group_id, target, above_clock=above
             )
             self.discarded_from_excluded += len(discarded)
+            if self.journeys is not None:
+                for discarded_message in discarded:
+                    self.journeys.discarded(
+                        discarded_message.msg_id, self.process.sim.now,
+                        own_id, "step_viii",
+                    )
             own_discards = [m for m in discarded if m.sender == own_id]
             if own_discards:
                 self.engine.on_own_messages_discarded(own_discards)

@@ -126,7 +126,7 @@ class FormationCoordinator:
         )
         for member in members:
             if member != own_id:
-                self.process.send_control(member, invite)
+                self.process.send_control(member, invite, cause="formation")
         self._timers[group_id] = self.sim.schedule(
             self.formation_timeout, self._on_timeout, group_id, label="formation-timeout"
         )
@@ -197,7 +197,7 @@ class FormationCoordinator:
         )
         for member in handle.members:
             if member != own_id:
-                self.process.send_control(member, vote)
+                self.process.send_control(member, vote, cause="formation")
         if not accept:
             self._fail(handle, "declined locally")
             return

@@ -154,7 +154,8 @@ class GroupViewProcess:
         self.stats.suspect_messages_sent += 1
         self._announced[suspicion] = self.endpoint.process.sim.now
         self.endpoint.mcast_membership(
-            SuspectMessage(origin=self.own_id, group=self.group_id, suspicion=suspicion)
+            SuspectMessage(origin=self.own_id, group=self.group_id, suspicion=suspicion),
+            cause="suspicion_gossip",
         )
         self._try_confirm()
 
@@ -189,7 +190,8 @@ class GroupViewProcess:
             self.endpoint.mcast_membership(
                 SuspectMessage(
                     origin=self.own_id, group=self.group_id, suspicion=suspicion
-                )
+                ),
+                cause="suspicion_gossip",
             )
 
     # ------------------------------------------------------------------
@@ -304,7 +306,8 @@ class GroupViewProcess:
                 group=self.group_id,
                 suspicion=suspicion,
                 recovered=recovered,
-            )
+            ),
+            cause="confirm_refute",
         )
 
     # ------------------------------------------------------------------
@@ -339,7 +342,8 @@ class GroupViewProcess:
                 group=self.group_id,
                 suspicion=suspicion,
                 recovered=(),
-            )
+            ),
+            cause="confirm_refute",
         )
         # Replay messages held while the target was under suspicion.
         held = self._pending.pop(suspicion.target, [])
@@ -410,14 +414,22 @@ class GroupViewProcess:
             lnmn=min(suspicion.last_number for suspicion in detection),
         )
         self.endpoint.mcast_membership(
-            ConfirmMessage(origin=self.own_id, group=self.group_id, detection=detection)
+            ConfirmMessage(origin=self.own_id, group=self.group_id, detection=detection),
+            cause="confirm_refute",
         )
+        journeys = self.endpoint.journeys
         for suspicion in detection:
             target = suspicion.target
             self._excluded.add(target)
             self.endpoint.suspector.remove_member(target)
             discarded = self._pending.pop(target, [])
             self.stats.pending_discarded += len(discarded)
+            if journeys is not None:
+                now = self.endpoint.process.sim.now
+                for payload in discarded:
+                    journeys.discarded_payload(
+                        payload, now, self.own_id, "confirmed_suspect"
+                    )
         # Drop gossip that refers to now-excluded processes.
         self._gossip = {
             suspicion: supporters

@@ -119,6 +119,9 @@ class NewtopProcess:
             metrics.sum_gauge("process.delivery_queue_depth").add(
                 self.delivery_queue.pending_count
             )
+        #: Journey tracing (``sim.journeys`` is None unless the run asked
+        #: for it); hooks below pay one ``is None`` check when off.
+        self.journeys = sim.journeys
         self.formation = FormationCoordinator(
             self,
             sim,
@@ -289,8 +292,17 @@ class NewtopProcess:
             return None
         return self._transmit(endpoint, payload)
 
-    def _transmit(self, endpoint: GroupEndpoint, payload: object) -> str:
+    def _transmit(
+        self,
+        endpoint: GroupEndpoint,
+        payload: object,
+        blocked_for: Optional[float] = None,
+    ) -> str:
         message_id = endpoint.send_application(payload)
+        if self.journeys is not None and blocked_for is not None:
+            self.journeys.blocked_send(
+                message_id, self.sim.now, self.process_id, blocked_for
+            )
         self.recorder.record(
             self.sim.now,
             trace_events.SEND,
@@ -341,13 +353,20 @@ class NewtopProcess:
                     if self._send_block_reason(endpoint) is not None:
                         break
                     payload = endpoint.deferred_sends.pop(0)
+                    # ``deferred_since`` is only populated when journey
+                    # tracing is on (it parallels ``deferred_sends``).
+                    blocked_for = (
+                        self.sim.now - endpoint.deferred_since.pop(0)
+                        if endpoint.deferred_since
+                        else None
+                    )
                     self.recorder.record(
                         self.sim.now,
                         trace_events.UNBLOCKED_SEND,
                         self.process_id,
                         group=endpoint.group_id,
                     )
-                    self._transmit(endpoint, payload)
+                    self._transmit(endpoint, payload, blocked_for=blocked_for)
                     flushed += 1
         finally:
             self._flushing = False
@@ -418,6 +437,9 @@ class NewtopProcess:
     def _on_transport_message(self, tmsg: TransportMessage) -> None:
         if self.crashed:
             return
+        if self.journeys is not None:
+            # Exact transit timing: the envelope carries its send instant.
+            self.journeys.transport_received(tmsg, self.sim.now, self.process_id)
         payload = tmsg.payload
         if isinstance(payload, DataMessage):
             endpoint = self._endpoints.get(payload.group)
@@ -444,10 +466,14 @@ class NewtopProcess:
         else:  # pragma: no cover - defensive
             raise TypeError(f"unexpected protocol payload: {payload!r}")
 
-    def send_control(self, member: str, payload: object) -> None:
+    def send_control(
+        self, member: str, payload: object, cause: str = "formation"
+    ) -> None:
         """Transmit a formation (control) message to ``member``."""
         size = payload.wire_size_bytes() if hasattr(payload, "wire_size_bytes") else 0
-        self.transport_endpoint.send(member, payload, channel="newtop", size_bytes=size)
+        self.transport_endpoint.send(
+            member, payload, channel="newtop", size_bytes=size, cause=cause
+        )
 
     # ------------------------------------------------------------------
     # Delivery machinery
@@ -525,6 +551,8 @@ class NewtopProcess:
             clock=message.clock,
             view_index=view_index,
         )
+        if self.journeys is not None:
+            self.journeys.delivered(message.msg_id, self.sim.now, self.process_id)
         for callback in self._delivery_callbacks:
             callback(message.group, message.sender, message.payload, message.msg_id)
 

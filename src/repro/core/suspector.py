@@ -90,9 +90,11 @@ class FailureSuspector:
         if metrics is not None:
             self._c_probes = metrics.counter("suspector.probes")
             self._c_suspicions = metrics.counter("suspector.suspicions")
+            self._c_forced = metrics.counter("suspector.forced_suspicions")
         else:
             self._c_probes = None
             self._c_suspicions = None
+            self._c_forced = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -160,6 +162,8 @@ class FailureSuspector:
         slot = self._slot.get(member)
         if slot is None or member == self.own_id or not self._monitored[slot]:
             return
+        if self._c_forced is not None and not self._suspected[slot]:
+            self._c_forced.value += 1
         self._raise_suspicion(member)
 
     def monitored_members(self) -> Set[str]:

@@ -65,7 +65,19 @@ class SymmetricOrdering(OrderingEngine):
                 ldn=ldn,
                 payload=payload,
             )
-        self.endpoint.broadcast_data(message)
+        if kind == KIND_START_GROUP:
+            cause = "formation"
+        elif kind == KIND_NULL:
+            cause = "null_time_silence"
+        else:
+            cause = "app_multicast"
+        journeys = self.endpoint.journeys
+        if journeys is not None:
+            journeys.created(
+                message.msg_id, cause, process.process_id,
+                self.endpoint.group_id, process.sim.now,
+            )
+        self.endpoint.broadcast_data(message, cause=cause)
         return message.msg_id
 
     # ------------------------------------------------------------------

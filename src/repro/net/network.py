@@ -156,6 +156,12 @@ class Network:
                 "net.in_flight_messages",
                 lambda: sum(len(batch) for batch in self._open_batches.values()),
             )
+        # Journey tracing (``sim.journeys`` is None unless the run asked for
+        # it): drop paths report why a tracked message left the wire.
+        self._journeys = sim.journeys
+
+    def _journey_drop(self, payload: object, reason: str) -> None:
+        self._journeys.wire_dropped(payload, self.sim.now, reason)
 
     # ------------------------------------------------------------------
     # Node management
@@ -235,18 +241,27 @@ class Network:
         """
         self.stats.messages_sent += 1
         self.stats.bytes_sent += size_bytes
+        journeys = self._journeys
         if src in self._crashed:
             self.stats.messages_dropped_crash += 1
+            if journeys is not None:
+                self._journey_drop(payload, "sender_crashed")
             return False
         if dst in self._crashed:
             self.stats.messages_dropped_crash += 1
+            if journeys is not None:
+                self._journey_drop(payload, "receiver_crashed")
             return False
         if not self.partitions.can_communicate(src, dst):
             self.stats.messages_dropped_partition += 1
+            if journeys is not None:
+                self._journey_drop(payload, "partition")
             return False
         for message_filter in self._filters:
             if not message_filter(src, dst, payload):
                 self.stats.messages_dropped_filter += 1
+                if journeys is not None:
+                    self._journey_drop(payload, "filter")
                 return False
 
         # Link faults.  Decision order (drop, reorder, duplicate) is fixed
@@ -260,6 +275,8 @@ class Network:
             rng = self._fault_rng
             if rates.drop > 0.0 and rng.random() < rates.drop:
                 self.stats.messages_dropped_fault += 1
+                if journeys is not None:
+                    self._journey_drop(payload, "link_fault")
                 return False
             if rates.reorder > 0.0 and rng.random() < rates.reorder:
                 fault_hold = rng.uniform(*model.reorder_delay)
@@ -363,14 +380,20 @@ class Network:
         messages = self._open_batches.pop(key, None)
         if not messages:
             return
+        journeys = self._journeys
         if dst in self._crashed:
             self.stats.messages_dropped_crash += len(messages)
+            if journeys is not None:
+                for _, payload, _ in messages:
+                    self._journey_drop(payload, "receiver_crashed")
             return
         drop_in_flight = self.config.drop_in_flight_on_partition
         surviving: List[Tuple[str, object, int]] = []
         for src, payload, size_bytes in messages:
             if drop_in_flight and not self.partitions.can_communicate(src, dst):
                 self.stats.messages_dropped_partition += 1
+                if journeys is not None:
+                    self._journey_drop(payload, "partition_in_flight")
                 continue
             surviving.append((src, payload, size_bytes))
         if not surviving:

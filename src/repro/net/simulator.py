@@ -276,6 +276,11 @@ class Simulator:
         Optional :class:`repro.obs.profiler.HotPathProfiler`.  When given,
         :meth:`step` wall-clocks every callback and files it under the
         category derived from its scheduling label.
+    journeys:
+        Optional :class:`repro.obs.journey.JourneyTracker` (duck-typed, like
+        ``metrics``).  The kernel itself never calls it; it rides here so
+        the network/transport/protocol layers can read ``sim.journeys`` at
+        their own construction time.
     """
 
     #: Compact the heap once more than this fraction of it is cancelled
@@ -298,6 +303,7 @@ class Simulator:
         wheel_slot_width: float = 0.5,
         metrics=None,
         profiler=None,
+        journeys=None,
     ) -> None:
         self._now: float = 0.0
         self._heap: list[_ScheduledEvent] = []
@@ -318,6 +324,7 @@ class Simulator:
         #: already holds.
         self.metrics = metrics
         self.profiler = profiler
+        self.journeys = journeys
         if metrics is not None:
             self._c_scheduled = metrics.counter("sim.events_scheduled")
             self._c_fired = metrics.counter("sim.events_fired")

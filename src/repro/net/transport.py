@@ -33,6 +33,34 @@ Handler = Callable[["TransportMessage"], None]
 #: arrived on one channel at one simulated instant, in send order.
 BatchHandler = Callable[[List["TransportMessage"]], None]
 
+#: Root-cause fallback by payload ``kind`` (Newtop data-channel traffic).
+_KIND_CAUSES = {
+    "data": "app_multicast",
+    "null": "null_time_silence",
+    "start_group": "formation",
+    "view_cut": "view_cut",
+}
+
+#: Root-cause fallback by payload type (membership/formation control).
+_TYPE_CAUSES = {
+    "SuspectMessage": "suspicion_gossip",
+    "RefuteMessage": "confirm_refute",
+    "ConfirmMessage": "confirm_refute",
+}
+
+
+def _derive_cause(kind: str, payload: object) -> str:
+    """Best-effort root cause for sends whose call site threads none.
+
+    Newtop call sites all pass an explicit ``cause=``; this fallback keeps
+    the partition invariant (every send lands in *some* cause counter) for
+    the baseline stacks, whose payloads map to ``"other"``.
+    """
+    cause = _KIND_CAUSES.get(kind)
+    if cause is not None:
+        return cause
+    return _TYPE_CAUSES.get(type(payload).__name__, "other")
+
 
 @dataclass
 class TransportMessage:
@@ -129,9 +157,23 @@ class Endpoint:
     # Sending
     # ------------------------------------------------------------------
     def send(
-        self, dst: str, payload: object, channel: str = "data", size_bytes: int = 0
+        self,
+        dst: str,
+        payload: object,
+        channel: str = "data",
+        size_bytes: int = 0,
+        cause: Optional[str] = None,
     ) -> bool:
-        """Unicast ``payload`` to ``dst`` on ``channel``."""
+        """Unicast ``payload`` to ``dst`` on ``channel``.
+
+        ``cause`` names the root cause that made this send happen
+        (``app_multicast``, ``null_time_silence``, ``suspicion_gossip``,
+        ``confirm_refute``, ``formation``, ``failover_resend``,
+        ``view_cut``, ...); when observed, every send is counted into
+        ``transport.sends_by_cause.<cause>`` and the counters exactly
+        partition the ``transport.sends`` total.  Call sites that thread
+        no cause fall back to a derivation from the payload itself.
+        """
         if self._crashed:
             return False
         key = (dst, channel)
@@ -158,6 +200,19 @@ class Endpoint:
                     "transport.sent." + kind
                 )
             counter.value += 1
+            # Cause attribution: bumped in the same branch as the total, so
+            # sum(transport.sends_by_cause.*) == transport.sends holds by
+            # construction.
+            self.transport._c_sends.value += 1
+            if cause is None:
+                cause = _derive_cause(kind, payload)
+            cause_counters = self.transport._cause_counters
+            cause_counter = cause_counters.get(cause)
+            if cause_counter is None:
+                cause_counter = cause_counters[cause] = self.transport._metrics.counter(
+                    "transport.sends_by_cause." + cause
+                )
+            cause_counter.value += 1
         return self.transport.network.send(self.node_id, dst, message, size_bytes=size_bytes)
 
     def multicast(
@@ -166,6 +221,7 @@ class Endpoint:
         payload: object,
         channel: str = "data",
         size_bytes: int = 0,
+        cause: Optional[str] = None,
     ) -> int:
         """Unicast ``payload`` to every destination (including possibly self).
 
@@ -174,7 +230,7 @@ class Endpoint:
         """
         accepted = 0
         for dst in sorted(set(dsts)):
-            if self.send(dst, payload, channel=channel, size_bytes=size_bytes):
+            if self.send(dst, payload, channel=channel, size_bytes=size_bytes, cause=cause):
                 accepted += 1
         return accepted
 
@@ -303,9 +359,13 @@ class Transport:
         if metrics is not None:
             self._sent_kind_counters: Optional[Dict[str, object]] = {}
             self._batch_hist = metrics.histogram("transport.delivery_batch_size")
+            self._c_sends = metrics.counter("transport.sends")
+            self._cause_counters: Optional[Dict[str, object]] = {}
         else:
             self._sent_kind_counters = None
             self._batch_hist = None
+            self._c_sends = None
+            self._cause_counters = None
 
     def endpoint(self, node_id: str) -> Endpoint:
         """Create (or return the existing) endpoint for ``node_id``."""

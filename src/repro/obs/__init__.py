@@ -14,12 +14,18 @@ One :class:`Observation` object bundles the four instruments:
   sink fan-out);
 * a :class:`~repro.obs.spans.SpanBreakdownSink` computing per-message
   lifecycle breakdowns (transit / ordering wait / latency / spread) as
-  exact reservoirs.
+  exact reservoirs;
+* a :class:`~repro.obs.journey.JourneyTracker` sampling a deterministic
+  1-in-N subset of message ids and recording each one's full lifecycle
+  (created -> sent -> received -> held -> sequenced -> delivered |
+  discarded) with per-(cause, wait-state) latency reservoirs, alongside
+  the transport's ``transport.sends_by_cause.*`` root-cause counters.
 
 Usage::
 
-    session = Session("newtop", observe=True)      # metrics + sampler
-    session = Session("newtop", observe="full")    # + profiler + spans
+    session = Session("newtop", observe=True)       # metrics + sampler
+    session = Session("newtop", observe="journeys") # + journey tracing
+    session = Session("newtop", observe="full")     # + profiler + spans + journeys
     ...
     result = session.result()
     print(render_obs(result.obs))
@@ -45,6 +51,7 @@ from repro.obs.metrics import (
     PolledGauge,
     PushGauge,
 )
+from repro.obs.journey import JourneyTracker
 from repro.obs.profiler import HotPathProfiler
 from repro.obs.report import render_document, render_obs
 from repro.obs.sampler import SimTimeSampler, TraceCounterSink
@@ -60,6 +67,7 @@ __all__ = [
     "SimTimeSampler",
     "TraceCounterSink",
     "HotPathProfiler",
+    "JourneyTracker",
     "SpanBreakdownSink",
     "render_obs",
     "render_document",
@@ -84,8 +92,13 @@ class Observation:
         sampler: bool = True,
         profiler: bool = False,
         spans: bool = False,
+        journeys: bool = False,
         sample_interval: float = 5.0,
         spans_max_tracked: int = 100_000,
+        journey_sample_rate: int = 64,
+        journey_seed: int = 0,
+        journey_max_tracked: int = 512,
+        journey_force_ids=None,
         top_n: int = 10,
     ) -> None:
         # The registry always exists: the sampler and the trace counters
@@ -98,6 +111,17 @@ class Observation:
         self.profiler: Optional[HotPathProfiler] = HotPathProfiler() if profiler else None
         self.spans: Optional[SpanBreakdownSink] = (
             SpanBreakdownSink(max_tracked=spans_max_tracked) if spans else None
+        )
+        self.journeys: Optional[JourneyTracker] = (
+            JourneyTracker(
+                self.registry,
+                sample_rate=journey_sample_rate,
+                seed=journey_seed,
+                max_tracked=journey_max_tracked,
+                force_ids=journey_force_ids,
+            )
+            if journeys
+            else None
         )
         self._trace_counters = TraceCounterSink(self.registry)
         self.top_n = top_n
@@ -117,7 +141,9 @@ class Observation:
             return Observation()
         if isinstance(value, str):
             if value == "full":
-                return Observation(profiler=True, spans=True)
+                return Observation(profiler=True, spans=True, journeys=True)
+            if value == "journeys":
+                return Observation(journeys=True)
             if value in ("metrics", "true", "on"):
                 return Observation()
             raise ValueError(f"unknown observe mode {value!r} (try True or 'full')")
@@ -168,4 +194,6 @@ class Observation:
             block["profile"] = self.profiler.snapshot(self.top_n)
         if self.spans is not None:
             block["spans"] = self.spans.snapshot()
+        if self.journeys is not None:
+            block["journeys"] = self.journeys.snapshot(self.top_n)
         return block

@@ -3,7 +3,15 @@
 Usage::
 
     python -m repro.obs report BENCH_single_scale.json
-    python -m repro.obs report BENCH_scenario_churn.json BENCH_workload_sweep.json
+    python -m repro.obs report BENCH_a.json BENCH_b.json   # side by side
+    python -m repro.obs journey BENCH_scenario_churn.json
+
+``report`` renders header + every embedded ``obs`` block (and fuzz
+campaign tallies / repro artifacts); ``journey`` is the journey explorer:
+slowest sampled journeys as span trees plus the by-cause and
+by-wait-state breakdowns.  Multiple files render side-by-side for
+comparison.  User errors (missing file, invalid JSON, nothing to render)
+exit non-zero with a one-line message, never a traceback.
 """
 
 from __future__ import annotations
@@ -12,7 +20,36 @@ import argparse
 import json
 import sys
 
-from repro.obs.report import render_document
+from repro.obs.report import (
+    document_has_journeys,
+    document_has_renderable_content,
+    paste_columns,
+    render_document,
+    render_journey_document,
+)
+
+
+class _CliError(Exception):
+    """A user-facing one-line error; ``code`` becomes the exit status."""
+
+    def __init__(self, message: str, code: int = 2) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def _load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as error:
+        raise _CliError(f"cannot read {path}: {error.strerror or error}")
+    except ValueError as error:
+        raise _CliError(f"{path} is not valid JSON: {error}")
+    if not isinstance(document, dict):
+        raise _CliError(
+            f"{path}: expected a JSON object, got {type(document).__name__}"
+        )
+    return document
 
 
 def main(argv=None) -> int:
@@ -23,17 +60,40 @@ def main(argv=None) -> int:
     subparsers = parser.add_subparsers(dest="command", required=True)
     report = subparsers.add_parser("report", help="render one or more JSON files")
     report.add_argument("files", nargs="+", help="BENCH_*.json or result dumps")
+    journey = subparsers.add_parser(
+        "journey", help="render sampled message journeys (span trees + breakdowns)"
+    )
+    journey.add_argument("files", nargs="+", help="BENCH_*.json or fuzz artifacts")
     args = parser.parse_args(argv)
 
-    first = True
     try:
-        for path in args.files:
-            with open(path, "r", encoding="utf-8") as handle:
-                document = json.load(handle)
-            if not first:
-                print()
-            first = False
-            print(render_document(document, source=path))
+        documents = [(path, _load(path)) for path in args.files]
+        names = ", ".join(args.files)
+        if args.command == "journey":
+            if not any(document_has_journeys(doc) for _, doc in documents):
+                raise _CliError(
+                    f"no journeys in {names} -- rerun the benchmark with "
+                    "--observe journeys (or full)",
+                    code=1,
+                )
+            rendered = [
+                render_journey_document(doc, source=path) for path, doc in documents
+            ]
+        else:
+            if not any(document_has_renderable_content(doc) for _, doc in documents):
+                raise _CliError(
+                    f"no obs blocks in {names} -- rerun the benchmark with "
+                    "--observe (or --observe full)",
+                    code=1,
+                )
+            rendered = [render_document(doc, source=path) for path, doc in documents]
+    except _CliError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return error.code
+
+    output = rendered[0] if len(rendered) == 1 else paste_columns(rendered)
+    try:
+        print(output)
     except BrokenPipeError:
         # Piping into `head` closes stdout early; that is not an error.
         sys.stderr.close()

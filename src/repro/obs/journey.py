@@ -1,0 +1,306 @@
+"""Sampled per-message journey tracing (the ``repro.obs.journey`` tentpole).
+
+A *journey* is one message's lifecycle, recorded as timestamped state
+transitions::
+
+    created -> [blocked_send] -> [sent_to_sequencer -> sequenced]
+            -> received (per destination) -> [held[reason] -> released]
+            -> delivered | discarded[reason] | wire_dropped
+
+Sampling is deterministic and seeded: a message is tracked iff
+``(crc32(msg_id) ^ mix(seed)) % sample_rate == 0``, so the *same* message
+ids are sampled across runs with the same seed and no simulation RNG is
+ever drawn -- tracing stays behaviour-free (the trace stream is pinned
+byte-identical in ``tests/test_hot_path_equivalence.py``).  ``force_ids``
+pins specific messages regardless of sampling; the fuzz shrinker uses it
+to embed the journeys of messages implicated in a violation into its
+repro artifacts.
+
+Every tracked transition also feeds an exact
+:class:`~repro.stats.LatencyReservoir` keyed by ``(cause, wait_state)``,
+so delivery latency decomposes into blocked-send / sequencer-queue /
+transit / suspicion-hold / causal-hold components per root cause.  The
+cause vocabulary itself (``app_multicast``, ``null_time_silence``,
+``suspicion_gossip``, ``confirm_refute``, ``formation``,
+``failover_resend``, ``view_cut``, ``other``) is assigned at the send
+sites and counted by the transport into ``transport.sends_by_cause.*``
+counters that exactly partition ``transport.sends``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.stats import LatencyReservoir
+
+__all__ = ["JourneyTracker", "WAIT_STATES", "payload_msg_id"]
+
+#: Wait-state reservoir keys, in rendering order.
+WAIT_STATES = (
+    "blocked_send",     # deferred behind the send-blocking rule / formation
+    "sequencer_queue",  # request sent -> sequenced copy multicast
+    "transit",          # network transit, one sample per wire receipt
+    "suspicion_hold",   # parked pending suspicion resolution (rule (ii))
+    "causal_hold",      # receipt -> delivery (causal/total-order wait)
+    "latency",          # end to end: created -> delivered
+)
+
+#: Transitions kept per journey before truncation (bounds memory at scale).
+MAX_TRANSITIONS = 64
+
+
+def payload_msg_id(payload: object) -> Optional[str]:
+    """The stable journey identity of a protocol payload, if it has one.
+
+    ``DataMessage`` carries ``msg_id``; ``SequencerRequest`` carries
+    ``request_id`` (reused as the sequenced message's ``msg_id``, so one
+    journey spans request and sequenced copy).  Anything else -- membership
+    and formation control traffic -- has no stable identity and is covered
+    by cause attribution only.
+    """
+    msg_id = getattr(payload, "msg_id", None)
+    if msg_id is not None:
+        return msg_id
+    return getattr(payload, "request_id", None)
+
+
+class _Journey:
+    """One tracked message's recorded lifecycle."""
+
+    __slots__ = (
+        "msg_id", "cause", "sender", "group", "created_at", "transitions",
+        "truncated", "receive_at", "hold_since", "sequencer_wait_from",
+        "deliveries", "max_latency", "forced",
+    )
+
+    def __init__(self, msg_id, cause, sender, group, created_at, forced):
+        self.msg_id = msg_id
+        self.cause = cause
+        self.sender = sender
+        self.group = group
+        self.created_at = created_at
+        self.transitions: List[Tuple[str, float, Optional[str], Optional[str]]] = []
+        self.truncated = 0
+        self.receive_at: Dict[str, float] = {}
+        self.hold_since: Dict[str, float] = {}
+        self.sequencer_wait_from: Optional[float] = None
+        self.deliveries = 0
+        self.max_latency: Optional[float] = None
+        self.forced = forced
+
+    def record(self, state, time, process, detail=None):
+        if len(self.transitions) >= MAX_TRANSITIONS:
+            self.truncated += 1
+            return
+        self.transitions.append((state, time, process, detail))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "msg_id": self.msg_id,
+            "cause": self.cause,
+            "sender": self.sender,
+            "group": self.group,
+            "created_at": self.created_at,
+            "deliveries": self.deliveries,
+            "latency": self.max_latency,
+            "truncated_transitions": self.truncated,
+            "transitions": [list(transition) for transition in self.transitions],
+        }
+
+
+class JourneyTracker:
+    """Deterministically-sampled per-message lifecycle tracker.
+
+    Attached as ``sim.journeys``; every protocol hook pays one ``is None``
+    check when tracing is off and one dict lookup for untracked messages
+    when it is on.  The tracker never touches the simulation RNG.
+    """
+
+    def __init__(
+        self,
+        registry,
+        sample_rate: int = 64,
+        seed: int = 0,
+        max_tracked: int = 512,
+        force_ids: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.registry = registry
+        self.sample_rate = max(1, int(sample_rate))
+        self.seed = seed
+        self.max_tracked = max_tracked
+        self.force_ids = frozenset(force_ids or ())
+        self._seed_mix = zlib.crc32(repr(seed).encode("utf-8"))
+        self._journeys: Dict[str, _Journey] = {}
+        self._reservoirs: Dict[Tuple[str, str], LatencyReservoir] = {}
+        self._c_tracked = registry.counter("journeys.tracked")
+        self._c_skipped = registry.counter("journeys.skipped")
+        self._c_overflow = registry.counter("journeys.overflow")
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def wants(self, msg_id: str) -> bool:
+        """Deterministic sampling decision (no RNG, stable across runs)."""
+        if msg_id in self.force_ids:
+            return True
+        digest = zlib.crc32(msg_id.encode("utf-8")) ^ self._seed_mix
+        return digest % self.sample_rate == 0
+
+    def _get(self, msg_id: Optional[str]) -> Optional[_Journey]:
+        if msg_id is None:
+            return None
+        return self._journeys.get(msg_id)
+
+    def _sample(self, journey: _Journey, stage: str, value: float) -> None:
+        key = (journey.cause, stage)
+        reservoir = self._reservoirs.get(key)
+        if reservoir is None:
+            seed = zlib.crc32(("%s/%s" % key).encode("utf-8")) ^ self._seed_mix
+            reservoir = self._reservoirs[key] = LatencyReservoir(seed=seed)
+        reservoir.add(value)
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks (called from the protocol layers)
+    # ------------------------------------------------------------------
+    def created(self, msg_id, cause, sender, group, now) -> None:
+        """A message with a stable id came into existence at its origin."""
+        if msg_id in self._journeys:
+            return
+        if not self.wants(msg_id):
+            self._c_skipped.value += 1
+            return
+        forced = msg_id in self.force_ids
+        if len(self._journeys) >= self.max_tracked and not forced:
+            self._c_overflow.value += 1
+            return
+        journey = _Journey(msg_id, cause, sender, group, now, forced)
+        journey.record("created", now, sender, cause)
+        self._journeys[msg_id] = journey
+        self._c_tracked.value += 1
+
+    def blocked_send(self, msg_id, now, process, blocked_for) -> None:
+        """The message just left the deferred-send queue after ``blocked_for``
+        simulated seconds behind the send-blocking rule."""
+        journey = self._get(msg_id)
+        if journey is None:
+            return
+        self._sample(journey, "blocked_send", blocked_for)
+        journey.record("unblocked", now, process, blocked_for)
+
+    def sent_to_sequencer(self, msg_id, now, sequencer) -> None:
+        journey = self._get(msg_id)
+        if journey is None:
+            return
+        journey.sequencer_wait_from = now
+        journey.record("sent_to_sequencer", now, journey.sender, sequencer)
+
+    def sequenced(self, msg_id, now, sequencer) -> None:
+        journey = self._get(msg_id)
+        if journey is None:
+            return
+        if journey.sequencer_wait_from is not None:
+            self._sample(journey, "sequencer_queue", now - journey.sequencer_wait_from)
+            journey.sequencer_wait_from = None
+        journey.record("sequenced", now, sequencer)
+
+    def received(self, msg_id, now, process, sent_at) -> None:
+        """First wire receipt of the message at ``process``."""
+        journey = self._get(msg_id)
+        if journey is None or process in journey.receive_at:
+            return
+        journey.receive_at[process] = now
+        self._sample(journey, "transit", now - sent_at)
+        journey.record("received", now, process)
+
+    def transport_received(self, wire_message, now, process) -> None:
+        """Receipt hook taking the transport envelope (extracts the id)."""
+        payload = getattr(wire_message, "payload", None)
+        msg_id = payload_msg_id(payload) if payload is not None else None
+        if msg_id is not None:
+            self.received(msg_id, now, process, wire_message.sent_at)
+
+    def held(self, msg_id, now, process, reason) -> None:
+        journey = self._get(msg_id)
+        if journey is None:
+            return
+        journey.hold_since[process] = now
+        journey.record("held", now, process, reason)
+
+    def released(self, msg_id, now, process) -> None:
+        journey = self._get(msg_id)
+        if journey is None:
+            return
+        since = journey.hold_since.pop(process, None)
+        if since is None:
+            return
+        self._sample(journey, "suspicion_hold", now - since)
+        journey.record("released", now, process)
+
+    def released_payload(self, payload, now, process) -> None:
+        self.released(payload_msg_id(payload), now, process)
+
+    def delivered(self, msg_id, now, process) -> None:
+        journey = self._get(msg_id)
+        if journey is None:
+            return
+        base = journey.receive_at.get(process, journey.created_at)
+        self._sample(journey, "causal_hold", now - base)
+        latency = now - journey.created_at
+        self._sample(journey, "latency", latency)
+        journey.deliveries += 1
+        if journey.max_latency is None or latency > journey.max_latency:
+            journey.max_latency = latency
+        journey.record("delivered", now, process)
+
+    def discarded(self, msg_id, now, process, reason) -> None:
+        journey = self._get(msg_id)
+        if journey is None:
+            return
+        journey.record("discarded", now, process, reason)
+
+    def discarded_payload(self, payload, now, process, reason) -> None:
+        self.discarded(payload_msg_id(payload), now, process, reason)
+
+    def wire_dropped(self, wire_message, now, reason) -> None:
+        """The network dropped the envelope (crash/partition/filter/fault)."""
+        payload = getattr(wire_message, "payload", None)
+        msg_id = payload_msg_id(payload) if payload is not None else None
+        journey = self._get(msg_id)
+        if journey is None:
+            return
+        journey.record("wire_dropped", now, getattr(wire_message, "dst", None), reason)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def journey(self, msg_id: str) -> Optional[Dict[str, object]]:
+        journey = self._journeys.get(msg_id)
+        return journey.as_dict() if journey is not None else None
+
+    def snapshot(self, top_n: int = 10) -> Dict[str, object]:
+        """The JSON-able ``journeys`` block embedded in ``obs`` snapshots."""
+        wait_states: Dict[str, Dict[str, object]] = {}
+        for (cause, stage), reservoir in sorted(self._reservoirs.items()):
+            wait_states.setdefault(cause, {})[stage] = reservoir.summary()
+        by_cause: Dict[str, int] = {}
+        for journey in self._journeys.values():
+            by_cause[journey.cause] = by_cause.get(journey.cause, 0) + 1
+        completed = [j for j in self._journeys.values() if j.max_latency is not None]
+        completed.sort(key=lambda j: (-j.max_latency, j.msg_id))
+        forced = sorted(
+            (j for j in self._journeys.values() if j.forced),
+            key=lambda j: j.msg_id,
+        )
+        return {
+            "sample_rate": self.sample_rate,
+            "seed": self.seed,
+            "tracked": self._c_tracked.value,
+            "skipped": self._c_skipped.value,
+            "overflow": self._c_overflow.value,
+            "sends_by_cause": self.registry.family("transport.sends_by_cause."),
+            "by_cause": dict(sorted(by_cause.items())),
+            "wait_states": wait_states,
+            "slowest": [j.as_dict() for j in completed[:top_n]],
+            "forced": [j.as_dict() for j in forced],
+        }

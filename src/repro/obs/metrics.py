@@ -209,6 +209,19 @@ class MetricsRegistry:
         return roster
 
     # -- reading -------------------------------------------------------
+    def family(self, prefix: str) -> Dict[str, int]:
+        """Counters under ``prefix``, keyed by the suffix after it.
+
+        ``family("transport.sends_by_cause.")`` returns the live per-cause
+        send counts -- the journey tracker embeds them in its snapshot, and
+        tests assert the family sums to the ``transport.sends`` total.
+        """
+        return {
+            name[len(prefix):]: counter.value
+            for name, counter in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
     def read_gauges(self) -> Dict[str, float]:
         """Current value of every gauge (polled evaluated now)."""
         values: Dict[str, float] = {}

@@ -3,16 +3,28 @@
 ``render_obs`` turns one observation snapshot (the ``obs`` block a
 :class:`~repro.obs.Observation` emits) into aligned text tables;
 ``render_document`` walks any JSON document produced by the benchmark
-harness (session results, scenario shards, sweep grids, BENCH files),
-renders its header, and finds every embedded ``obs`` block wherever it
-rides.  ``python -m repro.obs report FILE`` is the CLI front end.
+harness (session results, scenario shards, sweep grids, BENCH files,
+fuzz-campaign JSONs and fuzz-repro artifacts), renders its header, and
+finds every embedded ``obs`` block wherever it rides.
+``render_journey_document`` is the journey explorer: the slowest sampled
+journeys as span trees plus the by-cause / by-wait-state breakdown.
+``python -m repro.obs report FILE`` and ``python -m repro.obs journey
+FILE`` are the CLI front ends.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
-__all__ = ["render_obs", "render_document", "find_obs_blocks"]
+__all__ = [
+    "render_obs",
+    "render_document",
+    "render_journey_document",
+    "find_obs_blocks",
+    "document_has_renderable_content",
+    "document_has_journeys",
+    "paste_columns",
+]
 
 _BAR_WIDTH = 30
 _BLOCKS = " ▁▂▃▄▅▆▇█"
@@ -195,6 +207,144 @@ def _render_spans(spans: Mapping[str, Any]) -> List[str]:
     return lines
 
 
+_WAIT_STATE_ORDER = (
+    "blocked_send", "sequencer_queue", "transit",
+    "suspicion_hold", "causal_hold", "latency",
+)
+
+
+def _render_journey_tree(journey: Mapping[str, Any], indent: str = "  ") -> List[str]:
+    """One journey as a span tree: header line + timestamped transitions."""
+    lines = [
+        indent
+        + f"{journey.get('msg_id')}  cause={journey.get('cause')}  "
+        + f"sender={journey.get('sender')}  group={journey.get('group')}  "
+        + f"deliveries={_fmt(journey.get('deliveries'))}  "
+        + f"latency={_fmt(journey.get('latency'))}"
+    ]
+    created = journey.get("created_at") or 0.0
+    transitions = journey.get("transitions") or []
+    for index, transition in enumerate(transitions):
+        state, time, process, detail = (list(transition) + [None] * 4)[:4]
+        connector = "└─" if index == len(transitions) - 1 else "├─"
+        offset = time - created if isinstance(time, (int, float)) else None
+        at = f" @{process}" if process else ""
+        suffix = f" ({_fmt(detail)})" if detail not in (None, "") else ""
+        lines.append(f"{indent}  {connector} +{_fmt(offset)} {state}{at}{suffix}")
+    if journey.get("truncated_transitions"):
+        lines.append(
+            f"{indent}     ... {_fmt(journey['truncated_transitions'])} "
+            "more transitions truncated"
+        )
+    return lines
+
+
+def _render_journeys(journeys: Mapping[str, Any]) -> List[str]:
+    lines = [
+        f"journeys: {_fmt(journeys.get('tracked'))} tracked "
+        f"(1 in {_fmt(journeys.get('sample_rate'))}, "
+        f"seed {_fmt(journeys.get('seed'))})"
+        + (
+            f", {_fmt(journeys.get('overflow'))} overflowed"
+            if journeys.get("overflow")
+            else ""
+        )
+    ]
+    by_cause = journeys.get("sends_by_cause") or {}
+    total = sum(by_cause.values())
+    if by_cause:
+        lines.append(
+            f"  sends by cause (partition of transport.sends = {_fmt(total)})"
+        )
+        rows = []
+        for cause, count in sorted(by_cause.items(), key=lambda kv: (-kv[1], kv[0])):
+            share = count / total if total else 0.0
+            rows.append(
+                (cause, _fmt(count), f"{share * 100:.1f}%",
+                 "#" * int(round(share * _BAR_WIDTH)))
+            )
+        lines.extend(_table(rows, "    "))
+    wait_states = journeys.get("wait_states") or {}
+    if wait_states:
+        lines.append("  wait states by cause (sampled journeys)")
+        rows = [("cause", "wait state", "count", "mean", "p50", "p90", "p99", "max")]
+        for cause in sorted(wait_states):
+            stages = wait_states[cause] or {}
+            ordered = [stage for stage in _WAIT_STATE_ORDER if stage in stages]
+            ordered += [stage for stage in sorted(stages) if stage not in ordered]
+            for stage in ordered:
+                summary = stages[stage] or {}
+                rows.append(
+                    (cause, stage, _fmt(summary.get("count")),
+                     _fmt(summary.get("mean")), _fmt(summary.get("p50")),
+                     _fmt(summary.get("p90")), _fmt(summary.get("p99")),
+                     _fmt(summary.get("max")))
+                )
+        lines.extend(_table(rows, "    "))
+    slowest = journeys.get("slowest") or []
+    if slowest:
+        lines.append("  slowest sampled journeys")
+        for journey in slowest:
+            lines.extend(_render_journey_tree(journey, "    "))
+    forced = journeys.get("forced") or []
+    if forced:
+        lines.append("  pinned journeys (force_ids)")
+        for journey in forced:
+            lines.extend(_render_journey_tree(journey, "    "))
+    return lines
+
+
+#: Fuzz-campaign outcome states (mirrors ``repro.scenarios.fuzz.STATUSES``;
+#: duplicated here so rendering a JSON never imports the scenario engine).
+_FUZZ_STATUSES = ("pass", "violation", "stall", "crashed", "timeout")
+
+
+def _render_fuzz(document: Mapping[str, Any]) -> List[str]:
+    """Fuzz campaign tallies / repro-artifact sections, when present."""
+    lines: List[str] = []
+    tallies = document.get("tallies")
+    if isinstance(tallies, Mapping) and set(tallies) & set(_FUZZ_STATUSES):
+        failures = [
+            failure for failure in document.get("failures") or ()
+            if isinstance(failure, Mapping)
+        ]
+        shrink_steps = sum(failure.get("shrink_runs") or 0 for failure in failures)
+        lines.append("fuzz campaign")
+        rows = [("specs run", _fmt(document.get("count", sum(tallies.values()))))]
+        for status in _FUZZ_STATUSES:
+            if status in tallies:
+                rows.append((f"  {status}", _fmt(tallies[status])))
+        if "specs_per_minute" in document:
+            rows.append(("specs/min", _fmt(document["specs_per_minute"])))
+        rows.append(("shrink steps", _fmt(shrink_steps)))
+        lines.extend(_table(rows, "  "))
+        oracle = document.get("oracle")
+        if isinstance(oracle, Mapping):
+            shrunk = oracle.get("shrunk_events")
+            lines.append(
+                f"  oracle arm: {_fmt(oracle.get('violations'))} "
+                f"{oracle.get('violation_kind') or '?'} violation(s) in "
+                f"{_fmt(oracle.get('budget'))} specs"
+                + (f", shrunk to {_fmt(shrunk)} event(s)" if shrunk is not None else "")
+            )
+    if document.get("kind") == "fuzz-repro":
+        lines.append("fuzz repro artifact")
+        lines.extend(_table([
+            ("status", str(document.get("status"))),
+            ("violation kind", str(document.get("violation_kind"))),
+            ("shrink runs", _fmt(document.get("shrink_runs"))),
+        ], "  "))
+        for violation in (document.get("violations") or [])[:5]:
+            lines.append(f"  - {violation}")
+        journeys = document.get("journeys")
+        if isinstance(journeys, list) and journeys:
+            lines.append("  implicated message journeys")
+            for journey in journeys:
+                if isinstance(journey, Mapping):
+                    lines.extend(_render_journey_tree(journey, "    "))
+    return lines
+
+
 def render_obs(obs: Mapping[str, Any], title: str = "") -> str:
     """Render one observation snapshot into a text block."""
     lines: List[str] = []
@@ -209,6 +359,8 @@ def render_obs(obs: Mapping[str, Any], title: str = "") -> str:
         lines.extend(_render_profile(obs["profile"]))
     if obs.get("spans"):
         lines.extend(_render_spans(obs["spans"]))
+    if obs.get("journeys"):
+        lines.extend(_render_journeys(obs["journeys"]))
     if obs.get("sink_errors"):
         lines.append(f"sink errors: {obs['sink_errors']}")
     return "\n".join(lines)
@@ -253,11 +405,81 @@ def render_document(document: Mapping[str, Any], source: str = "") -> str:
     ]
     if summary_keys:
         lines.extend(_table([(key, _fmt(document[key])) for key in summary_keys]))
+    fuzz_lines = _render_fuzz(document)
+    if fuzz_lines:
+        lines.append("")
+        lines.extend(fuzz_lines)
     blocks = list(find_obs_blocks(document))
-    if not blocks:
+    if not blocks and not fuzz_lines:
         lines.append("")
         lines.append("(no obs blocks in this document -- rerun with --observe)")
     for path, block in blocks:
         lines.append("")
         lines.append(render_obs(block, title=f"obs @ {path}"))
+    return "\n".join(lines)
+
+
+def document_has_renderable_content(document: Any) -> bool:
+    """Whether ``report`` has anything beyond the header to show: an ``obs``
+    block anywhere, or a fuzz campaign / repro-artifact shape."""
+    if not isinstance(document, Mapping):
+        return False
+    if any(True for _ in find_obs_blocks(document)):
+        return True
+    return bool(_render_fuzz(document))
+
+
+def document_has_journeys(document: Any) -> bool:
+    """Whether the journey explorer has anything to show for ``document``."""
+    if not isinstance(document, Mapping):
+        return False
+    for _, block in find_obs_blocks(document):
+        if isinstance(block.get("journeys"), Mapping):
+            return True
+    journeys = document.get("journeys")
+    return isinstance(journeys, list) and bool(journeys)
+
+
+def render_journey_document(document: Mapping[str, Any], source: str = "") -> str:
+    """The journey explorer view: every ``journeys`` block's span trees and
+    by-cause / by-wait-state breakdowns, plus fuzz-artifact journeys."""
+    title = document.get("benchmark") or source or "result"
+    lines: List[str] = [f"== {title}: journeys =="]
+    found = False
+    for path, block in find_obs_blocks(document):
+        journeys = block.get("journeys")
+        if not isinstance(journeys, Mapping):
+            continue
+        found = True
+        lines.append("")
+        lines.append(f"journeys @ {path}.journeys")
+        lines.extend(_render_journeys(journeys))
+    artifact_journeys = document.get("journeys")
+    if isinstance(artifact_journeys, list) and artifact_journeys:
+        found = True
+        lines.append("")
+        lines.append("implicated message journeys")
+        for journey in artifact_journeys:
+            if isinstance(journey, Mapping):
+                lines.extend(_render_journey_tree(journey, "  "))
+    if not found:
+        lines.append("")
+        lines.append(
+            "(no journeys in this document -- rerun with --observe journeys)"
+        )
+    return "\n".join(lines)
+
+
+def paste_columns(rendered: List[str], gap: str = "  │ ") -> str:
+    """Join fully-rendered text blocks side-by-side, one column each."""
+    split = [text.split("\n") for text in rendered]
+    height = max(len(column) for column in split)
+    widths = [max((len(line) for line in column), default=0) for column in split]
+    lines = []
+    for row in range(height):
+        cells = [
+            (column[row] if row < len(column) else "").ljust(width)
+            for column, width in zip(split, widths)
+        ]
+        lines.append(gap.join(cells).rstrip())
     return "\n".join(lines)

@@ -55,6 +55,8 @@ from repro.scenarios.fuzz.shrink import (
     VIOLATION_KINDS,
     ShrinkResult,
     classify_violations,
+    explain_journeys,
+    implicated_message_ids,
     shrink_config,
 )
 
@@ -67,8 +69,10 @@ __all__ = [
     "GeneratorTuning",
     "ShrinkResult",
     "classify_violations",
+    "explain_journeys",
     "generate_config",
     "generate_spec",
+    "implicated_message_ids",
     "replay_artifact",
     "run_campaign",
     "run_fuzz_unit",

@@ -110,6 +110,10 @@ class FuzzFailure:
     #: campaign ran with ``shrink_failures=True``).
     minimized: Optional[Dict[str, object]] = None
     shrink_runs: int = 0
+    #: Full journeys of the messages the violations implicate (the
+    #: shrinker's explain-the-violation replay; see
+    #: :func:`repro.scenarios.fuzz.shrink.explain_journeys`).
+    journeys: List[Dict[str, object]] = field(default_factory=list)
     #: Path of the written artifact JSON (``artifact_dir`` was set).
     artifact: Optional[str] = None
 
@@ -125,6 +129,8 @@ class FuzzFailure:
         if self.minimized is not None:
             row["minimized"] = self.minimized
             row["shrink_runs"] = self.shrink_runs
+        if self.journeys:
+            row["journeys"] = list(self.journeys)
         if self.artifact is not None:
             row["artifact"] = self.artifact
         return row
@@ -190,6 +196,9 @@ def write_artifact(path: str, failure: FuzzFailure, corpus_seed: int) -> None:
         "spec": failure.minimized if failure.minimized is not None else failure.config,
         "original": failure.config,
         "shrink_runs": failure.shrink_runs,
+        #: Journeys of the messages the violations name: created / sent /
+        #: held / sequenced / delivered transitions from the exact replay.
+        "journeys": list(failure.journeys),
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
@@ -312,6 +321,7 @@ def run_campaign(
             failure.shrink_runs = result.runs
             if result.violations:
                 failure.violations = list(result.violations)
+            failure.journeys = list(result.journeys)
             shrunk += 1
 
     if artifact_dir is not None and failures:

@@ -34,6 +34,7 @@ or process can be removed without losing the violation kind.
 from __future__ import annotations
 
 import copy
+import re
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -60,6 +61,58 @@ def classify_violations(violations: Sequence[str]) -> Optional[str]:
     return "other" if violations else None
 
 
+#: Message ids as the checkers print them: ``<sender>#<counter>``.
+_MSG_ID_RE = re.compile(r"[A-Za-z_][\w.\-]*#\d+")
+
+
+def implicated_message_ids(violations: Sequence[str]) -> List[str]:
+    """Message ids named by checker violation strings, deduplicated in
+    first-mention order (the order the checkers reported them)."""
+    seen: List[str] = []
+    for violation in violations:
+        for msg_id in _MSG_ID_RE.findall(violation):
+            if msg_id not in seen:
+                seen.append(msg_id)
+    return seen
+
+
+def explain_journeys(
+    config: Mapping,
+    violations: Sequence[str],
+    stack: str = "newtop",
+    max_messages: int = 8,
+) -> List[Dict[str, object]]:
+    """Re-run ``config`` with journey tracing pinned to the messages the
+    ``violations`` name, and return their full journeys.
+
+    The replay is deterministic (same spec, same seed), so the journeys
+    describe exactly the run that violated -- created / sent / held /
+    sequenced / delivered transitions with simulated timestamps.  Returns
+    ``[]`` when no violation names a message id, or on replay failure
+    (explanations are best-effort evidence, never a second crash).
+    """
+    force_ids = implicated_message_ids(violations)[:max_messages]
+    if not force_ids:
+        return []
+    try:
+        result = run_scenario(
+            config,
+            stack=stack,
+            observe={
+                "sampler": False,
+                "journeys": True,
+                "journey_force_ids": force_ids,
+                # Only the pinned ids: 1-in-2^32 background sampling.
+                "journey_sample_rate": 1 << 32,
+            },
+        )
+    except Exception:
+        return []
+    obs = result.obs or {}
+    block = obs.get("journeys") or {}
+    return list(block.get("forced") or [])
+
+
 @dataclass
 class ShrinkResult:
     """Outcome of one shrink search."""
@@ -77,6 +130,10 @@ class ShrinkResult:
     final_size: Tuple[int, int, int, int] = (0, 0, 0, 0)
     #: True when the run budget expired before reaching a fixpoint.
     budget_exhausted: bool = False
+    #: Full journeys of the messages the final violations implicate
+    #: (:func:`explain_journeys` over the minimal config; empty when no
+    #: violation names a message or a custom oracle ran the search).
+    journeys: List[Dict[str, object]] = field(default_factory=list)
 
 
 def _size(config: Mapping) -> Tuple[int, int, int, int]:
@@ -272,6 +329,12 @@ def shrink_config(
         ok, violations = reproduces(current)
         if ok:
             best_violations = violations
+    journeys: List[Dict[str, object]] = []
+    if run is None and best_violations:
+        # Explain the violation: replay the minimal config with journey
+        # tracing pinned to the implicated messages (skipped under a
+        # custom oracle, whose candidates may not be runnable scenarios).
+        journeys = explain_journeys(current, best_violations, stack=stack)
     return ShrinkResult(
         config=current,
         violation_kind=violation_kind,
@@ -280,4 +343,5 @@ def shrink_config(
         original_size=original_size,
         final_size=_size(current),
         budget_exhausted=state["exhausted"],
+        journeys=journeys,
     )

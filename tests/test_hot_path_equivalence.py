@@ -298,7 +298,9 @@ def _observation_fingerprint(result):
     return fingerprint
 
 
-@pytest.mark.parametrize("observe", ["metrics", "full"], ids=["metrics", "full"])
+@pytest.mark.parametrize(
+    "observe", ["metrics", "journeys", "full"], ids=["metrics", "journeys", "full"]
+)
 def test_churn_run_identical_with_observation_attached(observe):
     plain = run_scenario(_churn_config(), analysis="online")
     observed = run_scenario(_churn_config(), analysis="online", observe=observe)
@@ -313,7 +315,9 @@ def test_churn_run_identical_with_observation_attached(observe):
 def test_observation_leaves_trace_stream_byte_identical():
     """Stronger than the fingerprint: the full offline event stream --
     every (seq, time, kind, process, message, details) tuple -- must be
-    identical with metrics + sampler + profiler + spans attached."""
+    identical with metrics + sampler + profiler + spans + journeys
+    attached ("full" includes journey tracing, so this also pins the
+    journey tracker as behaviour-free)."""
     from repro.api import Session
     from repro.core.messages import reset_message_counter
 

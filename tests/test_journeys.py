@@ -1,0 +1,385 @@
+"""Tests for :mod:`repro.obs.journey` (PR 9).
+
+Covers the deterministic 1-in-N sampler (same message ids tracked across
+runs with the same seed, no simulation RNG drawn), the lifecycle tracker
+(transitions, wait-state reservoirs, overflow and truncation bounds), the
+cause-counter partition invariant at the E19 smoke scale, the journey
+explorer CLI (``python -m repro.obs journey``) with its one-line error
+contract, and explain-the-violation (implicated-message extraction plus
+the pinned-replay that embeds journeys into fuzz repro artifacts).  The
+behaviour-free half of the contract is pinned in
+``tests/test_hot_path_equivalence.py``.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.api import Session
+from repro.obs import Observation
+from repro.obs.journey import (
+    MAX_TRANSITIONS,
+    WAIT_STATES,
+    JourneyTracker,
+    payload_msg_id,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import (
+    document_has_journeys,
+    document_has_renderable_content,
+    paste_columns,
+    render_document,
+    render_journey_document,
+)
+from repro.scenarios import churn_scenario, run_scenario
+from repro.scenarios.fuzz import (
+    FuzzFailure,
+    explain_journeys,
+    implicated_message_ids,
+    write_artifact,
+)
+
+
+def _benchmarks_on_path():
+    benchmarks_dir = os.path.join(os.path.dirname(__file__), "..", "benchmarks")
+    if benchmarks_dir not in sys.path:
+        sys.path.insert(0, benchmarks_dir)
+
+
+# ----------------------------------------------------------------------
+# Sampling: deterministic, seeded, RNG-free
+# ----------------------------------------------------------------------
+def test_sampling_decision_is_deterministic_per_seed():
+    ids = [f"P{p}#{c}" for p in range(1, 9) for c in range(40)]
+    first = JourneyTracker(MetricsRegistry(), sample_rate=8, seed=3)
+    second = JourneyTracker(MetricsRegistry(), sample_rate=8, seed=3)
+    sampled = {msg_id for msg_id in ids if first.wants(msg_id)}
+    assert sampled == {msg_id for msg_id in ids if second.wants(msg_id)}
+    assert 0 < len(sampled) < len(ids)
+    # A different seed samples a different subset of the same id space.
+    other = JourneyTracker(MetricsRegistry(), sample_rate=8, seed=4)
+    assert sampled != {msg_id for msg_id in ids if other.wants(msg_id)}
+
+
+def test_force_ids_are_tracked_regardless_of_sampling():
+    tracker = JourneyTracker(
+        MetricsRegistry(), sample_rate=1 << 32, force_ids=["P1#7"]
+    )
+    assert tracker.wants("P1#7")
+    tracker.created("P1#7", "app_multicast", "P1", "g", 0.0)
+    tracker.created("P2#9", "app_multicast", "P2", "g", 0.0)
+    assert tracker.journey("P1#7") is not None
+    assert tracker.journey("P2#9") is None
+    snapshot = tracker.snapshot()
+    assert [j["msg_id"] for j in snapshot["forced"]] == ["P1#7"]
+    assert snapshot["skipped"] == 1
+
+
+def test_journey_sampling_deterministic_across_identical_runs():
+    from repro.core.messages import reset_message_counter
+
+    def observed_run():
+        # Message ids number from a process-global counter; reset it so
+        # both runs see identical ids (run_scenario resets it itself).
+        reset_message_counter()
+        session = Session(
+            "newtop", seed=11, analysis="online",
+            observe={"journeys": True, "journey_sample_rate": 2},
+        )
+        session.spawn(["P1", "P2", "P3"])
+        session.group("g")
+        for index in range(6):
+            session.multicast("P1", "g", f"m-{index}")
+            session.run(1.0)
+        session.run(25.0)
+        return session.result().obs["journeys"]
+
+    first, second = observed_run(), observed_run()
+    assert first == second
+    assert first["tracked"] > 0
+    assert {j["msg_id"] for j in first["slowest"]} == {
+        j["msg_id"] for j in second["slowest"]
+    }
+
+
+# ----------------------------------------------------------------------
+# Lifecycle recording
+# ----------------------------------------------------------------------
+def test_tracker_records_full_lifecycle_and_wait_states():
+    tracker = JourneyTracker(MetricsRegistry(), sample_rate=1)
+    tracker.created("P1#0", "app_multicast", "P1", "g", 0.0)
+    tracker.sent_to_sequencer("P1#0", 0.0, "P1")
+    tracker.sequenced("P1#0", 0.5, "P1")
+    tracker.received("P1#0", 1.0, "P2", 0.5)
+    tracker.held("P1#0", 1.0, "P2", "suspected_sender")
+    tracker.released("P1#0", 1.5, "P2")
+    tracker.delivered("P1#0", 2.0, "P2")
+    journey = tracker.journey("P1#0")
+    assert journey["cause"] == "app_multicast"
+    assert journey["deliveries"] == 1
+    assert journey["latency"] == pytest.approx(2.0)
+    assert [t[0] for t in journey["transitions"]] == [
+        "created", "sent_to_sequencer", "sequenced", "received",
+        "held", "released", "delivered",
+    ]
+    stages = tracker.snapshot()["wait_states"]["app_multicast"]
+    assert stages["sequencer_queue"]["max"] == pytest.approx(0.5)
+    assert stages["transit"]["max"] == pytest.approx(0.5)
+    assert stages["suspicion_hold"]["max"] == pytest.approx(0.5)
+    assert stages["causal_hold"]["max"] == pytest.approx(1.0)
+    assert stages["latency"]["max"] == pytest.approx(2.0)
+    assert set(stages) <= set(WAIT_STATES)
+
+
+def test_tracker_bounds_memory_via_overflow_and_truncation():
+    tracker = JourneyTracker(MetricsRegistry(), sample_rate=1, max_tracked=1)
+    tracker.created("P1#0", "app_multicast", "P1", "g", 0.0)
+    tracker.created("P1#1", "app_multicast", "P1", "g", 0.0)
+    tracker.created("P1#2", "app_multicast", "P1", "g", 0.0)
+    snapshot = tracker.snapshot()
+    assert snapshot["tracked"] == 1
+    assert snapshot["overflow"] == 2
+    # Per-journey transitions are capped at MAX_TRANSITIONS.
+    for index in range(MAX_TRANSITIONS + 10):
+        tracker.held("P1#0", float(index), f"p{index}", "suspected_sender")
+    journey = tracker.journey("P1#0")
+    assert len(journey["transitions"]) == MAX_TRANSITIONS
+    assert journey["truncated_transitions"] == 11
+
+
+def test_payload_msg_id_prefers_msg_id_then_request_id():
+    class _Data:
+        msg_id = "P1#3"
+
+    class _Request:
+        request_id = "P2#5"
+
+    assert payload_msg_id(_Data()) == "P1#3"
+    assert payload_msg_id(_Request()) == "P2#5"
+    assert payload_msg_id(object()) is None
+
+
+# ----------------------------------------------------------------------
+# Zero overhead when off; partition invariant at E19 smoke scale
+# ----------------------------------------------------------------------
+def test_unobserved_run_has_no_journey_tracker_anywhere():
+    session = Session("newtop", seed=5)
+    session.spawn(["P1", "P2"])
+    session.group("g")
+    assert session.sim.journeys is None
+    for process in session.stack.processes.values():
+        assert process.journeys is None
+    session.run(5.0)
+    assert session.result().obs is None
+    # The metrics-only tier pays the same is-None branch for journeys.
+    assert Observation.coerce(True).journeys is None
+
+
+def test_cause_counters_partition_transport_sends_at_smoke_scale():
+    _benchmarks_on_path()
+    from bench_scenario_churn import SMOKE_SCALE, run_churn
+
+    result = run_churn(SMOKE_SCALE, analysis="online", observe="journeys")
+    counters = result.obs["metrics"]["counters"]
+    by_cause = result.obs["journeys"]["sends_by_cause"]
+    assert sum(by_cause.values()) == counters["transport.sends"] > 0
+    # The churn shape exercises app traffic, nulls and membership causes.
+    assert by_cause["app_multicast"] > 0
+    assert by_cause["null_time_silence"] > 0
+    assert by_cause["suspicion_gossip"] > 0
+    assert by_cause["confirm_refute"] > 0
+    assert set(by_cause) <= {
+        "app_multicast", "null_time_silence", "suspicion_gossip",
+        "confirm_refute", "formation", "failover_resend", "view_cut",
+        "other",
+    }
+
+
+# ----------------------------------------------------------------------
+# Journey explorer CLI
+# ----------------------------------------------------------------------
+def _journeys_document(tmp_path, name="BENCH_j.json", benchmark="unit"):
+    session = Session(
+        "newtop", seed=11, analysis="online",
+        observe={"journeys": True, "journey_sample_rate": 1},
+    )
+    session.spawn(["P1", "P2", "P3"])
+    session.group("g")
+    for index in range(4):
+        session.multicast("P1", "g", f"m-{index}")
+        session.run(1.0)
+    session.run(25.0)
+    path = tmp_path / name
+    path.write_text(
+        json.dumps({"benchmark": benchmark, "obs": session.result().obs})
+    )
+    return path
+
+
+def test_journey_cli_renders_span_trees_and_breakdowns(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    path = _journeys_document(tmp_path)
+    assert main(["journey", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "== unit: journeys ==" in out
+    assert "sends by cause (partition of transport.sends" in out
+    assert "wait states by cause" in out
+    assert "slowest sampled journeys" in out
+    assert "P1#" in out and "delivered" in out
+
+
+def test_journey_cli_side_by_side(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    first = _journeys_document(tmp_path, "a.json", benchmark="left")
+    second = _journeys_document(tmp_path, "b.json", benchmark="right")
+    assert main(["journey", str(first), str(second)]) == 0
+    out = capsys.readouterr().out
+    assert "== left: journeys ==" in out
+    assert "== right: journeys ==" in out
+    assert "│" in out
+
+
+def test_cli_one_line_errors(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    missing = tmp_path / "absent.json"
+    assert main(["report", str(missing)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: cannot read") and "\n" == err[-1]
+    assert "Traceback" not in err
+
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["report", str(bad)]) == 2
+    assert "is not valid JSON" in capsys.readouterr().err
+
+    array = tmp_path / "array.json"
+    array.write_text("[1, 2]")
+    assert main(["journey", str(array)]) == 2
+    assert "expected a JSON object" in capsys.readouterr().err
+
+    no_obs = tmp_path / "no_obs.json"
+    no_obs.write_text(json.dumps({"benchmark": "bare", "scale": "smoke"}))
+    assert main(["report", str(no_obs)]) == 1
+    assert "no obs blocks" in capsys.readouterr().err
+    assert main(["journey", str(no_obs)]) == 1
+    assert "rerun the benchmark with --observe journeys" in capsys.readouterr().err
+
+
+def test_report_cli_accepts_multiple_files(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    first = _journeys_document(tmp_path, "a.json", benchmark="left")
+    second = _journeys_document(tmp_path, "b.json", benchmark="right")
+    assert main(["report", str(first), str(second)]) == 0
+    out = capsys.readouterr().out
+    assert "== left ==" in out and "== right ==" in out
+
+
+def test_paste_columns_pads_ragged_blocks():
+    pasted = paste_columns(["aa\nb", "xxx\nyy\nz"], gap=" | ")
+    assert pasted.split("\n") == ["aa | xxx", "b  | yy", "   | z"]
+
+
+# ----------------------------------------------------------------------
+# Fuzz campaign tallies and repro artifacts through the same CLI
+# ----------------------------------------------------------------------
+def _campaign_document():
+    return {
+        "benchmark": "fuzz_campaign",
+        "count": 60,
+        "tallies": {"pass": 58, "violation": 1, "stall": 1,
+                    "crashed": 0, "timeout": 0},
+        "specs_per_minute": 812.5,
+        "failures": [{"index": 3, "status": "violation", "shrink_runs": 41}],
+        "oracle": {"violations": 1, "violation_kind": "total-order",
+                   "budget": 40, "shrunk_events": 2},
+    }
+
+
+def test_report_renders_fuzz_campaign_tallies():
+    document = _campaign_document()
+    assert document_has_renderable_content(document)
+    text = render_document(document)
+    assert "fuzz campaign" in text
+    assert "specs run" in text and "60" in text
+    assert "violation" in text
+    assert "specs/min" in text and "812.5" in text
+    assert "shrink steps" in text and "41" in text
+    assert "oracle arm" in text and "total-order" in text
+
+
+def test_fuzz_artifact_renders_with_embedded_journeys(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    journey = {
+        "msg_id": "P3#17", "cause": "app_multicast", "sender": "P3",
+        "group": "g1", "created_at": 4.0, "deliveries": 2, "latency": 3.25,
+        "truncated_transitions": 0,
+        "transitions": [["created", 4.0, "P3", "app_multicast"],
+                        ["delivered", 7.25, "P1", None]],
+    }
+    failure = FuzzFailure(
+        index=3, status="violation",
+        violations=["total order violated between P1 and P2: P3#17 vs P4#2"],
+        violation_kind="total-order", config={"processes": ["P1"]},
+        minimized={"processes": ["P1"]}, shrink_runs=41, journeys=[journey],
+    )
+    path = tmp_path / "fuzz-7-00003-violation.json"
+    write_artifact(str(path), failure, corpus_seed=7)
+    document = json.loads(path.read_text())
+    assert document["kind"] == "fuzz-repro"
+    assert document["journeys"][0]["msg_id"] == "P3#17"
+    assert document_has_journeys(document)
+    # Both subcommands render the artifact: report shows the diagnosis,
+    # journey shows the implicated message's span tree.
+    assert main(["report", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "fuzz repro artifact" in out and "implicated message journeys" in out
+    assert main(["journey", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "P3#17" in out and "delivered" in out
+    assert render_journey_document(document).count("P3#17") >= 1
+
+
+# ----------------------------------------------------------------------
+# Explain-the-violation
+# ----------------------------------------------------------------------
+def test_implicated_message_ids_dedupes_in_first_mention_order():
+    violations = [
+        "total order violated between P1 and P2: P3#17 vs P4#2",
+        "causally preceding P3#17 not delivered before P10#0",
+    ]
+    assert implicated_message_ids(violations) == ["P3#17", "P4#2", "P10#0"]
+    assert implicated_message_ids(["view sequences differ"]) == []
+
+
+def test_explain_journeys_returns_empty_without_ids_or_on_failure():
+    assert explain_journeys({}, ["no message named here"]) == []
+    # An unrunnable config is swallowed: explanations are best-effort.
+    assert explain_journeys({"nonsense": True}, ["P1#0 implicated"]) == []
+
+
+def test_explain_journeys_replays_and_pins_implicated_messages():
+    config = churn_scenario(
+        n_processes=6, n_groups=2, group_size=4, crashes=0, leaves=0,
+        messages_per_sender=1, seed=3,
+    )
+    # Learn a real message id from a fully-sampled observed run...
+    result = run_scenario(
+        config, observe={"journeys": True, "journey_sample_rate": 1}
+    )
+    slowest = result.obs["journeys"]["slowest"]
+    assert slowest, "scenario delivered nothing to trace"
+    msg_id = slowest[0]["msg_id"]
+    # ...then ask the explainer about a violation naming it.
+    journeys = explain_journeys(
+        config, [f"total order violated between P1 and P2: {msg_id} vs {msg_id}"]
+    )
+    assert [j["msg_id"] for j in journeys] == [msg_id]
+    states = [t[0] for t in journeys[0]["transitions"]]
+    assert states[0] == "created" and "delivered" in states

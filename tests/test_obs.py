@@ -253,8 +253,13 @@ def test_observation_coercion_modes():
     assert Observation.coerce(False) is None
     basic = Observation.coerce(True)
     assert basic.sampler is not None and basic.profiler is None and basic.spans is None
+    assert basic.journeys is None
     full = Observation.coerce("full")
     assert full.profiler is not None and full.spans is not None
+    assert full.journeys is not None
+    journeys = Observation.coerce("journeys")
+    assert journeys.journeys is not None
+    assert journeys.profiler is None and journeys.spans is None
     custom = Observation.coerce({"sampler": False, "profiler": True})
     assert custom.sampler is None and custom.profiler is not None
     prebuilt = Observation(spans=True)
@@ -295,7 +300,7 @@ def test_session_observe_metrics_block():
 def test_session_observe_full_block():
     result = _observed_session("full")
     obs = result.obs
-    assert set(obs) == {"metrics", "samples", "profile", "spans"}
+    assert set(obs) == {"metrics", "samples", "profile", "spans", "journeys"}
     assert obs["profile"]["total_seconds"] > 0
     top_sections = [entry["section"] for entry in obs["profile"]["top"]]
     assert "delivery_batch" in top_sections
@@ -304,12 +309,17 @@ def test_session_observe_full_block():
     assert spans["stages"]["latency"]["count"] == result.deliveries
     # Transport batch sizes were histogrammed.
     assert obs["metrics"]["histograms"]["transport.delivery_batch_size"]["count"] > 0
+    # Cause counters exactly partition the transport send total.
+    counters = obs["metrics"]["counters"]
+    by_cause = obs["journeys"]["sends_by_cause"]
+    assert sum(by_cause.values()) == counters["transport.sends"]
 
 
 def test_unobserved_session_has_no_obs_and_no_instruments():
     session = Session("newtop", seed=5)
     assert session.observation is None
     assert session.sim.metrics is None and session.sim.profiler is None
+    assert session.sim.journeys is None
     session.spawn(["P1", "P2"])
     session.group("g")
     session.run(5.0)
