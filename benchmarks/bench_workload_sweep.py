@@ -46,7 +46,13 @@ shards the cells across a :mod:`repro.parallel` worker pool)::
 
 import time
 
-from common import RESULTS, benchmark_arg_parser, fmt, write_bench_json
+from common import (
+    RESULTS,
+    benchmark_arg_parser,
+    fmt,
+    unavailability_windows,
+    write_bench_json,
+)
 
 from repro.api import COMPARISON_STACKS
 from repro.experiments import SweepSpec, run_cell, run_sweep
@@ -171,6 +177,28 @@ def run_all(scale=None, progress=None, parallel=None):
     }
 
 
+def cell_outage_windows(cell):
+    """Per-group unavailability windows for one sweep cell.
+
+    Builds a ``(start, end, served, offered)`` series per group from the
+    cell's per-group phase deltas and the phase boundaries, and runs the
+    shared :func:`common.unavailability_windows` extractor over it -- the
+    same window definition benchmark E26 applies to its KV shards.
+    """
+    bounds = cell["phase_bounds"]
+    windows = {}
+    for group, phases in cell["group_phases"].items():
+        series = [
+            (bounds[name][0], bounds[name][1],
+             phases[name]["delivered_unique"], phases[name]["offered"])
+            for name in ("pre", "fault", "recovery", "drain")
+        ]
+        found = unavailability_windows(series)
+        if found:
+            windows[group] = found
+    return windows
+
+
 def _assert_reports(reports, scale):
     """The E21 acceptance shape, asserted identically by test and CI."""
     curves, crash, availability = (
@@ -198,6 +226,10 @@ def _assert_reports(reports, scale):
     assert lamport["stalled_groups"] > 0, lamport
     assert newtop["stalled_groups"] == 0, newtop
     assert newtop["delivered_unique"] > lamport["delivered_unique"]
+    # The same contrast as unavailability *windows*: the stalled baseline
+    # group goes dark for a measurable interval; no Newtop group does.
+    assert cell_outage_windows(lamport), lamport["group_phases"]
+    assert not cell_outage_windows(newtop), cell_outage_windows(newtop)
     # The view-cut marker fix: asymmetric Newtop now holds virtual
     # synchrony through the fault cells it used to be excluded from.
     asym = crash.cell("newtop-asymmetric", "poisson", scale["fault_load"], "crash")
@@ -250,6 +282,15 @@ def test_workload_sweep(benchmark):
         f"crash cell: lamport_ack stalls ({lamport['stalled_groups']} group(s), "
         f"{lamport['delivered_unique']} delivered) vs newtop-symmetric "
         f"({newtop['stalled_groups']} stalled, {newtop['delivered_unique']} delivered)"
+    )
+    outages = cell_outage_windows(lamport)
+    longest = max(
+        (window["duration"] for found in outages.values() for window in found),
+        default=0.0,
+    )
+    table.append(
+        f"outage windows (shared extractor): lamport_ack {len(outages)} dark "
+        f"group(s), longest {longest:.1f}s; newtop-symmetric none"
     )
     table.append(
         f"partition cell: primary_partition availability "
@@ -328,6 +369,10 @@ def record_results(scale_name, json_path, parallel=None, observe=None):
         "crash": reports["crash"].as_dict(),
         "availability": reports["availability"].as_dict(),
         "latency_models": reports["latency_models"].as_dict(),
+        "crash_outage_windows": {
+            cell["stack"]: cell_outage_windows(cell)
+            for cell in reports["crash"].cells
+        },
     }
     if observe is not None:
         payload["observed_cell"] = observed_cell(scale, observe)

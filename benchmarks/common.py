@@ -315,6 +315,49 @@ def merge_sweep_reports(*reports: SweepReport) -> SweepReport:
     )
 
 
+def unavailability_windows(
+    series: Sequence[Tuple[float, float, int, int]],
+    *,
+    min_offered: int = 1,
+) -> List[Dict[str, float]]:
+    """Merge time bins in which demand went unserved into outage windows.
+
+    ``series`` is a list of ``(start, end, served, offered)`` bins in time
+    order -- per-shard workload bins (E26), per-phase client counters
+    (E21), or any other served-vs-offered accounting.  A bin is *starved*
+    when at least ``min_offered`` operations were offered and none were
+    served; consecutive starved bins merge into one window.  Returns
+    ``[{"start", "end", "duration"}, ...]`` -- the benchmark-facing shape
+    of "how long was this shard/group unavailable, and when".
+    """
+    windows: List[Dict[str, float]] = []
+    current: Optional[List[float]] = None
+    for start, end, served, offered in series:
+        starved = offered >= min_offered and served == 0
+        if starved:
+            if current is not None and abs(current[1] - start) < 1e-9:
+                current[1] = end
+            else:
+                if current is not None:
+                    windows.append(
+                        {"start": current[0], "end": current[1],
+                         "duration": current[1] - current[0]}
+                    )
+                current = [start, end]
+        elif current is not None:
+            windows.append(
+                {"start": current[0], "end": current[1],
+                 "duration": current[1] - current[0]}
+            )
+            current = None
+    if current is not None:
+        windows.append(
+            {"start": current[0], "end": current[1],
+             "duration": current[1] - current[0]}
+        )
+    return windows
+
+
 def fmt(value: float) -> str:
     """Consistent numeric formatting for report rows."""
     if value >= 1000:

@@ -7,21 +7,40 @@ These are the applications the paper's motivation section appeals to:
   total order keeps replicas identical ("Replica management is a well known
   application of total order protocols", §2).
 * :mod:`repro.apps.replicated_store` -- a replicated key-value store built
-  on the state machine, used by the quickstart and several benchmarks.
+  on the state machine, used by the quickstart and several benchmarks
+  (the single-shard special case of :mod:`repro.apps.kv`).
 * :mod:`repro.apps.server_migration` -- the paper's Fig. 1 scenario: moving
   a replica of a live server group to a new machine by forming an
   overlapping group, transferring state, and departing the old group
   without interrupting service.
+* :mod:`repro.apps.kv` -- the sharded replicated KV store: a consistent-
+  hash ring over shards, one Newtop group per shard, rebalancing and
+  failover as protocol events, an online consistency oracle, and a
+  ring-routed workload (experiment E26).
 """
 
+from repro.apps.kv import (
+    HashRing,
+    KVOracle,
+    KVWorkload,
+    Rebalancer,
+    RebalanceReport,
+    ShardedKV,
+)
 from repro.apps.replicated_state_machine import ReplicatedStateMachine, StateMachineReplica
 from repro.apps.replicated_store import ReplicatedStore
 from repro.apps.server_migration import MigrationReport, ServerMigrationScenario
 
 __all__ = [
+    "HashRing",
+    "KVOracle",
+    "KVWorkload",
     "MigrationReport",
+    "RebalanceReport",
+    "Rebalancer",
     "ReplicatedStateMachine",
     "ReplicatedStore",
     "ServerMigrationScenario",
+    "ShardedKV",
     "StateMachineReplica",
 ]

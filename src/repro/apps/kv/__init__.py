@@ -1,0 +1,71 @@
+"""repro.apps.kv: a sharded, replicated key-value store on Newtop groups.
+
+The production-shaped application of the paper's protocol: the key space
+is split over shards by a deterministic consistent-hash ring, **each
+shard is one Newtop group** running the replicated-state-machine
+pattern, rebalancing and failover are protocol events (overlapping group
+formation, state transfer, voluntary departure, membership exclusion),
+and an online oracle checks per-shard linearizable writes plus
+read-your-writes across the ring with zero stored trace events.
+
+Modules:
+
+* :mod:`~repro.apps.kv.ring` -- versioned consistent-hash routing;
+* :mod:`~repro.apps.kv.commands` -- the command vocabulary and the single
+  pure apply function (also used by the single-shard
+  :class:`repro.apps.replicated_store.ReplicatedStore`);
+* :mod:`~repro.apps.kv.store` -- replicas, shards, and the store front-end;
+* :mod:`~repro.apps.kv.rebalance` -- splits and replica moves as
+  overlapping-group dances;
+* :mod:`~repro.apps.kv.oracle` -- the streaming consistency checker;
+* :mod:`~repro.apps.kv.workload` -- thousands of ring-routed logical
+  clients with Zipf key skew.
+
+Experiment E26 (``benchmarks/bench_kv_shards.py``) drives all of it:
+churn plus a live shard split under load, measuring per-shard goodput,
+rebalance-induced unavailability windows, and tail latency.
+"""
+
+from repro.apps.kv.commands import (
+    META_KEY,
+    MUTATING_OPS,
+    apply_kv_command,
+    command_info,
+    fence_of,
+    fence_rejects,
+    moved_keys,
+    value_digest,
+)
+from repro.apps.kv.oracle import KVOracle
+from repro.apps.kv.rebalance import RebalanceReport, Rebalancer
+from repro.apps.kv.ring import HashRing, stable_hash
+from repro.apps.kv.store import (
+    KVReplica,
+    REBALANCE_CLIENT,
+    Shard,
+    ShardedKV,
+    group_name,
+)
+from repro.apps.kv.workload import KVWorkload
+
+__all__ = [
+    "HashRing",
+    "KVOracle",
+    "KVReplica",
+    "KVWorkload",
+    "META_KEY",
+    "MUTATING_OPS",
+    "REBALANCE_CLIENT",
+    "RebalanceReport",
+    "Rebalancer",
+    "Shard",
+    "ShardedKV",
+    "apply_kv_command",
+    "command_info",
+    "fence_of",
+    "fence_rejects",
+    "group_name",
+    "moved_keys",
+    "stable_hash",
+    "value_digest",
+]

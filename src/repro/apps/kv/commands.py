@@ -1,0 +1,171 @@
+"""The KV command vocabulary and its pure, deterministic apply function.
+
+Every mutation of a shard is a command tuple multicast in the shard's
+Newtop group and applied by each replica in the group's total delivery
+order.  :func:`apply_kv_command` is the *single* transition function for
+every store in this repository: the sharded store applies it per shard,
+and :class:`repro.apps.replicated_store.ReplicatedStore` -- the
+single-shard special case -- applies the very same function, so there is
+one KV implementation, not two.
+
+Commands (tuples, JSON-able; an optional trailing ``origin`` dict carries
+``{"client", "op", "via"}`` provenance for acknowledgement and the
+consistency oracle -- the apply result never depends on it):
+
+``("set", key, value[, origin])``
+    Bind ``key`` to ``value``.
+``("delete", key[, origin])``
+    Remove ``key`` (no-op when absent).
+``("increment", key, amount[, origin])``
+    Add ``amount`` to the integer at ``key`` (default 0).
+``("noop"[, origin])``
+    Advance the applied position without touching data (ordered reads).
+``("fence", fence[, origin])``
+    Install a rebalance fence.  ``fence`` is either
+    ``{"ring": <HashRing.describe()>, "to_shard": shard_id}`` -- reject
+    every later mutation of keys the named ring assigns to ``to_shard``
+    (shard split) -- or ``{"freeze_all": true}`` -- reject every later
+    mutation (whole-shard replica move).  Because the fence sits in the
+    same total order as the writes it guards, all replicas reject exactly
+    the same suffix, and the migration snapshot at the fence position is
+    deterministic.
+``("migrate_in", key, value, meta[, origin])``
+    State transfer into a new shard: bind ``key`` unless already present
+    (first-writer-wins belt-and-braces; migrations complete before the
+    ring that exposes the shard is published).  ``meta`` carries
+    ``{"from_shard", "from_position", "digest"}`` so the oracle can check
+    the transferred value against the source shard's frozen state.
+``("drop_moved"[, origin])``
+    Garbage-collect every fenced-out key from the old shard (issued after
+    the new ring is published; the fence stays, so late stale writes keep
+    being rejected).
+
+Unknown commands and malformed arities leave the state unchanged (but
+still occupy a position in the order) -- the forward-compatibility rule a
+production store follows rather than diverging on unknown-but-committed
+entries.
+
+State shape: a flat ``dict`` of user keys, plus one reserved entry
+(:data:`META_KEY`) holding the fence once installed.  Single-shard stores
+never issue fences, so their state stays a plain user-key dict --
+byte-identical digests with the pre-KV ``ReplicatedStore``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.apps.kv.ring import HashRing
+
+#: Reserved state key holding the installed fence (absent until fenced).
+META_KEY = "__kv_fence__"
+
+#: Ops that mutate one user key and are subject to the fence.
+MUTATING_OPS = frozenset({"set", "delete", "increment"})
+
+
+def value_digest(value: Any) -> str:
+    """Cheap deterministic digest of a stored value (replica comparison
+    and oracle checks; equal digests => equal values for JSON-able data)."""
+    return repr(value)
+
+
+#: Base tuple length of each op *without* the optional trailing origin.
+_BASE_ARITY = {
+    "set": 3,
+    "delete": 2,
+    "increment": 3,
+    "noop": 1,
+    "fence": 2,
+    "migrate_in": 4,
+    "drop_moved": 1,
+}
+
+
+def command_info(command: Any) -> Tuple[Optional[str], Optional[str], Optional[Dict]]:
+    """``(op, key, origin)`` of a command tuple (``None``s when absent).
+
+    The origin is recognized by *arity*: exactly one element beyond the
+    op's base tuple length, and a dict carrying ``"client"`` -- so a user
+    value that merely looks like provenance is never misparsed.
+    Malformed commands yield ``(None, None, None)`` and apply as no-ops.
+    """
+    if not isinstance(command, tuple) or not command:
+        return None, None, None
+    op = command[0]
+    base = _BASE_ARITY.get(op)
+    if base is None or len(command) not in (base, base + 1):
+        return None, None, None
+    origin: Optional[Dict] = None
+    if len(command) == base + 1:
+        tail = command[-1]
+        if not (isinstance(tail, dict) and "client" in tail):
+            return None, None, None
+        origin = tail
+    key: Optional[str] = None
+    if op in MUTATING_OPS or op == "migrate_in":
+        if not isinstance(command[1], str):
+            return None, None, None
+        key = command[1]
+    return op, key, origin
+
+
+def fence_of(state: Dict[str, Any]) -> Optional[Dict]:
+    """The installed fence, or ``None``."""
+    fence = state.get(META_KEY)
+    return fence if isinstance(fence, dict) else None
+
+
+def fence_rejects(state: Dict[str, Any], key: Optional[str]) -> bool:
+    """Whether the installed fence rejects a mutation of ``key``."""
+    fence = fence_of(state)
+    if fence is None or key is None:
+        return False
+    if fence.get("freeze_all"):
+        return True
+    ring = HashRing.from_description(fence["ring"])
+    return ring.lookup(key) == fence["to_shard"]
+
+
+def moved_keys(state: Dict[str, Any]) -> List[str]:
+    """User keys of ``state`` the installed fence has moved away, sorted
+    (the deterministic migration snapshot at the fence position)."""
+    return sorted(
+        key for key in state if key != META_KEY and fence_rejects(state, key)
+    )
+
+
+def apply_kv_command(state: Dict[str, Any], command: Any) -> Dict[str, Any]:
+    """Pure transition function: ``(state, command) -> new state``.
+
+    Deterministic, side-effect free, and total: anything unrecognized
+    returns an unchanged copy.
+    """
+    new_state = dict(state)
+    op, key, _origin = command_info(command)
+    if op is None:
+        return new_state
+    if op in MUTATING_OPS:
+        if key is None or fence_rejects(state, key):
+            return new_state
+        if op == "set":
+            new_state[key] = command[2]
+        elif op == "delete":
+            new_state.pop(key, None)
+        elif op == "increment":
+            new_state[key] = new_state.get(key, 0) + command[2]
+        return new_state
+    if op == "fence":
+        fence = command[1] if len(command) > 1 and isinstance(command[1], dict) else None
+        if fence is not None and ("freeze_all" in fence or ("ring" in fence and "to_shard" in fence)):
+            new_state[META_KEY] = fence
+        return new_state
+    if op == "migrate_in":
+        if key is not None and len(command) >= 4 and key not in new_state:
+            new_state[key] = command[2]
+        return new_state
+    if op == "drop_moved":
+        for moved in moved_keys(state):
+            new_state.pop(moved, None)
+        return new_state
+    return new_state  # "noop" and anything future

@@ -1,5 +1,15 @@
 """A replicated key-value store built on the replicated state machine.
 
+.. note::
+   This store is the **single-shard special case** of the sharded store
+   in :mod:`repro.apps.kv`: one group, no ring, no rebalancing.  Both run
+   the *same* transition function
+   (:func:`repro.apps.kv.commands.apply_kv_command`), so there is exactly
+   one KV implementation in this repository.  New code that needs
+   sharding, failover, rebalancing or the consistency oracle should use
+   :class:`repro.apps.kv.ShardedKV`; this class remains the lightweight
+   front-end for single-group scenarios and the quickstart.
+
 The store supports ``set``, ``delete`` and ``increment`` operations; every
 operation is a command multicast in the store's replica group and applied
 in Newtop's total delivery order, so all replicas converge to the same map
@@ -10,34 +20,15 @@ reads would be issued as commands too, which `read_via_multicast` does).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
+from repro.apps.kv.commands import apply_kv_command
 from repro.apps.replicated_state_machine import ReplicatedStateMachine
 from repro.core.process import NewtopProcess
 
-
-def _apply_store_command(state: Dict[str, Any], command: Tuple) -> Dict[str, Any]:
-    """Pure transition function for the key-value store.
-
-    Commands are tuples: ``("set", key, value)``, ``("delete", key)``,
-    ``("increment", key, amount)`` and ``("noop",)``.  Unknown commands are
-    ignored (forward compatibility), mirroring how a production store would
-    skip unknown-but-committed entries rather than diverge.
-    """
-    new_state = dict(state)
-    if not command:
-        return new_state
-    operation = command[0]
-    if operation == "set" and len(command) == 3:
-        new_state[command[1]] = command[2]
-    elif operation == "delete" and len(command) == 2:
-        new_state.pop(command[1], None)
-    elif operation == "increment" and len(command) == 3:
-        new_state[command[1]] = new_state.get(command[1], 0) + command[2]
-    elif operation == "noop":
-        pass
-    return new_state
+#: Backwards-compatible alias: the transition function now lives in
+#: :mod:`repro.apps.kv.commands` and is shared with the sharded store.
+_apply_store_command = apply_kv_command
 
 
 class ReplicatedStore:

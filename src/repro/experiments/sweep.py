@@ -282,6 +282,7 @@ def run_cell(
 
     session.sim.run(until=fault_time)
     at_fault = aggregate_counters(clients)
+    fault_marks = {client.name: client.counters() for client in clients}
     if fault == "crash":
         for victim in spec.crash_targets():
             session.crash(victim)
@@ -294,6 +295,7 @@ def run_cell(
         session.heal()
     session.sim.run(until=window_end)
     at_end = aggregate_counters(clients)
+    end_marks = {client.name: client.counters() for client in clients}
     session.run(spec.drain)
     result = session.result()
 
@@ -303,6 +305,24 @@ def run_cell(
         "fault": _phase_delta(at_recovery, at_fault),
         "recovery": _phase_delta(at_end, at_recovery),
         "drain": _phase_delta(totals, at_end),
+    }
+    # Per-group phase deltas: the aggregate hides a single stalled group
+    # behind its healthy siblings, so availability tooling (outage-window
+    # extraction in the E21/E26 benchmarks) needs the per-client split.
+    group_phases = {
+        client.name: {
+            "pre": fault_marks[client.name],
+            "fault": _phase_delta(recovery_marks[client.name], fault_marks[client.name]),
+            "recovery": _phase_delta(end_marks[client.name], recovery_marks[client.name]),
+            "drain": _phase_delta(client.counters(), end_marks[client.name]),
+        }
+        for client in clients
+    }
+    phase_bounds = {
+        "pre": (spec.start, fault_time),
+        "fault": (fault_time, fault_end),
+        "recovery": (fault_end, window_end),
+        "drain": (window_end, window_end + spec.drain),
     }
     fault_phase = phases["fault"]
     stalled_groups = 0
@@ -336,6 +356,8 @@ def run_cell(
         ),
         "latency": _merged_latency(clients),
         "phases": phases,
+        "group_phases": group_phases,
+        "phase_bounds": phase_bounds,
         "availability": availability,
         "stalled_groups": stalled_groups if fault != "none" else 0,
         "messages_sent": result.messages_sent,

@@ -69,6 +69,12 @@ DEPART = "depart"
 GROUP_FORMED = "group_formed"
 BLOCKED_SEND = "blocked_send"
 UNBLOCKED_SEND = "unblocked_send"
+#: Application-level events recorded by :mod:`repro.apps.kv`: one command
+#: applied by a shard replica, and one read served from a replica's local
+#: state.  Protocol checkers ignore them; the KV consistency oracle
+#: (:class:`repro.apps.kv.oracle.KVOracle`) consumes them online.
+KV_APPLY = "kv_apply"
+KV_READ = "kv_read"
 
 EVENT_KINDS = frozenset(
     {
@@ -86,6 +92,8 @@ EVENT_KINDS = frozenset(
         GROUP_FORMED,
         BLOCKED_SEND,
         UNBLOCKED_SEND,
+        KV_APPLY,
+        KV_READ,
     }
 )
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 import bisect
 import functools
 import itertools
+import math
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple, Type
@@ -66,10 +67,24 @@ class UniformSelection(SelectionPolicy):
 
 @dataclass(frozen=True)
 class ZipfSenders(SelectionPolicy):
-    """Zipf-skewed senders (list order = popularity order), uniform groups."""
+    """Zipf-skewed senders (list order = popularity order), uniform groups.
+
+    ``exponent`` must be a finite float ``> 0``.  Useful values are
+    roughly ``0.5``-``2.0``: below ``~0.5`` the skew is barely
+    distinguishable from uniform, ``1.0``-``1.2`` matches classic
+    web/KV-trace skew, and above ``~2.0`` nearly all traffic lands on the
+    first item (the remaining items' weights vanish).  Item ``i`` (in
+    list order) is drawn with weight ``1 / (i + 1) ** exponent``.
+    """
 
     exponent: float = 1.2
     kind = "zipf"
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.exponent) or self.exponent <= 0:
+            raise ValueError(
+                f"zipf exponent must be a finite float > 0, got {self.exponent!r}"
+            )
 
     def choose(
         self, rng: random.Random, senders: Sequence[str], groups: Sequence[str]
